@@ -1,0 +1,20 @@
+//! Analytical models of the baseline systems Ouroboros is compared against
+//! (§6.1): a DGX A100 node running vLLM, an 8-chip TPU v4 pod, the
+//! DGX+AttAcc PIM system, the Cerebras WSE-2 running WaferLLM, and the
+//! HBM-backed systems built from the VLSI'22 / ISSCC'22 CIM macros (Fig. 21).
+//!
+//! Each baseline is a roofline + memory-hierarchy-energy model
+//! ([`roofline::RooflineSystem`]) parameterised with published hardware
+//! numbers. All systems — including the Ouroboros simulator in `ouro-sim` —
+//! report results through the same [`SystemReport`] type, so the experiment
+//! harness can normalise and tabulate them uniformly, which is all the
+//! paper's figures need (normalised throughput and normalised energy per
+//! output token with a component breakdown).
+
+pub mod report;
+pub mod roofline;
+pub mod systems;
+
+pub use report::{EnergyBreakdown, SystemReport};
+pub use roofline::{RooflineConfig, RooflineSystem};
+pub use systems::{attacc, cerebras_wse2, dgx_a100, hbm_cim_system, tpu_v4};

@@ -1,0 +1,138 @@
+//! The common result type every system model produces.
+
+/// Energy per *output token*, split into the four components the paper's
+//  energy figures stack (Fig. 14, Fig. 20).
+/// Energy breakdown per output token, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Arithmetic (MAC / tensor-core / SFU) energy.
+    pub compute_j: f64,
+    /// On-chip memory traffic (SRAM buffers, caches, register files).
+    pub on_chip_j: f64,
+    /// Off-chip memory traffic (HBM / DRAM).
+    pub off_chip_j: f64,
+    /// Inter-chip / on-wafer network traffic.
+    pub communication_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per output token.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.on_chip_j + self.off_chip_j + self.communication_j
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: self.compute_j + other.compute_j,
+            on_chip_j: self.on_chip_j + other.on_chip_j,
+            off_chip_j: self.off_chip_j + other.off_chip_j,
+            communication_j: self.communication_j + other.communication_j,
+        }
+    }
+
+    /// Element-wise scaling (e.g. per-token normalisation).
+    pub fn scale(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute_j: self.compute_j * factor,
+            on_chip_j: self.on_chip_j * factor,
+            off_chip_j: self.off_chip_j * factor,
+            communication_j: self.communication_j * factor,
+        }
+    }
+}
+
+/// End-to-end evaluation of one system on one model and trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// Display name of the system ("DGX A100", "Ours", ...).
+    pub system: String,
+    /// Model evaluated.
+    pub model: String,
+    /// Workload label ("WikiText-2", "LP=128 LD=2048", ...).
+    pub workload: String,
+    /// Output-token throughput in tokens per second.
+    pub throughput_tokens_per_s: f64,
+    /// Energy per output token, with breakdown.
+    pub energy_per_token: EnergyBreakdown,
+    /// Total wall-clock time for the trace in seconds.
+    pub total_time_s: f64,
+    /// Output tokens produced by the trace.
+    pub output_tokens: u64,
+    /// Whether the model (weights + working set) fits the system's first
+    /// tier of memory without streaming.
+    pub fits_in_memory: bool,
+}
+
+impl SystemReport {
+    /// Total energy per output token in joules.
+    pub fn energy_per_token_j(&self) -> f64 {
+        self.energy_per_token.total_j()
+    }
+
+    /// Total energy for the whole trace in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy_per_token_j() * self.output_tokens as f64
+    }
+
+    /// Speedup of this report over a reference report (same workload).
+    pub fn speedup_over(&self, reference: &SystemReport) -> f64 {
+        if reference.throughput_tokens_per_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.throughput_tokens_per_s / reference.throughput_tokens_per_s
+    }
+
+    /// Energy of this report relative to a reference (1.0 = equal, < 1.0 =
+    /// this system uses less energy per token).
+    pub fn energy_ratio_over(&self, reference: &SystemReport) -> f64 {
+        let r = reference.energy_per_token_j();
+        if r <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.energy_per_token_j() / r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(tp: f64, energy: f64) -> SystemReport {
+        SystemReport {
+            system: "test".into(),
+            model: "m".into(),
+            workload: "w".into(),
+            throughput_tokens_per_s: tp,
+            energy_per_token: EnergyBreakdown { compute_j: energy, ..Default::default() },
+            total_time_s: 1.0,
+            output_tokens: 100,
+            fits_in_memory: true,
+        }
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = EnergyBreakdown { compute_j: 1.0, on_chip_j: 2.0, off_chip_j: 3.0, communication_j: 4.0 };
+        assert_eq!(b.total_j(), 10.0);
+        assert_eq!(b.scale(0.5).total_j(), 5.0);
+        assert_eq!(b.add(&b).total_j(), 20.0);
+    }
+
+    #[test]
+    fn speedup_and_energy_ratio() {
+        let ours = report(400.0, 0.5);
+        let base = report(100.0, 2.0);
+        assert!((ours.speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((ours.energy_ratio_over(&base) - 0.25).abs() < 1e-12);
+        assert_eq!(ours.total_energy_j(), 50.0);
+    }
+
+    #[test]
+    fn degenerate_reference_yields_infinity() {
+        let ours = report(10.0, 1.0);
+        let zero = report(0.0, 0.0);
+        assert!(ours.speedup_over(&zero).is_infinite());
+        assert!(ours.energy_ratio_over(&zero).is_infinite());
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 15 — the cumulative ablation ladder (Baseline → +KV Cache).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::trace_for;
+use ouro_model::zoo;
+use ouro_sim::{ablation_ladder, OuroborosConfig, OuroborosSystem};
+use ouro_workload::LengthConfig;
+
+fn bench_ablation(c: &mut Criterion) {
+    // A reduced wafer and an encoder-sized model keep each ladder rung cheap
+    // while exercising the identical code paths as the full study.
+    let model = zoo::bert_large();
+    let base = OuroborosConfig::tiny_for_tests();
+    let trace = trace_for(&LengthConfig::wikitext2_like(), 16);
+    let mut group = c.benchmark_group("fig15_ablation");
+    group.bench_function("full_ladder", |b| {
+        b.iter(|| {
+            ablation_ladder(&base)
+                .into_iter()
+                .filter_map(|(_, cfg)| OuroborosSystem::new(cfg, &model).ok())
+                .map(|sys| sys.simulate(&trace).throughput_tokens_per_s)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

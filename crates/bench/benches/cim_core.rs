@@ -1,0 +1,48 @@
+//! Fig. 21 / Table 2 — CIM core implementations compared at the system level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::trace_for;
+use ouro_hw::CircuitPoint;
+use ouro_model::zoo;
+use ouro_workload::LengthConfig;
+
+fn bench_cim_core(c: &mut Criterion) {
+    let model = zoo::llama_13b();
+    let trace = trace_for(&LengthConfig::fixed(2048, 2048), 16);
+    let vlsi = CircuitPoint::vlsi22();
+    let isscc = CircuitPoint::isscc22();
+    let mut group = c.benchmark_group("fig21_cim_core");
+    group.bench_function("hbm_backed_macros", |b| {
+        b.iter(|| {
+            [&vlsi, &isscc]
+                .iter()
+                .map(|p| {
+                    ouro_baselines::hbm_cim_system(
+                        p.name,
+                        p.scaled_tops_per_watt,
+                        p.scaled_tops_per_mm2,
+                        p.wafer_capacity_gb * 1e9,
+                    )
+                    .evaluate(&model, &trace, "LP=2048 LD=2048")
+                    .energy_per_token_j()
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("table2_rows", |b| {
+        b.iter(|| {
+            ouro_hw::CIRCUIT_BASELINES()
+                .iter()
+                .map(|p| p.energy_per_op_j() * p.wafer_tops(41_351.0))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cim_core
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 16 — encoder-based models (BERT-Large, T5-11B) under TGP-with-block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::{build_ouroboros, trace_for};
+use ouro_model::zoo;
+use ouro_workload::LengthConfig;
+
+fn bench_encoder(c: &mut Criterion) {
+    let trace = trace_for(&LengthConfig::fixed(512, 64), 32);
+    let bert = build_ouroboros(&zoo::bert_large());
+    let t5 = build_ouroboros(&zoo::t5_11b());
+    let mut group = c.benchmark_group("fig16_encoder");
+    group.bench_function("bert_large", |b| b.iter(|| bert.simulate_labeled(&trace, "encoder")));
+    group.bench_function("t5_11b", |b| b.iter(|| t5.simulate_labeled(&trace, "encoder")));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encoder
+}
+criterion_main!(benches);

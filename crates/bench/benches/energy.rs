@@ -1,0 +1,33 @@
+//! Fig. 14 — energy-per-token evaluation of every system on Baichuan-13B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::{baseline_systems, build_ouroboros, trace_for};
+use ouro_model::zoo;
+use ouro_workload::LengthConfig;
+
+fn bench_energy(c: &mut Criterion) {
+    let model = zoo::baichuan_13b();
+    let trace = trace_for(&LengthConfig::wikitext2_like(), 32);
+    let baselines = baseline_systems();
+    let ours = build_ouroboros(&model);
+    let mut group = c.benchmark_group("fig14_energy");
+    group.bench_function("ouroboros_energy_breakdown", |b| {
+        b.iter(|| ours.simulate_labeled(&trace, "WikiText-2").energy_per_token_j())
+    });
+    group.bench_function("baselines_energy_breakdown", |b| {
+        b.iter(|| {
+            baselines
+                .iter()
+                .map(|s| s.evaluate(&model, &trace, "WikiText-2").energy_per_token_j())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_energy
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 17 — distributed KV-cache scheduling under different admission
+//! thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::trace_for;
+use ouro_hw::CoreId;
+use ouro_kvcache::{KvManagerConfig, KvScheduler};
+use ouro_workload::LengthConfig;
+
+fn bench_kv(c: &mut Criterion) {
+    let trace = trace_for(&LengthConfig::fixed(256, 512), 32);
+    let mut group = c.benchmark_group("fig17_kv_cache");
+    for threshold in [0.0f64, 0.3] {
+        group.bench_function(format!("threshold_{threshold}"), |b| {
+            b.iter(|| {
+                let mut cfg = KvManagerConfig::new((0..4).map(CoreId).collect(), 2, 128);
+                cfg.threshold = threshold;
+                let mut sched = KvScheduler::new(cfg).expect("kv cores available");
+                sched.run_trace(&trace).stats.completed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kv
+}
+criterion_main!(benches);

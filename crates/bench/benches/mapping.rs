@@ -1,0 +1,32 @@
+//! Fig. 18 — transmission volume of the mapping strategies on a LLaMA-13B
+//! transformer block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_hw::{DefectMap, WaferGeometry};
+use ouro_mapping::{MappingProblem, Strategy};
+use ouro_model::zoo;
+
+fn problem() -> MappingProblem {
+    let geometry = WaferGeometry::paper();
+    let defects = DefectMap::pristine(&geometry);
+    let cores = geometry.all_cores().collect();
+    MappingProblem::for_block(&zoo::llama_13b(), geometry, defects, cores, 4 * 1024 * 1024, 4.0)
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("fig18_mapping");
+    group.bench_function("summa", |b| b.iter(|| ouro_mapping::solve(&p, Strategy::Summa, 1).objective));
+    group.bench_function("waferllm", |b| b.iter(|| ouro_mapping::solve(&p, Strategy::WaferLlm, 1).objective));
+    group.bench_function("ours_anneal_1k", |b| {
+        b.iter(|| ouro_mapping::solve(&p, Strategy::Anneal { iterations: 1_000 }, 1).objective)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mapping
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 19/20 — multi-wafer scaling of LLaMA-65B across two wafers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::{trace_for, SEED};
+use ouro_model::zoo;
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::LengthConfig;
+
+fn bench_multi_wafer(c: &mut Criterion) {
+    let model = zoo::llama_65b();
+    let mut cfg = OuroborosConfig::multi_wafer(2);
+    cfg.seed = SEED;
+    cfg.mapping_iterations = 500;
+    let sys = OuroborosSystem::new(cfg, &model).expect("65B fits on two wafers");
+    let trace = trace_for(&LengthConfig::fixed(2048, 128), 16);
+    let mut group = c.benchmark_group("fig19_multi_wafer");
+    group.bench_function("simulate_llama65b_2_wafers", |b| {
+        b.iter(|| sys.simulate_labeled(&trace, "LP=2048 LD=128"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multi_wafer
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 5 / §6.2 — token-grained vs sequence-grained pipelining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::trace_for;
+use ouro_model::{zoo, ModelConfig};
+use ouro_pipeline::{ConstantStageTimes, Granularity, PipelineScheduler};
+use ouro_workload::LengthConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let model = ModelConfig { blocks: 8, ..zoo::llama_13b() };
+    let times = ConstantStageTimes { base_s: 1e-6, per_context_s: 1e-9 };
+    let sched = PipelineScheduler::new(&model, &times);
+    let trace = trace_for(&LengthConfig::wikitext2_like(), 64);
+    let mut group = c.benchmark_group("pipeline_granularity");
+    group.bench_function("sequence_grained", |b| {
+        b.iter(|| sched.run(&trace, Granularity::Sequence).makespan_s)
+    });
+    group.bench_function("token_grained", |b| {
+        b.iter(|| sched.run(&trace, Granularity::Token).makespan_s)
+    });
+    group.bench_function("token_grained_with_block", |b| {
+        b.iter(|| sched.run(&trace, Granularity::TokenWithBlock).makespan_s)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 11 — crossbar row-activation-ratio sweep (capacity vs compute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_hw::{CimCore, CoreConfig, CrossbarConfig};
+
+fn bench_row_activation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_row_activation");
+    group.bench_function("sweep_ratios", |b| {
+        b.iter(|| {
+            [128u32, 64, 32, 16, 8, 4]
+                .iter()
+                .map(|&d| {
+                    let core = CimCore::new(CoreConfig::with_crossbar(
+                        CrossbarConfig::with_row_activation(1.0 / d as f64),
+                    ));
+                    core.tops() / core.sram_capacity_bytes() as f64
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("gemv_latency_at_paper_ratio", |b| {
+        let core = CimCore::paper();
+        b.iter(|| core.gemv_latency_s(5120, 5120))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_row_activation
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 13 — end-to-end throughput of Ouroboros and the baselines on
+//! LLaMA-13B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::{build_ouroboros, trace_for};
+use ouro_model::zoo;
+use ouro_workload::LengthConfig;
+
+fn bench_throughput(c: &mut Criterion) {
+    let model = zoo::llama_13b();
+    let trace = trace_for(&LengthConfig::fixed(128, 2048), 32);
+    let ours = build_ouroboros(&model);
+    let dgx = ouro_baselines::dgx_a100(8);
+    let mut group = c.benchmark_group("fig13_throughput");
+    group.bench_function("ouroboros_llama13b", |b| {
+        b.iter(|| ours.simulate_labeled(&trace, "LP=128 LD=2048"))
+    });
+    group.bench_function("dgx_a100_llama13b", |b| {
+        b.iter(|| dgx.evaluate(&model, &trace, "LP=128 LD=2048"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

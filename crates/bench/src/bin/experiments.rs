@@ -1,0 +1,327 @@
+//! Regenerates every table and figure of the Ouroboros evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p ouro-bench --release --bin experiments -- all
+//! cargo run -p ouro-bench --release --bin experiments -- fig13 --requests 1000
+//! ```
+//!
+//! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
+//! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`, `all`.
+
+use ouro_baselines::SystemReport;
+use ouro_bench::{
+    build_ouroboros, compare_all, decoder_models, encoder_models, format_energy_breakdown,
+    format_normalized, trace_for, DEFAULT_REQUESTS, SEED,
+};
+use ouro_hw::{CircuitPoint, CoreConfig, CrossbarConfig};
+use ouro_mapping::{MappingProblem, Strategy};
+use ouro_model::zoo;
+use ouro_sim::{ablation_ladder, OuroborosConfig, OuroborosSystem};
+use ouro_workload::LengthConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REQUESTS);
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("fig1") {
+        fig1(requests);
+    }
+    if run("fig11") {
+        fig11(requests);
+    }
+    if run("fig13") || run("fig14") {
+        fig13_14(requests, which == "fig14" || which == "all");
+    }
+    if run("fig15") {
+        fig15(requests);
+    }
+    if run("fig16") {
+        fig16(requests);
+    }
+    if run("fig17") {
+        fig17(requests);
+    }
+    if run("fig18") {
+        fig18();
+    }
+    if run("fig19") || run("fig20") {
+        fig19_20(requests);
+    }
+    if run("fig21") {
+        fig21(requests);
+    }
+    if run("table2") {
+        table2();
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Fig. 1 — hardware scaling tax: energy on 1/2/4/8× A100 vs model size,
+/// compute vs total.
+fn fig1(requests: usize) {
+    header("Fig. 1: hardware scaling tax (A100 nodes, WikiText-2-like workload)");
+    let trace = trace_for(&LengthConfig::wikitext2_like(), requests);
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>8}",
+        "model", "GPUs", "compute (J)", "total (J)", "ratio"
+    );
+    for model in zoo::scaling_tax_models() {
+        for gpus in [1usize, 2, 4, 8] {
+            let sys = ouro_baselines::dgx_a100(gpus);
+            let r = sys.evaluate(&model, &trace, "WikiText-2");
+            let compute = r.energy_per_token.compute_j * r.output_tokens as f64;
+            let total = r.total_energy_j();
+            println!(
+                "{:<12} {:>6} {:>14.1} {:>14.1} {:>8.2}",
+                model.name,
+                gpus,
+                compute,
+                total,
+                total / compute.max(1e-12)
+            );
+        }
+    }
+}
+
+/// Fig. 11 — throughput under different crossbar row-activation ratios.
+fn fig11(requests: usize) {
+    header("Fig. 11: throughput vs row-activation ratio (LLaMA-13B)");
+    let model = zoo::llama_13b();
+    let trace = trace_for(&LengthConfig::fixed(2048, 2048), requests.min(100));
+    println!("{:>12} {:>12} {:>16} {:>14}", "ratio", "crossbars", "SRAM/core (MiB)", "tokens/s");
+    for denom in [128u32, 64, 32, 16, 8, 4] {
+        let ratio = 1.0 / denom as f64;
+        let core = CoreConfig::with_crossbar(CrossbarConfig::with_row_activation(ratio));
+        let mut cfg = OuroborosConfig::single_wafer();
+        cfg.core = core.clone();
+        cfg.seed = SEED;
+        match OuroborosSystem::new(cfg, &model) {
+            Ok(sys) => {
+                let r = sys.simulate_labeled(&trace, "LP=2048 LD=2048");
+                println!(
+                    "{:>12} {:>12} {:>16.2} {:>14.1}",
+                    format!("1/{denom}"),
+                    core.crossbars,
+                    core.crossbars as f64 * core.crossbar.capacity_bytes() as f64 / (1024.0 * 1024.0),
+                    r.throughput_tokens_per_s
+                );
+            }
+            Err(e) => println!("{:>12} {:>12} {:>16} capacity-bound ({e})", format!("1/{denom}"), core.crossbars, "-"),
+        }
+    }
+}
+
+/// Fig. 13/14 — normalised throughput and energy vs baselines for the four
+/// decoder models and four workloads.
+fn fig13_14(requests: usize, with_energy: bool) {
+    header("Fig. 13: normalized throughput vs baselines");
+    for model in decoder_models() {
+        for (label, config) in LengthConfig::paper_suite() {
+            println!("\n--- {} / {label} ---", model.name);
+            let reports = compare_all(&model, &label, &config, requests);
+            print!("{}", format_normalized(&reports));
+            if with_energy {
+                println!("(Fig. 14 energy breakdown, J/token)");
+                print!("{}", format_energy_breakdown(&reports));
+            }
+        }
+    }
+}
+
+/// Fig. 15 — cumulative ablation over Wafer/CIM/TGP/Mapping/KV cache.
+fn fig15(requests: usize) {
+    header("Fig. 15: ablation ladder (normalized to Baseline)");
+    let workloads = [
+        ("WikiText-2", LengthConfig::wikitext2_like()),
+        ("LP=128 LD=2048", LengthConfig::fixed(128, 2048)),
+    ];
+    for model in [zoo::llama_13b(), zoo::llama_32b()] {
+        for (label, config) in &workloads {
+            let trace = trace_for(config, requests.min(200));
+            println!("\n--- {} / {label} ---", model.name);
+            println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "step", "tokens/s", "speedup", "J/token", "norm. E");
+            let mut reference: Option<SystemReport> = None;
+            for (step, cfg) in ablation_ladder(&OuroborosConfig::single_wafer()) {
+                let mut cfg = cfg;
+                cfg.seed = SEED;
+                cfg.mapping_iterations = 1_500;
+                match OuroborosSystem::new(cfg, &model) {
+                    Ok(sys) => {
+                        let r = sys.simulate_labeled(&trace, label);
+                        let (speedup, norm_e) = match &reference {
+                            Some(base) => (r.speedup_over(base), r.energy_ratio_over(base)),
+                            None => (1.0, 1.0),
+                        };
+                        println!(
+                            "{:<12} {:>12.1} {:>11.2}x {:>12.6} {:>12.3}",
+                            step, r.throughput_tokens_per_s, speedup, r.energy_per_token_j(), norm_e
+                        );
+                        if reference.is_none() {
+                            reference = Some(r);
+                        }
+                    }
+                    Err(e) => println!("{step:<12} does not build: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Fig. 16 — encoder-style models (BERT-Large, T5-11B).
+fn fig16(requests: usize) {
+    header("Fig. 16: encoder-based models (throughput and energy vs baselines)");
+    for model in encoder_models() {
+        let config = LengthConfig::fixed(512, 64);
+        let reports = compare_all(&model, "encoder", &config, requests);
+        println!("\n--- {} ---", model.name);
+        print!("{}", format_normalized(&reports));
+        print!("{}", format_energy_breakdown(&reports));
+    }
+}
+
+/// Fig. 17 — KV-cache admission threshold sweep.
+fn fig17(requests: usize) {
+    header("Fig. 17: throughput and energy vs KV admission threshold");
+    for model in [zoo::llama_13b(), zoo::t5_11b()] {
+        println!("\n--- {} ---", model.name);
+        println!("{:>10} {:>14} {:>14}", "threshold", "norm. tokens/s", "norm. J/token");
+        let trace = trace_for(&LengthConfig::wikitext2_like(), requests.min(200));
+        let mut base: Option<SystemReport> = None;
+        for threshold in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            let mut cfg = OuroborosConfig::single_wafer();
+            cfg.kv_threshold = threshold;
+            cfg.seed = SEED;
+            cfg.mapping_iterations = 1_000;
+            let sys = build_with(cfg, &model);
+            let r = sys.simulate_labeled(&trace, "WikiText-2");
+            let (t, e) = match &base {
+                Some(b) => (
+                    r.throughput_tokens_per_s / b.throughput_tokens_per_s,
+                    r.energy_per_token_j() / b.energy_per_token_j(),
+                ),
+                None => (1.0, 1.0),
+            };
+            println!("{threshold:>10.1} {t:>14.3} {e:>14.3}");
+            if base.is_none() {
+                base = Some(r);
+            }
+        }
+    }
+}
+
+fn build_with(mut cfg: OuroborosConfig, model: &ouro_model::ModelConfig) -> OuroborosSystem {
+    loop {
+        match OuroborosSystem::new(cfg.clone(), model) {
+            Ok(sys) => return sys,
+            Err(_) if cfg.wafers < 4 => cfg.wafers += 1,
+            Err(e) => panic!("cannot build system for {}: {e}", model.name),
+        }
+    }
+}
+
+/// Fig. 18 — normalised transmission volume of the mapping strategies.
+fn fig18() {
+    header("Fig. 18: normalized transmission volume (Cerebras-SUMMA / WaferLLM / Ours)");
+    println!("{:<12} {:>12} {:>12} {:>12}", "model", "Cerebras", "WaferLLM", "Ours");
+    for model in [zoo::llama_13b(), zoo::llama_32b(), zoo::llama_65b()] {
+        let geometry = ouro_hw::WaferGeometry::paper();
+        let defects = ouro_hw::DefectMap::pristine(&geometry);
+        let cores: Vec<ouro_hw::CoreId> = geometry.all_cores().collect();
+        let problem = MappingProblem::for_block(
+            &model,
+            geometry,
+            defects,
+            cores,
+            4 * 1024 * 1024,
+            4.0,
+        );
+        let summa = ouro_mapping::solve(&problem, Strategy::Summa, SEED);
+        let wll = ouro_mapping::solve(&problem, Strategy::WaferLlm, SEED);
+        let ours = ouro_mapping::solve(&problem, Strategy::Anneal { iterations: 4_000 }, SEED);
+        let norm = summa.summary.transmission_volume();
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>12.3}",
+            model.name,
+            1.0,
+            wll.summary.transmission_volume() / norm,
+            ours.summary.transmission_volume() / norm
+        );
+    }
+}
+
+/// Fig. 19/20 — multi-wafer scaling on LLaMA-65B.
+fn fig19_20(requests: usize) {
+    header("Fig. 19/20: multi-wafer scaling (LLaMA-65B on two wafers)");
+    let model = zoo::llama_65b();
+    for (label, config) in LengthConfig::paper_suite() {
+        println!("\n--- {label} ---");
+        let reports = compare_all(&model, &label, &config, requests.min(200));
+        print!("{}", format_normalized(&reports));
+        print!("{}", format_energy_breakdown(&reports));
+    }
+}
+
+/// Fig. 21 — swapping the CIM core implementation inside the system.
+fn fig21(requests: usize) {
+    header("Fig. 21: CIM core implementations at the system level");
+    let trace_cfg = LengthConfig::fixed(2048, 2048);
+    for model in decoder_models() {
+        println!("\n--- {} ---", model.name);
+        let trace = trace_for(&trace_cfg, requests.min(200));
+        let mut reports = Vec::new();
+        // Ours and Ours+LUT run the full Ouroboros simulator.
+        let ours = build_ouroboros(&model).simulate_labeled(&trace, "LP=2048 LD=2048");
+        reports.push(ours.clone());
+        for point in [CircuitPoint::vlsi22(), CircuitPoint::isscc22()] {
+            let sys = ouro_baselines::hbm_cim_system(
+                point.name,
+                point.scaled_tops_per_watt,
+                point.scaled_tops_per_mm2,
+                point.wafer_capacity_gb * 1e9,
+            );
+            reports.push(sys.evaluate(&model, &trace, "LP=2048 LD=2048"));
+        }
+        let mut lut_cfg = OuroborosConfig::single_wafer();
+        lut_cfg.lut_compute = true;
+        lut_cfg.seed = SEED;
+        reports.push(build_with(lut_cfg, &model).simulate_labeled(&trace, "LP=2048 LD=2048"));
+        // Normalise to "Ours".
+        println!("{:<16} {:>12} {:>14}", "core", "norm. tput", "norm. J/token");
+        for r in &reports {
+            println!(
+                "{:<16} {:>12.3} {:>14.3}",
+                r.system,
+                r.throughput_tokens_per_s / ours.throughput_tokens_per_s,
+                r.energy_per_token_j() / ours.energy_per_token_j()
+            );
+        }
+    }
+}
+
+/// Table 2 — circuit-level comparison.
+fn table2() {
+    header("Table 2: CIM core circuit-level comparison");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>12} {:>14}",
+        "design", "node", "array", "TOPS/W", "TOPS/mm2", "wafer capacity"
+    );
+    for p in ouro_hw::CIRCUIT_BASELINES() {
+        println!(
+            "{:<16} {:>6}nm {:>8}Kb {:>10.2} {:>12.2} {:>11.2} GB",
+            p.name, p.technology_nm, p.array_size_kb, p.tops_per_watt, p.tops_per_mm2, p.wafer_capacity_gb
+        );
+    }
+}

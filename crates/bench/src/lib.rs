@@ -1,0 +1,156 @@
+//! Shared experiment harness: builds systems, runs workloads, and formats the
+//! rows that regenerate every table and figure of the paper's evaluation.
+//!
+//! The `experiments` binary (`cargo run -p ouro-bench --release --bin
+//! experiments -- <figure>`) prints the text tables; the Criterion benches
+//! under `benches/` time the underlying computations.
+
+use ouro_baselines::{RooflineSystem, SystemReport};
+use ouro_model::ModelConfig;
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{LengthConfig, Trace, TraceGenerator};
+
+/// Default number of requests per trace used by the experiment runner.
+/// The paper uses 1000; the default here keeps the full sweep tractable on a
+/// laptop and can be overridden with `--requests N`.
+pub const DEFAULT_REQUESTS: usize = 200;
+
+/// Deterministic seed used by every experiment.
+pub const SEED: u64 = 2026;
+
+/// Generates the trace for a workload configuration.
+pub fn trace_for(config: &LengthConfig, requests: usize) -> Trace {
+    TraceGenerator::new(SEED).generate(config, requests)
+}
+
+/// The decoder models of the main evaluation (Fig. 13–15).
+pub fn decoder_models() -> Vec<ModelConfig> {
+    vec![
+        ouro_model::zoo::llama_13b(),
+        ouro_model::zoo::baichuan_13b(),
+        ouro_model::zoo::llama_32b(),
+        ouro_model::zoo::qwen_32b(),
+    ]
+}
+
+/// The encoder-style models of §6.4 (Fig. 16).
+pub fn encoder_models() -> Vec<ModelConfig> {
+    vec![ouro_model::zoo::bert_large(), ouro_model::zoo::t5_11b()]
+}
+
+/// The baseline systems of the main comparison, in figure order.
+pub fn baseline_systems() -> Vec<RooflineSystem> {
+    vec![
+        ouro_baselines::dgx_a100(8),
+        ouro_baselines::tpu_v4(),
+        ouro_baselines::attacc(),
+        ouro_baselines::cerebras_wse2(),
+    ]
+}
+
+/// Builds the Ouroboros system for a model, spilling to a second wafer when a
+/// single wafer cannot hold the weights (the paper does the same for
+/// LLaMA-65B).
+pub fn build_ouroboros(model: &ModelConfig) -> OuroborosSystem {
+    for wafers in 1..=4 {
+        let mut cfg = if wafers == 1 {
+            OuroborosConfig::single_wafer()
+        } else {
+            OuroborosConfig::multi_wafer(wafers)
+        };
+        cfg.mapping_iterations = 2_000;
+        cfg.seed = SEED;
+        if let Ok(sys) = OuroborosSystem::new(cfg, model) {
+            return sys;
+        }
+    }
+    panic!("model {} does not fit on four wafers", model.name);
+}
+
+/// Evaluates every baseline plus Ouroboros on one model and workload.
+pub fn compare_all(model: &ModelConfig, label: &str, config: &LengthConfig, requests: usize) -> Vec<SystemReport> {
+    let trace = trace_for(config, requests);
+    let mut reports: Vec<SystemReport> = baseline_systems()
+        .iter()
+        .map(|sys| sys.evaluate(model, &trace, label))
+        .collect();
+    let ours = build_ouroboros(model);
+    reports.push(ours.simulate_labeled(&trace, label));
+    reports
+}
+
+/// Formats a set of reports as a normalised-throughput / normalised-energy
+/// table (normalised to the first report, which is the DGX A100 reference in
+/// the main comparisons).
+pub fn format_normalized(reports: &[SystemReport]) -> String {
+    let mut out = String::new();
+    let reference = &reports[0];
+    out.push_str(&format!(
+        "{:<16} {:>14} {:>12} {:>14} {:>10}\n",
+        "system", "tokens/s", "speedup", "J/token", "norm. E"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<16} {:>14.1} {:>11.2}x {:>14.6} {:>10.3}\n",
+            r.system,
+            r.throughput_tokens_per_s,
+            r.speedup_over(reference),
+            r.energy_per_token_j(),
+            r.energy_ratio_over(reference),
+        ));
+    }
+    out
+}
+
+/// Formats the energy breakdown columns of a set of reports.
+pub fn format_energy_breakdown(reports: &[SystemReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "system", "compute", "on-chip", "off-chip", "comm", "total (J/tok)"
+    ));
+    for r in reports {
+        let e = &r.energy_per_token;
+        out.push_str(&format!(
+            "{:<16} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+            r.system, e.compute_j, e.on_chip_j, e.off_chip_j, e.communication_j, e.total_j()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_generation_is_deterministic() {
+        let a = trace_for(&LengthConfig::fixed(128, 128), 16);
+        let b = trace_for(&LengthConfig::fixed(128, 128), 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn model_lists_cover_the_paper() {
+        assert_eq!(decoder_models().len(), 4);
+        assert_eq!(encoder_models().len(), 2);
+        assert_eq!(baseline_systems().len(), 4);
+    }
+
+    #[test]
+    fn formatting_contains_every_system() {
+        let model = ouro_model::zoo::llama_13b();
+        let trace = trace_for(&LengthConfig::fixed(64, 64), 4);
+        let reports: Vec<SystemReport> = baseline_systems()
+            .iter()
+            .map(|s| s.evaluate(&model, &trace, "t"))
+            .collect();
+        let table = format_normalized(&reports);
+        for r in &reports {
+            assert!(table.contains(&r.system));
+        }
+        let energy = format_energy_breakdown(&reports);
+        assert!(energy.contains("off-chip"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Logical KV blocks and the per-crossbar free-block table.
+//!
+//! In attention mode a crossbar's 1024 × 1024 SRAM array is partitioned into
+//! eight logical blocks (Fig. 10 / Fig. 12c). Each block holds the K or V
+//! vectors of one sequence for one head; per-block registers record how many
+//! rows/columns are already valid so the controller can mask the rest during
+//! in-situ computation.
+
+use ouro_hw::CrossbarConfig;
+
+/// Address of one logical KV block: which crossbar of the core, and which of
+/// its logical blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockAddress {
+    /// Crossbar index within the core (0..32).
+    pub crossbar: usize,
+    /// Logical block index within the crossbar (0..8).
+    pub block: usize,
+}
+
+/// State of the logical blocks of a single attention-mode crossbar, mirroring
+/// the free-block table and the per-block valid-row/column registers of the
+/// crossbar controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarBlocks {
+    tokens_per_block: usize,
+    /// `None` for a free block, `Some(owner)` for a block allocated to a
+    /// sequence, together with how many token slots are already used.
+    blocks: Vec<Option<(u64, usize)>>,
+}
+
+impl CrossbarBlocks {
+    /// Creates the block table for one crossbar of the given configuration,
+    /// storing vectors of `head_dim` elements at `bytes_per_elem` precision.
+    pub fn new(config: &CrossbarConfig, head_dim: usize, bytes_per_elem: u64) -> CrossbarBlocks {
+        CrossbarBlocks {
+            tokens_per_block: config.tokens_per_logical_block(head_dim, bytes_per_elem),
+            blocks: vec![None; config.logical_blocks],
+        }
+    }
+
+    /// Number of logical blocks in the crossbar.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Token capacity of each logical block.
+    pub fn tokens_per_block(&self) -> usize {
+        self.tokens_per_block
+    }
+
+    /// Number of currently free logical blocks.
+    pub fn free_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// Whether a specific sequence owns any block in this crossbar.
+    pub fn owns_any(&self, seq: u64) -> bool {
+        self.blocks.iter().flatten().any(|(owner, _)| *owner == seq)
+    }
+
+    /// Allocates one free block to `seq`, returning its index.
+    pub fn allocate(&mut self, seq: u64) -> Option<usize> {
+        let idx = self.blocks.iter().position(|b| b.is_none())?;
+        self.blocks[idx] = Some((seq, 0));
+        Some(idx)
+    }
+
+    /// Appends `tokens` token slots into the sequence's block `idx`,
+    /// returning how many slots did not fit (the caller must allocate another
+    /// block for the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is free or owned by a different sequence.
+    pub fn append(&mut self, idx: usize, seq: u64, tokens: usize) -> usize {
+        let slot = self.blocks[idx]
+            .as_mut()
+            .expect("appending into a free logical block");
+        assert_eq!(slot.0, seq, "logical block owned by a different sequence");
+        let space = self.tokens_per_block - slot.1;
+        let taken = tokens.min(space);
+        slot.1 += taken;
+        tokens - taken
+    }
+
+    /// Remaining token slots in block `idx` (0 for free blocks of other
+    /// owners).
+    pub fn remaining(&self, idx: usize, seq: u64) -> usize {
+        match &self.blocks[idx] {
+            Some((owner, used)) if *owner == seq => self.tokens_per_block - used,
+            _ => 0,
+        }
+    }
+
+    /// Frees every block owned by `seq`, returning how many blocks were
+    /// released.
+    pub fn release(&mut self, seq: u64) -> usize {
+        let mut released = 0;
+        for b in &mut self.blocks {
+            if matches!(b, Some((owner, _)) if *owner == seq) {
+                *b = None;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Total token slots used across all blocks.
+    pub fn used_tokens(&self) -> usize {
+        self.blocks.iter().flatten().map(|(_, used)| *used).sum()
+    }
+
+    /// Total token capacity of the crossbar.
+    pub fn capacity_tokens(&self) -> usize {
+        self.tokens_per_block * self.blocks.len()
+    }
+
+    /// Storage utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_tokens() == 0 {
+            return 0.0;
+        }
+        self.used_tokens() as f64 / self.capacity_tokens() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_hw::CrossbarConfig;
+    use proptest::prelude::*;
+
+    fn blocks() -> CrossbarBlocks {
+        CrossbarBlocks::new(&CrossbarConfig::paper(), 128, 1)
+    }
+
+    #[test]
+    fn paper_crossbar_has_8_blocks_of_128_tokens() {
+        let b = blocks();
+        assert_eq!(b.num_blocks(), 8);
+        assert_eq!(b.tokens_per_block(), 128);
+        assert_eq!(b.capacity_tokens(), 1024);
+        assert_eq!(b.free_blocks(), 8);
+    }
+
+    #[test]
+    fn allocate_append_release_roundtrip() {
+        let mut b = blocks();
+        let idx = b.allocate(7).expect("block available");
+        assert!(b.owns_any(7));
+        let overflow = b.append(idx, 7, 100);
+        assert_eq!(overflow, 0);
+        assert_eq!(b.remaining(idx, 7), 28);
+        assert_eq!(b.used_tokens(), 100);
+        assert_eq!(b.release(7), 1);
+        assert_eq!(b.used_tokens(), 0);
+        assert!(!b.owns_any(7));
+    }
+
+    #[test]
+    fn append_overflow_reports_leftover_tokens() {
+        let mut b = blocks();
+        let idx = b.allocate(1).unwrap();
+        let leftover = b.append(idx, 1, 200);
+        assert_eq!(leftover, 72);
+        assert_eq!(b.remaining(idx, 1), 0);
+    }
+
+    #[test]
+    fn allocation_fails_when_full() {
+        let mut b = blocks();
+        for s in 0..8 {
+            assert!(b.allocate(s).is_some());
+        }
+        assert!(b.allocate(99).is_none());
+        assert_eq!(b.free_blocks(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut b = blocks();
+        assert_eq!(b.utilization(), 0.0);
+        let idx = b.allocate(3).unwrap();
+        b.append(idx, 3, 128);
+        assert!((b.utilization() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sequence")]
+    fn appending_into_foreign_block_panics() {
+        let mut b = blocks();
+        let idx = b.allocate(1).unwrap();
+        b.append(idx, 2, 10);
+    }
+
+    #[test]
+    fn remaining_is_zero_for_non_owner() {
+        let mut b = blocks();
+        let idx = b.allocate(5).unwrap();
+        assert_eq!(b.remaining(idx, 6), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn used_tokens_never_exceed_capacity(ops in proptest::collection::vec((0u64..4, 1usize..300), 0..50)) {
+            let mut b = blocks();
+            let mut cursor: std::collections::HashMap<u64, usize> = Default::default();
+            for (seq, tokens) in ops {
+                let idx = match cursor.get(&seq) {
+                    Some(&i) if b.remaining(i, seq) > 0 => i,
+                    _ => match b.allocate(seq) {
+                        Some(i) => { cursor.insert(seq, i); i }
+                        None => continue,
+                    },
+                };
+                let _ = b.append(idx, seq, tokens.min(b.remaining(idx, seq)));
+                prop_assert!(b.used_tokens() <= b.capacity_tokens());
+                prop_assert!(b.utilization() <= 1.0);
+            }
+        }
+    }
+}

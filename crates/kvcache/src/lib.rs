@@ -1,0 +1,33 @@
+//! Distributed dynamic KV-cache management (§4.4).
+//!
+//! Ouroboros has no HBM: the KV cache lives inside the same SRAM crossbars
+//! that compute attention. This crate implements the paper's management
+//! scheme:
+//!
+//! * crossbars in *attention mode* are carved into eight logical blocks that
+//!   are dynamically allocated to sequences ([`block`]),
+//! * a three-level address translation — page table (sequence → per-head core),
+//!   per-core bitmap (sequence → logical block), per-crossbar free-block
+//!   registers (valid rows/columns) — lets a group of cores manage their KV
+//!   storage without centralized control ([`translate`]),
+//! * heads of a sequence are spread over consecutive cores of a ring so that
+//!   writes for the next token never collide with in-situ attention for the
+//!   current one, K growth prefers *other* crossbars while V growth prefers
+//!   the *same* crossbar ([`manager`]),
+//! * inter-sequence scheduling is FCFS with preemptible autoregressive
+//!   continuations, most-recently-scheduled eviction, and an anti-thrashing
+//!   admission threshold ([`scheduler`]),
+//! * a static pre-allocation baseline used by the ablation study
+//!   ([`static_alloc`]).
+
+pub mod block;
+pub mod manager;
+pub mod scheduler;
+pub mod static_alloc;
+pub mod translate;
+
+pub use block::{BlockAddress, CrossbarBlocks};
+pub use manager::{KvError, KvManager, KvManagerConfig};
+pub use scheduler::{KvScheduler, SchedulerOutcome, SchedulerStats};
+pub use static_alloc::StaticKvAllocator;
+pub use translate::{CoreBitmap, PageTable};

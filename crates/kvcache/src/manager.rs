@@ -1,0 +1,517 @@
+//! The distributed dynamic KV manager (§4.4.2–§4.4.3).
+//!
+//! The cores left over after weight mapping are split equally between the
+//! `Q·Kᵀ` (score) computation and the `S·V` (context) computation; K vectors
+//! live on score cores and V vectors on context cores. Heads of one sequence
+//! are spread over consecutive cores of a ring (so that consecutive sequences
+//! never write into the core another sequence is computing on), and growth
+//! follows the K/V-specific policies: K prefers a free block in a *different*
+//! crossbar (it grows along the output-channel dimension, which cannot be
+//! accumulated within one crossbar), V prefers the *same* crossbar.
+
+use crate::block::CrossbarBlocks;
+use crate::translate::{CoreBitmap, PageTable};
+use ouro_hw::{CoreId, CrossbarConfig};
+use std::collections::HashMap;
+
+/// Which half of the attention computation a KV core serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KvRole {
+    /// Stores K and computes `Q·Kᵀ`.
+    Key,
+    /// Stores V and computes `S·V`.
+    Value,
+}
+
+/// Errors returned by the KV manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough free blocks (or sequence slots) to admit / grow the
+    /// sequence; the caller should evict or defer.
+    OutOfCapacity,
+    /// The sequence is not resident.
+    UnknownSequence(u64),
+    /// The manager was built with no KV cores at all.
+    NoKvCores,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::OutOfCapacity => write!(f, "kv cache out of capacity"),
+            KvError::UnknownSequence(s) => write!(f, "sequence {s} is not resident"),
+            KvError::NoKvCores => write!(f, "no cores were assigned to the kv cache"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Configuration of the distributed KV manager for one transformer block's
+/// attention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvManagerConfig {
+    /// Cores assigned to KV storage / in-situ attention, in ring order.
+    pub kv_cores: Vec<CoreId>,
+    /// Number of attention-mode crossbars per KV core.
+    pub crossbars_per_core: usize,
+    /// Crossbar geometry (logical blocks, tokens per block).
+    pub crossbar: CrossbarConfig,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Head dimension in elements.
+    pub head_dim: usize,
+    /// Bytes per KV element (1 for int8).
+    pub bytes_per_elem: u64,
+    /// Anti-thrashing threshold (§4.4.4): when the fraction of free token
+    /// slots on the core currently being allocated from drops below this
+    /// value, the core is considered full for *new* sequences, reserving the
+    /// residual capacity for decode-phase growth of already-resident ones.
+    pub threshold: f64,
+}
+
+impl KvManagerConfig {
+    /// A configuration with the paper's crossbar and a simple list of cores.
+    pub fn new(kv_cores: Vec<CoreId>, heads: usize, head_dim: usize) -> KvManagerConfig {
+        KvManagerConfig {
+            kv_cores,
+            crossbars_per_core: 32,
+            crossbar: CrossbarConfig::paper(),
+            heads,
+            head_dim,
+            bytes_per_elem: 1,
+            threshold: 0.1,
+        }
+    }
+}
+
+/// Per-core KV state.
+#[derive(Debug, Clone)]
+struct CoreState {
+    id: CoreId,
+    crossbars: Vec<CrossbarBlocks>,
+    bitmap: CoreBitmap,
+}
+
+impl CoreState {
+    fn free_tokens(&self) -> usize {
+        self.crossbars
+            .iter()
+            .map(|c| c.free_blocks() * c.tokens_per_block())
+            .sum()
+    }
+
+    fn capacity_tokens(&self) -> usize {
+        self.crossbars.iter().map(CrossbarBlocks::capacity_tokens).sum()
+    }
+
+    fn used_tokens(&self) -> usize {
+        self.crossbars.iter().map(CrossbarBlocks::used_tokens).sum()
+    }
+}
+
+/// Cursor of the block a (sequence, head, role) tuple is currently appending
+/// into.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    core_index: usize,
+    crossbar: usize,
+    block: usize,
+}
+
+/// The distributed dynamic KV cache manager.
+#[derive(Debug, Clone)]
+pub struct KvManager {
+    config: KvManagerConfig,
+    key_cores: Vec<CoreState>,
+    value_cores: Vec<CoreState>,
+    page_table: PageTable,
+    /// Ring pointer per role: index of the core after the last one assigned.
+    ring_next: [usize; 2],
+    cursors: HashMap<(u64, usize, u8), Cursor>,
+    resident_tokens: HashMap<u64, usize>,
+}
+
+impl KvManager {
+    /// Builds the manager, splitting the KV cores equally between the score
+    /// (K) and context (V) halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoKvCores`] when the core list is empty.
+    pub fn new(config: KvManagerConfig) -> Result<KvManager, KvError> {
+        if config.kv_cores.is_empty() {
+            return Err(KvError::NoKvCores);
+        }
+        let mk_core = |id: CoreId| CoreState {
+            id,
+            crossbars: (0..config.crossbars_per_core)
+                .map(|_| CrossbarBlocks::new(&config.crossbar, config.head_dim, config.bytes_per_elem))
+                .collect(),
+            bitmap: CoreBitmap::paper(),
+        };
+        let half = (config.kv_cores.len() / 2).max(1);
+        let key_cores: Vec<CoreState> = config.kv_cores[..half].iter().copied().map(mk_core).collect();
+        let value_cores: Vec<CoreState> =
+            config.kv_cores[half.min(config.kv_cores.len())..].iter().copied().map(mk_core).collect();
+        let value_cores = if value_cores.is_empty() { key_cores.clone() } else { value_cores };
+        Ok(KvManager {
+            config,
+            key_cores,
+            value_cores,
+            page_table: PageTable::new(),
+            ring_next: [0, 0],
+            cursors: HashMap::new(),
+            resident_tokens: HashMap::new(),
+        })
+    }
+
+    fn cores(&self, role: KvRole) -> &[CoreState] {
+        match role {
+            KvRole::Key => &self.key_cores,
+            KvRole::Value => &self.value_cores,
+        }
+    }
+
+    fn cores_mut(&mut self, role: KvRole) -> &mut Vec<CoreState> {
+        match role {
+            KvRole::Key => &mut self.key_cores,
+            KvRole::Value => &mut self.value_cores,
+        }
+    }
+
+    /// Total token capacity (per role side; K and V are symmetric).
+    pub fn capacity_tokens(&self) -> usize {
+        self.key_cores.iter().map(CoreState::capacity_tokens).sum()
+    }
+
+    /// Tokens currently stored on the K side.
+    pub fn used_tokens(&self) -> usize {
+        self.key_cores.iter().map(CoreState::used_tokens).sum()
+    }
+
+    /// K-side storage utilisation in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity_tokens();
+        if cap == 0 {
+            0.0
+        } else {
+            self.used_tokens() as f64 / cap as f64
+        }
+    }
+
+    /// Number of resident sequences.
+    pub fn resident_sequences(&self) -> usize {
+        self.resident_tokens.len()
+    }
+
+    /// Tokens resident for one sequence (K side), if it is resident.
+    pub fn sequence_tokens(&self, seq: u64) -> Option<usize> {
+        self.resident_tokens.get(&seq).copied()
+    }
+
+    /// Upper bound on how many sequences of `tokens` tokens each could be
+    /// resident simultaneously (per-head blocks are not shared between
+    /// sequences, so allocation is quantised to logical blocks).
+    pub fn max_resident_sequences(&self, tokens: usize) -> usize {
+        let per_block = self.config.crossbar.tokens_per_logical_block(self.config.head_dim, self.config.bytes_per_elem);
+        if per_block == 0 || tokens == 0 {
+            return 0;
+        }
+        let blocks_per_head = tokens.div_ceil(per_block);
+        let total_blocks: usize = self
+            .key_cores
+            .iter()
+            .map(|c| c.crossbars.iter().map(CrossbarBlocks::num_blocks).sum::<usize>())
+            .sum();
+        total_blocks / (blocks_per_head * self.config.heads)
+    }
+
+    /// Admits a new sequence with `initial_tokens` of prefilled KV (§4.4.3):
+    /// heads are assigned to consecutive ring cores starting at the ring
+    /// pointer, skipping cores whose free fraction is below the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfCapacity`] (without partial allocation being
+    /// rolled back eagerly — the caller is expected to evict and retry with
+    /// the same sequence id, which reuses the partially allocated blocks) if
+    /// the cache cannot hold the sequence.
+    pub fn admit(&mut self, seq: u64, initial_tokens: usize) -> Result<(), KvError> {
+        let heads = self.config.heads;
+        // Choose one core per head per role, walking the ring.
+        let mut head_cores_k = Vec::with_capacity(heads);
+        let mut head_cores_v = Vec::with_capacity(heads);
+        for (role_idx, role) in [KvRole::Key, KvRole::Value].into_iter().enumerate() {
+            let n = self.cores(role).len();
+            let threshold = self.config.threshold;
+            let mut assigned = 0;
+            let mut scanned = 0;
+            let mut idx = self.ring_next[role_idx];
+            while assigned < heads && scanned < 2 * n * (heads.div_ceil(n) + 1) {
+                let core = &self.cores(role)[idx % n];
+                let free_frac = core.free_tokens() as f64 / core.capacity_tokens().max(1) as f64;
+                if free_frac > threshold {
+                    if role == KvRole::Key {
+                        head_cores_k.push(idx % n);
+                    } else {
+                        head_cores_v.push(idx % n);
+                    }
+                    assigned += 1;
+                }
+                idx += 1;
+                scanned += 1;
+            }
+            if assigned < heads {
+                return Err(KvError::OutOfCapacity);
+            }
+            self.ring_next[role_idx] = idx % n;
+        }
+        // Record the page-table entry using the K-side cores (one per head).
+        let pt_cores: Vec<CoreId> = head_cores_k.iter().map(|&i| self.key_cores[i].id).collect();
+        self.page_table.insert(seq, pt_cores);
+        self.resident_tokens.insert(seq, 0);
+        // Allocate and fill the initial tokens.
+        for head in 0..heads {
+            self.bind_cursor(seq, head, KvRole::Key, head_cores_k[head])?;
+            self.bind_cursor(seq, head, KvRole::Value, head_cores_v[head])?;
+        }
+        if initial_tokens > 0 {
+            self.append_tokens(seq, initial_tokens)?;
+        } else {
+            self.resident_tokens.insert(seq, 0);
+        }
+        Ok(())
+    }
+
+    fn bind_cursor(&mut self, seq: u64, head: usize, role: KvRole, core_index: usize) -> Result<(), KvError> {
+        let cores = self.cores_mut(role);
+        let core = &mut cores[core_index];
+        // Find a crossbar with a free block.
+        let Some(xb) = core.crossbars.iter().position(|c| c.free_blocks() > 0) else {
+            return Err(KvError::OutOfCapacity);
+        };
+        let block = core.crossbars[xb].allocate(seq).expect("free block just checked");
+        if let Some(slot) = core.bitmap.slot_for(seq) {
+            core.bitmap.set(slot, (xb * core.crossbars[xb].num_blocks() + block) % 256);
+        }
+        self.cursors
+            .insert((seq, head, role as u8), Cursor { core_index, crossbar: xb, block });
+        Ok(())
+    }
+
+    /// Appends `tokens` new tokens of K and V for every head of a resident
+    /// sequence (the per-token write that overlaps the attention of the
+    /// current token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UnknownSequence`] if the sequence is not resident or
+    /// [`KvError::OutOfCapacity`] if a head cannot grow.
+    pub fn append_tokens(&mut self, seq: u64, tokens: usize) -> Result<(), KvError> {
+        if !self.resident_tokens.contains_key(&seq) {
+            return Err(KvError::UnknownSequence(seq));
+        }
+        for head in 0..self.config.heads {
+            for role in [KvRole::Key, KvRole::Value] {
+                self.append_for(seq, head, role, tokens)?;
+            }
+        }
+        *self.resident_tokens.get_mut(&seq).expect("resident") += tokens;
+        Ok(())
+    }
+
+    fn append_for(&mut self, seq: u64, head: usize, role: KvRole, tokens: usize) -> Result<(), KvError> {
+        let key = (seq, head, role as u8);
+        let mut remaining = tokens;
+        while remaining > 0 {
+            let cursor = *self.cursors.get(&key).ok_or(KvError::UnknownSequence(seq))?;
+            let cores = self.cores_mut(role);
+            let core = &mut cores[cursor.core_index];
+            let leftover = core.crossbars[cursor.crossbar].append(cursor.block, seq, remaining);
+            let consumed = remaining - leftover;
+            remaining = leftover;
+            if remaining == 0 {
+                break;
+            }
+            if consumed == 0 || core.crossbars[cursor.crossbar].remaining(cursor.block, seq) == 0 {
+                // Need a new block; K prefers a different crossbar, V the same.
+                let order: Vec<usize> = match role {
+                    KvRole::Key => (0..core.crossbars.len())
+                        .map(|i| (cursor.crossbar + 1 + i) % core.crossbars.len())
+                        .collect(),
+                    KvRole::Value => (0..core.crossbars.len())
+                        .map(|i| (cursor.crossbar + i) % core.crossbars.len())
+                        .collect(),
+                };
+                let mut found = None;
+                for xb in order {
+                    if core.crossbars[xb].free_blocks() > 0 {
+                        let block = core.crossbars[xb].allocate(seq).expect("free block");
+                        found = Some(Cursor { core_index: cursor.core_index, crossbar: xb, block });
+                        break;
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        self.cursors.insert(key, c);
+                    }
+                    None => return Err(KvError::OutOfCapacity),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every block of a sequence (completion or eviction), returning
+    /// how many tokens were resident.
+    pub fn release(&mut self, seq: u64) -> usize {
+        let tokens = self.resident_tokens.remove(&seq).unwrap_or(0);
+        for core in self.key_cores.iter_mut().chain(self.value_cores.iter_mut()) {
+            for xb in &mut core.crossbars {
+                xb.release(seq);
+            }
+            core.bitmap.clear_sequence(seq);
+        }
+        self.cursors.retain(|(s, _, _), _| *s != seq);
+        self.page_table.remove(seq);
+        tokens
+    }
+
+    /// The page table (first translation level), for lookups by the
+    /// simulator and tests.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The K-side core id a head of a sequence lives on, if resident.
+    pub fn core_of(&self, seq: u64, head: usize) -> Option<CoreId> {
+        self.page_table.lookup(seq, head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(cores: usize, heads: usize) -> KvManager {
+        let ids = (0..cores).map(CoreId).collect();
+        KvManager::new(KvManagerConfig::new(ids, heads, 128)).unwrap()
+    }
+
+    #[test]
+    fn no_cores_is_an_error() {
+        assert_eq!(
+            KvManager::new(KvManagerConfig::new(vec![], 8, 128)).unwrap_err(),
+            KvError::NoKvCores
+        );
+    }
+
+    #[test]
+    fn admit_and_release_roundtrip() {
+        let mut m = manager(8, 4);
+        m.admit(1, 100).unwrap();
+        assert_eq!(m.resident_sequences(), 1);
+        assert_eq!(m.sequence_tokens(1), Some(100));
+        assert!(m.used_tokens() > 0);
+        assert_eq!(m.release(1), 100);
+        assert_eq!(m.resident_sequences(), 0);
+        assert_eq!(m.used_tokens(), 0);
+    }
+
+    #[test]
+    fn heads_are_spread_across_ring_cores() {
+        let mut m = manager(8, 4);
+        m.admit(1, 10).unwrap();
+        let cores: Vec<_> = (0..4).map(|h| m.core_of(1, h).unwrap()).collect();
+        // 4 K-side cores available, 4 heads: all distinct.
+        let unique: std::collections::HashSet<_> = cores.iter().collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn consecutive_sequences_start_at_different_ring_positions() {
+        let mut m = manager(16, 2);
+        m.admit(1, 10).unwrap();
+        m.admit(2, 10).unwrap();
+        assert_ne!(m.core_of(1, 0), m.core_of(2, 0));
+    }
+
+    #[test]
+    fn decode_growth_appends_tokens() {
+        let mut m = manager(8, 2);
+        m.admit(7, 64).unwrap();
+        for _ in 0..32 {
+            m.append_tokens(7, 1).unwrap();
+        }
+        assert_eq!(m.sequence_tokens(7), Some(96));
+    }
+
+    #[test]
+    fn growth_spills_into_new_blocks() {
+        let mut m = manager(4, 1);
+        // 200 tokens exceed one 128-token logical block, forcing a second
+        // block allocation for both K and V.
+        m.admit(3, 200).unwrap();
+        assert_eq!(m.sequence_tokens(3), Some(200));
+        assert!(m.used_tokens() >= 200);
+    }
+
+    #[test]
+    fn unknown_sequence_append_fails() {
+        let mut m = manager(4, 2);
+        assert_eq!(m.append_tokens(9, 1), Err(KvError::UnknownSequence(9)));
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_out_of_capacity() {
+        let mut m = manager(2, 1);
+        // Each side has 1 core = 32 crossbars × 8 blocks × 128 tokens.
+        let cap = m.capacity_tokens();
+        let mut admitted = 0;
+        let mut failed = false;
+        for seq in 0..10_000u64 {
+            match m.admit(seq, 4096) {
+                Ok(()) => admitted += 1,
+                Err(KvError::OutOfCapacity) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "capacity of {cap} tokens should eventually be exhausted");
+        assert!(admitted > 0);
+    }
+
+    #[test]
+    fn max_resident_sequences_matches_block_arithmetic() {
+        let m = manager(8, 4);
+        // 4 K cores × 32 crossbars × 8 blocks = 1024 blocks; a 256-token
+        // sequence needs 2 blocks per head × 4 heads = 8 blocks.
+        assert_eq!(m.max_resident_sequences(256), 1024 / 8);
+        assert_eq!(m.max_resident_sequences(0), 0);
+    }
+
+    #[test]
+    fn utilization_grows_with_admissions() {
+        let mut m = manager(8, 2);
+        let before = m.utilization();
+        m.admit(1, 512).unwrap();
+        assert!(m.utilization() > before);
+        assert!(m.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn threshold_reserves_residual_capacity() {
+        let ids: Vec<CoreId> = (0..2).map(CoreId).collect();
+        let mut cfg = KvManagerConfig::new(ids, 1, 128);
+        cfg.threshold = 0.9; // cores considered full once 10% is used
+        let mut m = KvManager::new(cfg).unwrap();
+        m.admit(1, 6000).unwrap();
+        // The single K core is now beyond the 10% mark, so a new sequence is
+        // rejected even though raw capacity remains.
+        assert_eq!(m.admit(2, 100), Err(KvError::OutOfCapacity));
+        assert!(m.utilization() < 0.5);
+    }
+}

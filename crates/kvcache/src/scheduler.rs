@@ -1,0 +1,288 @@
+//! Inter-sequence scheduling on top of the distributed KV manager (§4.4.4).
+//!
+//! New requests are admitted first-come-first-serve so none starve;
+//! autoregressive continuations are preemptible. When the cache fills up, the
+//! most recently scheduled request is evicted (its KV is recomputed when it
+//! is re-admitted — the "thrashing" cost) and goes back to the *front* of the
+//! waiting queue; admission stays suspended until a resident request
+//! completes. The anti-thrashing threshold lives inside the manager: cores
+//! whose free space falls below it stop accepting *new* sequences, reserving
+//! room for decode growth.
+
+use crate::manager::{KvError, KvManager, KvManagerConfig};
+use ouro_workload::Trace;
+use std::collections::VecDeque;
+
+/// Statistics gathered while replaying a trace through the KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedulerStats {
+    /// Requests admitted (including re-admissions after eviction).
+    pub admissions: u64,
+    /// Evictions triggered by capacity exhaustion.
+    pub evictions: u64,
+    /// Tokens whose K/V had to be recomputed because their sequence was
+    /// evicted mid-flight.
+    pub recomputed_tokens: u64,
+    /// Maximum number of simultaneously resident sequences.
+    pub peak_resident: usize,
+    /// Time-averaged number of resident sequences (in decode-step units).
+    pub avg_resident: f64,
+    /// Number of decode steps simulated.
+    pub steps: u64,
+    /// Requests fully completed.
+    pub completed: u64,
+}
+
+/// Outcome of a scheduling run: the statistics plus derived quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerOutcome {
+    /// Raw counters.
+    pub stats: SchedulerStats,
+    /// Total useful tokens (prompt + decode) of the trace.
+    pub useful_tokens: u64,
+    /// Fraction of extra work caused by thrashing:
+    /// `recomputed / (useful + recomputed)`.
+    pub waste_fraction: f64,
+}
+
+/// Replays request traces against a [`KvManager`].
+#[derive(Debug)]
+pub struct KvScheduler {
+    manager: KvManager,
+}
+
+/// A resident sequence being decoded.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    request_index: usize,
+    decoded: usize,
+    /// Tokens already spent on this attempt (for recompute accounting).
+    tokens_this_attempt: usize,
+    admission_order: u64,
+}
+
+impl KvScheduler {
+    /// Creates a scheduler over a fresh manager.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] from the manager.
+    pub fn new(config: KvManagerConfig) -> Result<KvScheduler, KvError> {
+        Ok(KvScheduler { manager: KvManager::new(config)? })
+    }
+
+    /// Read access to the underlying manager (capacity queries).
+    pub fn manager(&self) -> &KvManager {
+        &self.manager
+    }
+
+    /// Replays `trace` in arrival order: each step every resident sequence
+    /// decodes one token; requests are admitted FCFS whenever capacity
+    /// permits; capacity exhaustion evicts the most recently admitted
+    /// sequence.
+    pub fn run_trace(&mut self, trace: &Trace) -> SchedulerOutcome {
+        let mut waiting: VecDeque<usize> = (0..trace.len()).collect();
+        let mut active: Vec<Active> = Vec::new();
+        let mut stats = SchedulerStats::default();
+        let mut admissions_suspended = false;
+        let mut resident_integral = 0.0f64;
+        let mut order_counter = 0u64;
+        let max_steps = 10_000_000u64;
+
+        while (!waiting.is_empty() || !active.is_empty()) && stats.steps < max_steps {
+            // Admission phase (FCFS).
+            while !admissions_suspended {
+                let Some(&req_idx) = waiting.front() else { break };
+                let req = &trace.requests[req_idx];
+                match self.manager.admit(req_idx as u64, req.prompt_len) {
+                    Ok(()) => {
+                        waiting.pop_front();
+                        stats.admissions += 1;
+                        active.push(Active {
+                            request_index: req_idx,
+                            decoded: 0,
+                            tokens_this_attempt: req.prompt_len,
+                            admission_order: order_counter,
+                        });
+                        order_counter += 1;
+                    }
+                    Err(KvError::OutOfCapacity) => {
+                        // Clean up any partial allocation of the failed admit.
+                        self.manager.release(req_idx as u64);
+                        // Evict the most recently scheduled request if any.
+                        if let Some(victim_pos) = active
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, a)| a.admission_order)
+                            .map(|(i, _)| i)
+                        {
+                            let victim = active.swap_remove(victim_pos);
+                            stats.evictions += 1;
+                            stats.recomputed_tokens += victim.tokens_this_attempt as u64;
+                            self.manager.release(victim.request_index as u64);
+                            waiting.push_front(victim.request_index);
+                            // Suspend new admissions until a request completes.
+                            admissions_suspended = true;
+                        }
+                        break;
+                    }
+                    Err(e) => panic!("unexpected kv error during admission: {e}"),
+                }
+            }
+
+            if active.is_empty() {
+                // Nothing resident (pathological: a single request larger
+                // than the cache). Drop the offending request to guarantee
+                // progress.
+                if let Some(req) = waiting.pop_front() {
+                    self.manager.release(req as u64);
+                    stats.steps += 1;
+                    continue;
+                }
+                break;
+            }
+
+            // Decode phase: every resident sequence produces one token.
+            stats.peak_resident = stats.peak_resident.max(active.len());
+            resident_integral += active.len() as f64;
+            stats.steps += 1;
+            let mut finished: Vec<usize> = Vec::new();
+            let mut evicted_now: Vec<usize> = Vec::new();
+            for (i, a) in active.iter_mut().enumerate() {
+                let req = &trace.requests[a.request_index];
+                if a.decoded >= req.decode_len {
+                    finished.push(i);
+                    continue;
+                }
+                match self.manager.append_tokens(a.request_index as u64, 1) {
+                    Ok(()) => {
+                        a.decoded += 1;
+                        a.tokens_this_attempt += 1;
+                        if a.decoded >= req.decode_len {
+                            finished.push(i);
+                        }
+                    }
+                    Err(KvError::OutOfCapacity) => evicted_now.push(i),
+                    Err(e) => panic!("unexpected kv error during decode: {e}"),
+                }
+            }
+            // Handle decode-time evictions (growth failed).
+            for &i in evicted_now.iter().rev() {
+                let victim = active.swap_remove(i);
+                stats.evictions += 1;
+                stats.recomputed_tokens += victim.tokens_this_attempt as u64;
+                self.manager.release(victim.request_index as u64);
+                waiting.push_front(victim.request_index);
+            }
+            // Retire completed requests; completion re-enables admission.
+            // Recompute indices because swap_remove above may have moved them.
+            let mut retired = 0;
+            active.retain(|a| {
+                let req = &trace.requests[a.request_index];
+                if a.decoded >= req.decode_len {
+                    retired += 1;
+                    self.manager.release(a.request_index as u64);
+                    false
+                } else {
+                    true
+                }
+            });
+            if retired > 0 {
+                stats.completed += retired;
+                admissions_suspended = false;
+            }
+        }
+
+        stats.avg_resident = if stats.steps > 0 {
+            resident_integral / stats.steps as f64
+        } else {
+            0.0
+        };
+        let useful = trace.total_tokens();
+        let waste = stats.recomputed_tokens as f64 / (useful + stats.recomputed_tokens).max(1) as f64;
+        SchedulerOutcome { stats, useful_tokens: useful, waste_fraction: waste }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_hw::CoreId;
+    use ouro_workload::{LengthConfig, TraceGenerator};
+
+    fn config(cores: usize, heads: usize, threshold: f64) -> KvManagerConfig {
+        let mut c = KvManagerConfig::new((0..cores).map(CoreId).collect(), heads, 128);
+        c.threshold = threshold;
+        c
+    }
+
+    #[test]
+    fn small_trace_completes_without_evictions() {
+        let trace = TraceGenerator::new(1).generate(&LengthConfig::fixed(64, 32), 4);
+        let mut s = KvScheduler::new(config(8, 2, 0.0)).unwrap();
+        let out = s.run_trace(&trace);
+        assert_eq!(out.stats.completed, 4);
+        assert_eq!(out.stats.evictions, 0);
+        assert_eq!(out.stats.recomputed_tokens, 0);
+        assert_eq!(out.waste_fraction, 0.0);
+        assert!(out.stats.peak_resident >= 1);
+    }
+
+    #[test]
+    fn oversubscribed_cache_evicts_and_still_completes() {
+        // 2 cores / 1 head: tight capacity forces evictions with many long
+        // requests.
+        let trace = TraceGenerator::new(2).generate(&LengthConfig::fixed(512, 512), 12);
+        let mut s = KvScheduler::new(config(2, 1, 0.0)).unwrap();
+        let out = s.run_trace(&trace);
+        assert_eq!(out.stats.completed, 12, "all requests should eventually finish");
+        assert!(out.stats.admissions >= 12);
+    }
+
+    #[test]
+    fn zero_threshold_thrashes_more_than_moderate_threshold() {
+        let trace = TraceGenerator::new(3).generate(&LengthConfig::fixed(200, 900), 24);
+        let mut none = KvScheduler::new(config(2, 1, 0.0)).unwrap();
+        let mut some = KvScheduler::new(config(2, 1, 0.25)).unwrap();
+        let out_none = none.run_trace(&trace);
+        let out_some = some.run_trace(&trace);
+        assert!(
+            out_none.stats.recomputed_tokens >= out_some.stats.recomputed_tokens,
+            "threshold should reduce thrashing: {} vs {}",
+            out_none.stats.recomputed_tokens,
+            out_some.stats.recomputed_tokens
+        );
+    }
+
+    #[test]
+    fn excessive_threshold_reduces_concurrency() {
+        let trace = TraceGenerator::new(4).generate(&LengthConfig::fixed(128, 128), 16);
+        let mut low = KvScheduler::new(config(4, 1, 0.05)).unwrap();
+        let mut high = KvScheduler::new(config(4, 1, 0.9)).unwrap();
+        let out_low = low.run_trace(&trace);
+        let out_high = high.run_trace(&trace);
+        assert!(out_high.stats.avg_resident <= out_low.stats.avg_resident + 1e-9,
+            "a 0.9 threshold should not increase residency ({} vs {})",
+            out_high.stats.avg_resident, out_low.stats.avg_resident);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let trace = ouro_workload::Trace { requests: vec![] };
+        let mut s = KvScheduler::new(config(2, 1, 0.1)).unwrap();
+        let out = s.run_trace(&trace);
+        assert_eq!(out.stats.steps, 0);
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.stats.avg_resident, 0.0);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let trace = TraceGenerator::new(5).generate(&LengthConfig::wikitext2_like(), 10);
+        let mut s = KvScheduler::new(config(8, 2, 0.1)).unwrap();
+        let out = s.run_trace(&trace);
+        assert!(out.stats.admissions >= out.stats.completed);
+        assert!(out.stats.peak_resident as f64 >= out.stats.avg_resident);
+        assert!(out.waste_fraction >= 0.0 && out.waste_fraction < 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The three-level address translation of the distributed KV cache
+//! (Fig. 12): page table → per-core bitmap → per-crossbar free-block
+//! registers.
+//!
+//! The point of the scheme is that no centralized controller is needed: the
+//! page table (held in an amortised storage core) maps a sequence to the
+//! cores holding each of its heads, each core's bitmap maps the sequence to
+//! the logical blocks it occupies inside that core, and the crossbar
+//! controller's registers know how many rows/columns of each block are
+//! valid. The last level lives in [`crate::block`]; this module implements
+//! the first two.
+
+use ouro_hw::CoreId;
+use std::collections::HashMap;
+
+/// First level: sequence → the ordered list of cores storing its heads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageTable {
+    entries: HashMap<u64, Vec<CoreId>>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Registers the per-head core assignment of a sequence. Head `h` of the
+    /// sequence lives on `cores[h]`.
+    pub fn insert(&mut self, seq: u64, cores: Vec<CoreId>) {
+        self.entries.insert(seq, cores);
+    }
+
+    /// Core holding head `head` of sequence `seq`, if the sequence is mapped.
+    pub fn lookup(&self, seq: u64, head: usize) -> Option<CoreId> {
+        self.entries.get(&seq).and_then(|cores| cores.get(head)).copied()
+    }
+
+    /// All cores of a sequence (one per head), if mapped.
+    pub fn cores_of(&self, seq: u64) -> Option<&[CoreId]> {
+        self.entries.get(&seq).map(Vec::as_slice)
+    }
+
+    /// Removes a sequence's mapping (on completion or eviction).
+    pub fn remove(&mut self, seq: u64) -> Option<Vec<CoreId>> {
+        self.entries.remove(&seq)
+    }
+
+    /// Number of mapped sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no sequences are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Second level: the 256 × 256 bitmap held in a core's controller. Entry
+/// `(m, n) = 1` means sequence slot `m` occupies logical block `n` of this
+/// core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreBitmap {
+    seq_slots: usize,
+    blocks: usize,
+    bits: Vec<bool>,
+    /// Sequence id occupying each slot (the paper indexes slots; we keep the
+    /// reverse map so tests can assert against real sequence ids).
+    slot_owner: Vec<Option<u64>>,
+}
+
+impl CoreBitmap {
+    /// Creates the paper-sized 256 × 256 bitmap.
+    pub fn paper() -> CoreBitmap {
+        CoreBitmap::new(256, 256)
+    }
+
+    /// Creates a bitmap with `seq_slots` sequence rows and `blocks` block
+    /// columns.
+    pub fn new(seq_slots: usize, blocks: usize) -> CoreBitmap {
+        CoreBitmap {
+            seq_slots,
+            blocks,
+            bits: vec![false; seq_slots * blocks],
+            slot_owner: vec![None; seq_slots],
+        }
+    }
+
+    fn index(&self, slot: usize, block: usize) -> usize {
+        assert!(slot < self.seq_slots && block < self.blocks, "bitmap index out of range");
+        slot * self.blocks + block
+    }
+
+    /// Finds (or assigns) the slot for a sequence. Returns `None` when all
+    /// slots are taken by other sequences.
+    pub fn slot_for(&mut self, seq: u64) -> Option<usize> {
+        if let Some(slot) = self.slot_owner.iter().position(|o| *o == Some(seq)) {
+            return Some(slot);
+        }
+        let free = self.slot_owner.iter().position(Option::is_none)?;
+        self.slot_owner[free] = Some(seq);
+        Some(free)
+    }
+
+    /// Marks block `block` as occupied by the sequence in `slot`.
+    pub fn set(&mut self, slot: usize, block: usize) {
+        let i = self.index(slot, block);
+        self.bits[i] = true;
+    }
+
+    /// Whether block `block` is occupied by the sequence in `slot`.
+    pub fn get(&self, slot: usize, block: usize) -> bool {
+        self.bits[self.index(slot, block)]
+    }
+
+    /// Blocks occupied by the sequence in `slot`.
+    pub fn blocks_of(&self, slot: usize) -> Vec<usize> {
+        (0..self.blocks).filter(|&b| self.get(slot, b)).collect()
+    }
+
+    /// Clears a sequence's slot and all its block bits; returns the number of
+    /// blocks released.
+    pub fn clear_sequence(&mut self, seq: u64) -> usize {
+        let Some(slot) = self.slot_owner.iter().position(|o| *o == Some(seq)) else {
+            return 0;
+        };
+        let mut released = 0;
+        for b in 0..self.blocks {
+            let i = self.index(slot, b);
+            if self.bits[i] {
+                self.bits[i] = false;
+                released += 1;
+            }
+        }
+        self.slot_owner[slot] = None;
+        released
+    }
+
+    /// Number of occupied (sequence, block) pairs.
+    pub fn occupied(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_table_roundtrip() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.insert(5, vec![CoreId(10), CoreId(11), CoreId(12)]);
+        assert_eq!(pt.lookup(5, 1), Some(CoreId(11)));
+        assert_eq!(pt.lookup(5, 3), None);
+        assert_eq!(pt.lookup(6, 0), None);
+        assert_eq!(pt.cores_of(5).unwrap().len(), 3);
+        assert_eq!(pt.len(), 1);
+        assert_eq!(pt.remove(5), Some(vec![CoreId(10), CoreId(11), CoreId(12)]));
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn bitmap_paper_dimensions() {
+        let bm = CoreBitmap::paper();
+        assert_eq!(bm.seq_slots, 256);
+        assert_eq!(bm.blocks, 256);
+        assert_eq!(bm.occupied(), 0);
+    }
+
+    #[test]
+    fn bitmap_slot_assignment_is_stable() {
+        let mut bm = CoreBitmap::new(4, 8);
+        let a = bm.slot_for(100).unwrap();
+        let b = bm.slot_for(200).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(bm.slot_for(100), Some(a));
+    }
+
+    #[test]
+    fn bitmap_set_get_clear() {
+        let mut bm = CoreBitmap::new(4, 8);
+        let slot = bm.slot_for(9).unwrap();
+        bm.set(slot, 2);
+        bm.set(slot, 5);
+        assert!(bm.get(slot, 2));
+        assert!(!bm.get(slot, 3));
+        assert_eq!(bm.blocks_of(slot), vec![2, 5]);
+        assert_eq!(bm.occupied(), 2);
+        assert_eq!(bm.clear_sequence(9), 2);
+        assert_eq!(bm.occupied(), 0);
+        assert_eq!(bm.clear_sequence(9), 0);
+    }
+
+    #[test]
+    fn bitmap_runs_out_of_slots() {
+        let mut bm = CoreBitmap::new(2, 4);
+        assert!(bm.slot_for(1).is_some());
+        assert!(bm.slot_for(2).is_some());
+        assert!(bm.slot_for(3).is_none());
+        bm.clear_sequence(1);
+        assert!(bm.slot_for(3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_bounds_checked() {
+        let bm = CoreBitmap::new(2, 4);
+        bm.get(2, 0);
+    }
+}

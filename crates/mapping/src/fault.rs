@@ -1,0 +1,206 @@
+//! Fault-tolerant remapping via replacement chains (§4.3.3, Fig. 9).
+//!
+//! When a core holding LLM weights fails at run time, Ouroboros does not
+//! re-run the MIQP. Instead it configures the cores spanning from the faulty
+//! core to the nearest core holding KV cache into a *replacement chain*: the
+//! KV core's cache is evicted (those sequences will be recomputed), and every
+//! core in the chain hands its weights to the next core, so the faulty core's
+//! tile ends up on its neighbour and the last weight core spills into the
+//! freed KV core. The whole operation is local and sub-millisecond.
+
+use crate::problem::Assignment;
+use ouro_hw::{CoreId, WaferGeometry};
+
+/// Result of a replacement-chain remap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapOutcome {
+    /// The chain of cores, starting at the failed core and ending at the KV
+    /// core that absorbs the displaced weights.
+    pub chain: Vec<CoreId>,
+    /// The KV core whose cache was evicted to make room.
+    pub evicted_kv_core: Option<CoreId>,
+    /// The updated assignment (same tile order as the input).
+    pub new_assignment: Assignment,
+    /// Number of tiles whose core changed.
+    pub moved_tiles: usize,
+}
+
+/// Errors from replacement-chain remapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemapError {
+    /// There are no KV cores to absorb the displaced weights.
+    NoKvCores,
+}
+
+impl std::fmt::Display for RemapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemapError::NoKvCores => write!(f, "no kv cores available to absorb displaced weights"),
+        }
+    }
+}
+
+impl std::error::Error for RemapError {}
+
+/// Remaps `assignment` around a run-time failure of `failed`.
+///
+/// If the failed core holds no weights (it was a KV or idle core) the
+/// assignment is returned unchanged — only KV recomputation is needed, which
+/// is the caller's concern.
+///
+/// # Errors
+///
+/// Returns [`RemapError::NoKvCores`] when `kv_cores` is empty but the failed
+/// core holds weights.
+pub fn remap_with_chain(
+    geometry: &WaferGeometry,
+    assignment: &Assignment,
+    kv_cores: &[CoreId],
+    failed: CoreId,
+) -> Result<RemapOutcome, RemapError> {
+    let holds_weights = assignment.core.contains(&failed);
+    if !holds_weights {
+        return Ok(RemapOutcome {
+            chain: vec![failed],
+            evicted_kv_core: kv_cores.contains(&failed).then_some(failed),
+            new_assignment: assignment.clone(),
+            moved_tiles: 0,
+        });
+    }
+    // Nearest KV core by Manhattan distance (excluding the failed core).
+    let target = kv_cores
+        .iter()
+        .copied()
+        .filter(|c| *c != failed)
+        .min_by_key(|c| geometry.manhattan(failed, *c))
+        .ok_or(RemapError::NoKvCores)?;
+
+    // The chain walks from the failed core to the target along an XY path,
+    // restricted to cores that currently hold weights (plus the target): each
+    // weight core hands its tile to the next link.
+    let weight_cores: std::collections::HashSet<CoreId> = assignment.core.iter().copied().collect();
+    let mut chain = vec![failed];
+    let mut cur = geometry.coord(failed);
+    let goal = geometry.coord(target);
+    while cur != goal {
+        cur = if cur.row != goal.row {
+            ouro_hw::CoreCoord {
+                row: if cur.row < goal.row { cur.row + 1 } else { cur.row - 1 },
+                col: cur.col,
+            }
+        } else {
+            ouro_hw::CoreCoord {
+                row: cur.row,
+                col: if cur.col < goal.col { cur.col + 1 } else { cur.col - 1 },
+            }
+        };
+        let id = geometry.id(cur);
+        if weight_cores.contains(&id) || id == target {
+            chain.push(id);
+        }
+    }
+    if *chain.last().expect("chain contains the failed core") != target {
+        chain.push(target);
+    }
+
+    // Shift tiles along the chain: the tile on chain[k] moves to chain[k+1].
+    let mut new_assignment = assignment.clone();
+    let mut moved = 0;
+    for k in (0..chain.len() - 1).rev() {
+        let from = chain[k];
+        let to = chain[k + 1];
+        for core in new_assignment.core.iter_mut() {
+            if *core == from {
+                *core = to;
+                moved += 1;
+            }
+        }
+    }
+    Ok(RemapOutcome {
+        chain,
+        evicted_kv_core: Some(target),
+        new_assignment,
+        moved_tiles: moved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_hw::WaferGeometry;
+
+    fn setup() -> (WaferGeometry, Assignment, Vec<CoreId>) {
+        let g = WaferGeometry::tiny(1, 1, 4, 4);
+        // Weights on cores 0..8, KV cores at 12..16.
+        let assignment = Assignment { core: (0..8).map(CoreId).collect() };
+        let kv: Vec<CoreId> = (12..16).map(CoreId).collect();
+        (g, assignment, kv)
+    }
+
+    #[test]
+    fn failure_of_a_non_weight_core_is_a_noop() {
+        let (g, a, kv) = setup();
+        let out = remap_with_chain(&g, &a, &kv, CoreId(10)).unwrap();
+        assert_eq!(out.new_assignment, a);
+        assert_eq!(out.moved_tiles, 0);
+        assert_eq!(out.evicted_kv_core, None);
+    }
+
+    #[test]
+    fn failure_of_a_kv_core_evicts_only_that_cache() {
+        let (g, a, kv) = setup();
+        let out = remap_with_chain(&g, &a, &kv, CoreId(13)).unwrap();
+        assert_eq!(out.new_assignment, a);
+        assert_eq!(out.evicted_kv_core, Some(CoreId(13)));
+    }
+
+    #[test]
+    fn weight_core_failure_shifts_tiles_to_a_kv_core() {
+        let (g, a, kv) = setup();
+        let failed = CoreId(5);
+        let out = remap_with_chain(&g, &a, &kv, failed).unwrap();
+        // The failed core no longer appears in the assignment.
+        assert!(!out.new_assignment.core.contains(&failed));
+        // Exactly one KV core was sacrificed and now holds weights.
+        let evicted = out.evicted_kv_core.unwrap();
+        assert!(kv.contains(&evicted));
+        assert!(out.new_assignment.core.contains(&evicted));
+        assert!(out.moved_tiles >= 1);
+        // The chain starts at the failure and ends at the evicted KV core.
+        assert_eq!(*out.chain.first().unwrap(), failed);
+        assert_eq!(*out.chain.last().unwrap(), evicted);
+        // No duplicates were introduced.
+        let unique: std::collections::HashSet<_> = out.new_assignment.core.iter().collect();
+        assert_eq!(unique.len(), out.new_assignment.core.len());
+    }
+
+    #[test]
+    fn nearest_kv_core_is_chosen() {
+        let (g, a, kv) = setup();
+        let out = remap_with_chain(&g, &a, &kv, CoreId(7)).unwrap();
+        // Core 7 is at (1,3); the nearest KV core among 12..16 is 15 at (3,3).
+        assert_eq!(out.evicted_kv_core, Some(CoreId(15)));
+    }
+
+    #[test]
+    fn no_kv_cores_is_an_error() {
+        let (g, a, _) = setup();
+        assert_eq!(remap_with_chain(&g, &a, &[], CoreId(0)).unwrap_err(), RemapError::NoKvCores);
+    }
+
+    #[test]
+    fn repeated_failures_keep_the_assignment_consistent() {
+        let (g, mut a, kv) = setup();
+        let mut kv = kv;
+        for failed in [CoreId(0), CoreId(3), CoreId(6)] {
+            let out = remap_with_chain(&g, &a, &kv, failed).unwrap();
+            a = out.new_assignment;
+            if let Some(e) = out.evicted_kv_core {
+                kv.retain(|c| *c != e);
+            }
+            assert!(!a.core.contains(&failed));
+            let unique: std::collections::HashSet<_> = a.core.iter().collect();
+            assert_eq!(unique.len(), a.core.len());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Intra-core mapping: placing a tile's weight slices on the 32 crossbars so
+//! that H-tree nodes near the leaves perform reductions and concatenations
+//! happen near the root (§4.3.2, Eq. 4).
+//!
+//! The crossbars behind the H-tree form a perfect binary tree. A weight tile
+//! is split into *groups*: slices within a group produce partial sums over
+//! the same output channels (merging them is a **reduction**, volume stays
+//! constant), while slices from different groups produce different output
+//! channels (merging them is a **concatenation**, volume doubles).
+//! The objective `min Σ depth(node) × weight(node)` with weight 1 for
+//! concatenation nodes charges concatenations by how deep (close to the
+//! leaves) they happen.
+//!
+//! With power-of-two-aligned buddy allocation of groups to subtrees, every
+//! concatenation is pushed as close to the root as the group sizes allow —
+//! which is the optimum of the DP. [`htree_plan`] performs that allocation
+//! and also reports the cost of the naive interleaved placement for
+//! comparison.
+
+/// The result of intra-core placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtreePlan {
+    /// `group[leaf]` is the group the leaf's slice belongs to, or `None` for
+    /// an unused crossbar.
+    pub leaf_groups: Vec<Option<usize>>,
+    /// Eq. 4 cost of this placement.
+    pub cost: u64,
+    /// Eq. 4 cost of the naive round-robin (interleaved) placement of the
+    /// same groups.
+    pub naive_cost: u64,
+    /// Depth of the tree (log2 of the leaf count).
+    pub depth: usize,
+}
+
+impl HtreePlan {
+    /// Ratio of optimised to naive cost (≤ 1).
+    pub fn improvement(&self) -> f64 {
+        if self.naive_cost == 0 {
+            1.0
+        } else {
+            self.cost as f64 / self.naive_cost as f64
+        }
+    }
+}
+
+/// Computes the Eq. 4 cost of a leaf→group assignment.
+///
+/// A node is a concatenation node when its two children's subtrees contain
+/// slices from more than one distinct group in total; depth is counted from
+/// the root (root = depth 1), so deep concatenations cost more.
+pub fn plan_cost(leaf_groups: &[Option<usize>]) -> u64 {
+    let leaves = leaf_groups.len();
+    assert!(leaves.is_power_of_two() && leaves >= 2, "leaf count must be a power of two ≥ 2");
+    let depth_levels = leaves.trailing_zeros() as usize;
+    let mut cost = 0u64;
+    // Level k (1-based from the root) has 2^k subtrees of size leaves / 2^k.
+    // A node at level k merges two subtrees of size leaves / 2^(k) each...
+    // Walk internal nodes by their subtree span.
+    let mut span = leaves;
+    let mut depth = 1usize;
+    while span >= 2 {
+        for start in (0..leaves).step_by(span) {
+            let left: std::collections::HashSet<usize> =
+                leaf_groups[start..start + span / 2].iter().flatten().copied().collect();
+            let right: std::collections::HashSet<usize> =
+                leaf_groups[start + span / 2..start + span].iter().flatten().copied().collect();
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let concat = left.union(&right).count() > 1;
+            if concat {
+                cost += depth as u64;
+            }
+        }
+        span /= 2;
+        depth += 1;
+    }
+    let _ = depth_levels;
+    cost
+}
+
+/// Plans the placement of `group_sizes` (number of slices per reduction
+/// group) onto `leaves` crossbar leaves.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two, or if the groups do not fit.
+pub fn htree_plan(group_sizes: &[usize], leaves: usize) -> HtreePlan {
+    assert!(leaves.is_power_of_two() && leaves >= 2, "leaf count must be a power of two ≥ 2");
+    let total: usize = group_sizes.iter().sum();
+    assert!(total <= leaves, "{total} slices do not fit {leaves} crossbars");
+
+    // Optimised: buddy-allocate each group into an aligned subtree of the
+    // next power-of-two size, largest groups first.
+    let mut optimised: Vec<Option<usize>> = vec![None; leaves];
+    let mut order: Vec<(usize, usize)> = group_sizes.iter().copied().enumerate().collect();
+    order.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
+    for (group, size) in order.iter().copied().filter(|&(_, s)| s > 0) {
+        let aligned = size.next_power_of_two();
+        let mut placed = false;
+        // Find the first aligned window whose slots are all free.
+        for start in (0..leaves).step_by(aligned) {
+            if start + size <= leaves && optimised[start..start + aligned.min(leaves - start)].iter().all(Option::is_none) {
+                for slot in &mut optimised[start..start + size] {
+                    *slot = Some(group);
+                }
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Fall back to first-fit over free slots.
+            let mut remaining = size;
+            for slot in optimised.iter_mut() {
+                if remaining == 0 {
+                    break;
+                }
+                if slot.is_none() {
+                    *slot = Some(group);
+                    remaining -= 1;
+                }
+            }
+            assert_eq!(remaining, 0, "buddy fallback failed to place group {group}");
+        }
+    }
+
+    // Naive: round-robin interleaving of groups across the leaves.
+    let mut naive: Vec<Option<usize>> = vec![None; leaves];
+    let mut cursors: Vec<usize> = group_sizes.to_vec();
+    let mut leaf = 0;
+    loop {
+        let mut progressed = false;
+        for (group, remaining) in cursors.iter_mut().enumerate() {
+            if *remaining > 0 {
+                naive[leaf] = Some(group);
+                leaf += 1;
+                *remaining -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    HtreePlan {
+        cost: plan_cost(&optimised),
+        naive_cost: plan_cost(&naive),
+        leaf_groups: optimised,
+        depth: leaves.trailing_zeros() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_group_never_concatenates() {
+        let plan = htree_plan(&[32], 32);
+        assert_eq!(plan.cost, 0);
+        assert_eq!(plan.improvement(), if plan.naive_cost == 0 { 1.0 } else { 0.0 });
+    }
+
+    #[test]
+    fn two_equal_groups_concatenate_once_at_the_root() {
+        let plan = htree_plan(&[16, 16], 32);
+        // Only the root node merges different groups: depth 1, cost 1.
+        assert_eq!(plan.cost, 1);
+        assert!(plan.naive_cost > plan.cost, "naive interleaving should be worse");
+    }
+
+    #[test]
+    fn interleaved_placement_is_much_worse() {
+        let plan = htree_plan(&[8, 8, 8, 8], 32);
+        assert!(plan.cost < plan.naive_cost);
+        assert!(plan.improvement() < 0.5, "got {}", plan.improvement());
+    }
+
+    #[test]
+    fn odd_group_sizes_still_fit() {
+        let plan = htree_plan(&[5, 3, 7], 32);
+        let placed = plan.leaf_groups.iter().flatten().count();
+        assert_eq!(placed, 15);
+        assert!(plan.cost <= plan.naive_cost);
+    }
+
+    #[test]
+    fn empty_groups_are_ignored() {
+        let plan = htree_plan(&[0, 16, 0], 32);
+        assert_eq!(plan.cost, 0);
+    }
+
+    #[test]
+    fn cost_function_counts_depth_correctly() {
+        // 4 leaves: [A, A, B, B] → only the root concatenates (depth 1).
+        assert_eq!(plan_cost(&[Some(0), Some(0), Some(1), Some(1)]), 1);
+        // [A, B, A, B] → both depth-2 nodes concatenate plus the root.
+        assert_eq!(plan_cost(&[Some(0), Some(1), Some(0), Some(1)]), 2 + 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn overfull_plan_rejected() {
+        htree_plan(&[20, 20], 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_leaves_rejected() {
+        htree_plan(&[4], 12);
+    }
+
+    proptest! {
+        #[test]
+        fn optimised_never_worse_than_naive(
+            sizes in proptest::collection::vec(0usize..9, 1..6)
+        ) {
+            let total: usize = sizes.iter().sum();
+            prop_assume!(total <= 32 && total > 0);
+            let plan = htree_plan(&sizes, 32);
+            prop_assert!(plan.cost <= plan.naive_cost);
+            let placed = plan.leaf_groups.iter().flatten().count();
+            prop_assert_eq!(placed, total);
+        }
+    }
+}

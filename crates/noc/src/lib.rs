@@ -1,0 +1,29 @@
+//! Network-on-wafer model.
+//!
+//! Ouroboros connects its 13 923 CIM cores with a per-die 2-D mesh whose
+//! links are 256-bit bidirectional (matching the core buffer width), stitches
+//! neighbouring dies together with field-stitching links that behave like
+//! mesh links with a die-crossing penalty, and scales beyond one wafer with
+//! eight 100 Gb/s optical Ethernet ports (§3, §5).
+//!
+//! The crate provides:
+//!
+//! * [`link`] — link/bandwidth/latency/energy parameters for intra-die,
+//!   inter-die and inter-wafer hops,
+//! * [`routing`] — XY dimension-order routing with fault-aware detours
+//!   around defective cores and links,
+//! * [`cost`] — the transfer cost model (latency and energy of moving a
+//!   payload between two cores) used by the mapper and the end-to-end
+//!   simulator,
+//! * [`htree`] — the 1024-bit H-tree that connects the 32 crossbars inside
+//!   one core, whose bandwidth pressure drives the intra-core DP mapping.
+
+pub mod cost;
+pub mod htree;
+pub mod link;
+pub mod routing;
+
+pub use cost::{CommCost, Transfer};
+pub use htree::HTree;
+pub use link::{LinkConfig, NocConfig};
+pub use routing::{route_xy, route_xy_avoiding, RouteError};

@@ -1,0 +1,144 @@
+//! Link-level parameters of the network-on-wafer.
+
+/// Parameters of one class of link (intra-die mesh, inter-die stitching, or
+/// inter-wafer optical).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Usable bandwidth in bytes per second (per direction).
+    pub bandwidth_bytes_per_s: f64,
+    /// Latency contributed by traversing one such link (router + wire), in
+    /// seconds.
+    pub hop_latency_s: f64,
+    /// Energy of moving one byte across the link, in joules.
+    pub energy_j_per_byte: f64,
+}
+
+impl LinkConfig {
+    /// Time to push `bytes` through the link once the head has arrived
+    /// (serialisation latency).
+    pub fn serialization_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Energy of moving `bytes` across the link.
+    pub fn energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_j_per_byte
+    }
+}
+
+/// Full network-on-wafer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Core-to-core mesh link inside a die: 256-bit bidirectional at the
+    /// 1 GHz control clock (≈32 GB/s per direction).
+    pub intra_die: LinkConfig,
+    /// Die-to-die stitched link. Same width, but stitching adds latency and
+    /// energy; the ratio of intra- to inter-die bandwidth is the
+    /// `Cost_inter` penalty of the MIQP objective.
+    pub inter_die: LinkConfig,
+    /// Wafer-to-wafer optical Ethernet (8 × 100 Gb/s ports aggregated).
+    pub inter_wafer: LinkConfig,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        let intra_bw = 256.0 / 8.0 * 1.0e9; // 256 bit/cycle at 1 GHz => 32 GB/s
+        NocConfig {
+            intra_die: LinkConfig {
+                bandwidth_bytes_per_s: intra_bw,
+                hop_latency_s: 2.0e-9, // two router cycles at 1 GHz
+                energy_j_per_byte: 0.8e-12,
+            },
+            inter_die: LinkConfig {
+                bandwidth_bytes_per_s: intra_bw / 4.0,
+                hop_latency_s: 8.0e-9,
+                energy_j_per_byte: 2.4e-12,
+            },
+            inter_wafer: LinkConfig {
+                // One of the eight 100 Gb/s optical Ethernet ports carries a
+                // given point-to-point stream (12.5 GB/s).
+                bandwidth_bytes_per_s: 100.0e9 / 8.0,
+                hop_latency_s: 200.0e-9,
+                energy_j_per_byte: 80.0e-12,
+            },
+        }
+    }
+}
+
+impl NocConfig {
+    /// The paper's network configuration.
+    pub fn paper() -> NocConfig {
+        NocConfig::default()
+    }
+
+    /// A configuration modelling a chiplet system interconnected with
+    /// NVLink-class links instead of wafer stitching (the "Baseline" bar of
+    /// the Fig. 15 ablation): die-to-die hops are much more expensive in
+    /// both latency and energy.
+    pub fn chiplet_nvlink() -> NocConfig {
+        let paper = NocConfig::paper();
+        NocConfig {
+            inter_die: LinkConfig {
+                bandwidth_bytes_per_s: paper.intra_die.bandwidth_bytes_per_s / 8.0,
+                hop_latency_s: 500.0e-9,
+                energy_j_per_byte: 10.0e-12,
+            },
+            ..paper
+        }
+    }
+
+    /// The MIQP cross-die penalty `Cost_inter`: intra-die bandwidth divided
+    /// by inter-die bandwidth (§4.3.1).
+    pub fn cost_inter(&self) -> f64 {
+        self.intra_die.bandwidth_bytes_per_s / self.inter_die.bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_die_link_is_32_gb_per_s() {
+        let n = NocConfig::paper();
+        assert!((n.intra_die.bandwidth_bytes_per_s - 32.0e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cost_inter_is_the_bandwidth_ratio() {
+        let n = NocConfig::paper();
+        assert!((n.cost_inter() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_scales_with_bytes() {
+        let l = NocConfig::paper().intra_die;
+        assert!((l.serialization_s(64_000) - 2.0 * l.serialization_s(32_000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inter_wafer_is_much_slower_than_mesh() {
+        let n = NocConfig::paper();
+        assert!(n.inter_wafer.hop_latency_s > n.intra_die.hop_latency_s);
+        assert!(n.inter_wafer.bandwidth_bytes_per_s < n.intra_die.bandwidth_bytes_per_s);
+        assert!(n.inter_wafer.energy_j_per_byte > n.intra_die.energy_j_per_byte);
+    }
+
+    #[test]
+    fn nvlink_chiplet_baseline_is_worse_across_dies() {
+        let wafer = NocConfig::paper();
+        let chiplet = NocConfig::chiplet_nvlink();
+        assert!(chiplet.inter_die.hop_latency_s > wafer.inter_die.hop_latency_s);
+        assert!(chiplet.inter_die.energy_j_per_byte > wafer.inter_die.energy_j_per_byte);
+        assert!(chiplet.cost_inter() > wafer.cost_inter());
+        // Intra-die links are unchanged.
+        assert_eq!(chiplet.intra_die, wafer.intra_die);
+    }
+
+    #[test]
+    fn link_energy_is_linear() {
+        let l = NocConfig::paper().inter_die;
+        assert_eq!(l.energy_j(0), 0.0);
+        assert!((l.energy_j(1000) - 1000.0 * l.energy_j_per_byte).abs() < 1e-18);
+    }
+}

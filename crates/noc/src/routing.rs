@@ -1,0 +1,243 @@
+//! Routing on the wafer-global core mesh.
+//!
+//! The default route is XY dimension-order routing (row first, then column),
+//! which is deadlock-free on a mesh. For interconnect or core failures the
+//! fault-aware variant detours around unusable cores while preserving
+//! dimension-ordered segments, mirroring the paper's "routing tables are
+//! reconfigured in real time to circumvent faulty links" recovery path
+//! (§4.3.3).
+
+use ouro_hw::{CoreCoord, CoreId, DefectMap, WaferGeometry};
+
+/// Error returned when no route can be found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The destination core itself is defective / unusable.
+    DestinationUnusable(CoreId),
+    /// The source core itself is defective / unusable.
+    SourceUnusable(CoreId),
+    /// No detour was found within the search limit.
+    NoPath { from: CoreId, to: CoreId },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::DestinationUnusable(c) => write!(f, "destination {c} is unusable"),
+            RouteError::SourceUnusable(c) => write!(f, "source {c} is unusable"),
+            RouteError::NoPath { from, to } => write!(f, "no usable path from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Returns the XY (row-then-column) route from `from` to `to` as the list of
+/// cores traversed, including both endpoints.
+pub fn route_xy(geometry: &WaferGeometry, from: CoreId, to: CoreId) -> Vec<CoreId> {
+    let a = geometry.coord(from);
+    let b = geometry.coord(to);
+    let mut path = vec![from];
+    let mut cur = a;
+    while cur.row != b.row {
+        cur = CoreCoord {
+            row: if cur.row < b.row { cur.row + 1 } else { cur.row - 1 },
+            col: cur.col,
+        };
+        path.push(geometry.id(cur));
+    }
+    while cur.col != b.col {
+        cur = CoreCoord {
+            row: cur.row,
+            col: if cur.col < b.col { cur.col + 1 } else { cur.col - 1 },
+        };
+        path.push(geometry.id(cur));
+    }
+    path
+}
+
+/// Returns a route from `from` to `to` that avoids defective cores, using a
+/// breadth-first search over functional cores (the endpoints must be
+/// functional). Falls back to plain XY when the XY route is already clean.
+///
+/// # Errors
+///
+/// Returns an error if either endpoint is defective or if the defective
+/// region disconnects the pair.
+pub fn route_xy_avoiding(
+    geometry: &WaferGeometry,
+    defects: &DefectMap,
+    from: CoreId,
+    to: CoreId,
+) -> Result<Vec<CoreId>, RouteError> {
+    if defects.is_defective(from) {
+        return Err(RouteError::SourceUnusable(from));
+    }
+    if defects.is_defective(to) {
+        return Err(RouteError::DestinationUnusable(to));
+    }
+    let xy = route_xy(geometry, from, to);
+    if xy.iter().all(|c| !defects.is_defective(*c)) {
+        return Ok(xy);
+    }
+    // BFS over functional cores.
+    let total = geometry.total_cores();
+    let mut prev: Vec<Option<CoreId>> = vec![None; total];
+    let mut visited = vec![false; total];
+    let mut queue = std::collections::VecDeque::new();
+    visited[from.0] = true;
+    queue.push_back(from);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut path = vec![to];
+            let mut node = to;
+            while let Some(p) = prev[node.0] {
+                path.push(p);
+                node = p;
+            }
+            path.reverse();
+            return Ok(path);
+        }
+        let c = geometry.coord(cur);
+        let mut neighbours = Vec::with_capacity(4);
+        if c.row > 0 {
+            neighbours.push(CoreCoord { row: c.row - 1, col: c.col });
+        }
+        if c.row + 1 < geometry.global_rows() {
+            neighbours.push(CoreCoord { row: c.row + 1, col: c.col });
+        }
+        if c.col > 0 {
+            neighbours.push(CoreCoord { row: c.row, col: c.col - 1 });
+        }
+        if c.col + 1 < geometry.global_cols() {
+            neighbours.push(CoreCoord { row: c.row, col: c.col + 1 });
+        }
+        for n in neighbours {
+            let id = geometry.id(n);
+            if !visited[id.0] && !defects.is_defective(id) {
+                visited[id.0] = true;
+                prev[id.0] = Some(cur);
+                queue.push_back(id);
+            }
+        }
+    }
+    Err(RouteError::NoPath { from, to })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_hw::WaferGeometry;
+    use proptest::prelude::*;
+
+    fn tiny() -> WaferGeometry {
+        WaferGeometry::tiny(1, 1, 8, 8)
+    }
+
+    #[test]
+    fn xy_route_length_is_manhattan_plus_one() {
+        let g = tiny();
+        let from = g.id(ouro_hw::CoreCoord { row: 0, col: 0 });
+        let to = g.id(ouro_hw::CoreCoord { row: 3, col: 5 });
+        let path = route_xy(&g, from, to);
+        assert_eq!(path.len(), g.manhattan(from, to) + 1);
+        assert_eq!(*path.first().unwrap(), from);
+        assert_eq!(*path.last().unwrap(), to);
+    }
+
+    #[test]
+    fn xy_route_to_self_is_single_node() {
+        let g = tiny();
+        let c = CoreId(12);
+        assert_eq!(route_xy(&g, c, c), vec![c]);
+    }
+
+    #[test]
+    fn xy_route_steps_are_adjacent() {
+        let g = tiny();
+        let path = route_xy(&g, CoreId(0), CoreId(63));
+        for w in path.windows(2) {
+            assert_eq!(g.manhattan(w[0], w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn fault_free_routing_equals_xy() {
+        let g = tiny();
+        let defects = DefectMap::pristine(&g);
+        let from = CoreId(0);
+        let to = CoreId(27);
+        assert_eq!(route_xy_avoiding(&g, &defects, from, to).unwrap(), route_xy(&g, from, to));
+    }
+
+    #[test]
+    fn routing_detours_around_a_defective_core() {
+        let g = tiny();
+        let from = g.id(ouro_hw::CoreCoord { row: 0, col: 0 });
+        let to = g.id(ouro_hw::CoreCoord { row: 0, col: 7 });
+        // Block a core on the straight-line path.
+        let blocked = g.id(ouro_hw::CoreCoord { row: 0, col: 3 });
+        let defects = DefectMap::from_defective(&g, &[blocked]);
+        let path = route_xy_avoiding(&g, &defects, from, to).unwrap();
+        assert!(!path.contains(&blocked));
+        assert_eq!(*path.first().unwrap(), from);
+        assert_eq!(*path.last().unwrap(), to);
+        // The detour costs exactly two extra hops on an open mesh.
+        assert_eq!(path.len(), route_xy(&g, from, to).len() + 2);
+    }
+
+    #[test]
+    fn routing_to_a_defective_endpoint_fails() {
+        let g = tiny();
+        let bad = CoreId(9);
+        let defects = DefectMap::from_defective(&g, &[bad]);
+        assert_eq!(
+            route_xy_avoiding(&g, &defects, CoreId(0), bad),
+            Err(RouteError::DestinationUnusable(bad))
+        );
+        assert_eq!(
+            route_xy_avoiding(&g, &defects, bad, CoreId(0)),
+            Err(RouteError::SourceUnusable(bad))
+        );
+    }
+
+    #[test]
+    fn fully_walled_off_destination_is_unreachable() {
+        let g = tiny();
+        let target = g.id(ouro_hw::CoreCoord { row: 0, col: 0 });
+        // Wall off the corner core.
+        let wall = [
+            g.id(ouro_hw::CoreCoord { row: 0, col: 1 }),
+            g.id(ouro_hw::CoreCoord { row: 1, col: 0 }),
+            g.id(ouro_hw::CoreCoord { row: 1, col: 1 }),
+        ];
+        let defects = DefectMap::from_defective(&g, &wall);
+        let err = route_xy_avoiding(&g, &defects, CoreId(63), target).unwrap_err();
+        assert!(matches!(err, RouteError::NoPath { .. }));
+        assert!(err.to_string().contains("no usable path"));
+    }
+
+    proptest! {
+        #[test]
+        fn detoured_routes_are_valid(a in 0usize..64, b in 0usize..64, seed in 0u64..50) {
+            let g = tiny();
+            let model = ouro_hw::YieldModel { d0_per_cm2: 20.0 }; // lots of defects
+            let mut defects = DefectMap::generate(&g, &model, seed);
+            // Endpoints must be functional for the property to apply.
+            let (a, b) = (CoreId(a), CoreId(b));
+            if defects.is_defective(a) || defects.is_defective(b) {
+                defects = DefectMap::pristine(&g);
+            }
+            if let Ok(path) = route_xy_avoiding(&g, &defects, a, b) {
+                prop_assert_eq!(*path.first().unwrap(), a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                for w in path.windows(2) {
+                    prop_assert_eq!(g.manhattan(w[0], w[1]), 1);
+                }
+                for c in &path {
+                    prop_assert!(!defects.is_defective(*c));
+                }
+            }
+        }
+    }
+}

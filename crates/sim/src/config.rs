@@ -1,0 +1,159 @@
+//! Configuration of a simulated Ouroboros deployment.
+
+use ouro_hw::{CoreConfig, WaferGeometry, YieldModel};
+
+/// Errors raised when assembling a system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The model's weights (plus minimum KV reservation) exceed the SRAM of
+    /// the configured number of wafers.
+    ModelDoesNotFit {
+        /// Bytes required by the model's weights.
+        required_bytes: u64,
+        /// Bytes of crossbar SRAM available across all wafers.
+        available_bytes: u64,
+    },
+    /// After placing weights there are no cores left for the KV cache.
+    NoKvCores,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ModelDoesNotFit { required_bytes, available_bytes } => write!(
+                f,
+                "model needs {required_bytes} bytes of weight storage but the wafer(s) provide {available_bytes}"
+            ),
+            BuildError::NoKvCores => write!(f, "no cores left for the kv cache after weight mapping"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Configuration of an Ouroboros deployment (including every ablation switch
+/// of Fig. 15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OuroborosConfig {
+    /// Wafer geometry (die grid, cores per die).
+    pub geometry: WaferGeometry,
+    /// Number of wafers ganged together with optical Ethernet (Fig. 19/20).
+    pub wafers: usize,
+    /// CIM core configuration.
+    pub core: CoreConfig,
+    /// Wafer-scale integration: `true` uses stitched inter-die links,
+    /// `false` models a chiplet mesh interconnected with NVLink-class links
+    /// (the ablation baseline).
+    pub wafer_integration: bool,
+    /// Compute in memory: `true` computes inside the SRAM arrays; `false`
+    /// models a conventional datapath that must read weights out of SRAM for
+    /// every use.
+    pub cim: bool,
+    /// Token-grained pipelining: `true` uses TGP (or TGP-with-block for
+    /// encoder models), `false` falls back to sequence-grained pipelining.
+    pub tgp: bool,
+    /// Communication-aware mapping: `true` uses the annealed MIQP mapping,
+    /// `false` uses the naive contiguous row-major placement.
+    pub optimized_mapping: bool,
+    /// Dynamic distributed KV management: `true` uses the paper's scheme,
+    /// `false` statically reserves the maximum context per sequence.
+    pub dynamic_kv: bool,
+    /// Anti-thrashing admission threshold (§4.4.4, Fig. 17).
+    pub kv_threshold: f64,
+    /// Yield model used to draw the defect map; `None` models a pristine
+    /// wafer.
+    pub yield_model: Option<YieldModel>,
+    /// Seed for defect-map generation and the annealing mapper.
+    pub seed: u64,
+    /// Simulated-annealing move budget for the mapper.
+    pub mapping_iterations: usize,
+    /// Use LUT-enhanced CIM cores (Fig. 21 "+LUT" variant).
+    pub lut_compute: bool,
+}
+
+impl OuroborosConfig {
+    /// The paper's single-wafer system with every optimisation enabled.
+    pub fn single_wafer() -> OuroborosConfig {
+        OuroborosConfig {
+            geometry: WaferGeometry::paper(),
+            wafers: 1,
+            core: CoreConfig::paper(),
+            wafer_integration: true,
+            cim: true,
+            tgp: true,
+            optimized_mapping: true,
+            dynamic_kv: true,
+            kv_threshold: 0.1,
+            yield_model: Some(YieldModel::paper()),
+            seed: 7,
+            mapping_iterations: 2_000,
+            lut_compute: false,
+        }
+    }
+
+    /// A multi-wafer system (Fig. 19/20 uses two wafers for LLaMA-65B).
+    pub fn multi_wafer(wafers: usize) -> OuroborosConfig {
+        OuroborosConfig { wafers: wafers.max(1), ..OuroborosConfig::single_wafer() }
+    }
+
+    /// A reduced-size system for fast unit tests: a single small die grid.
+    /// Capacity is far below the real wafer, so pair it with small models.
+    pub fn tiny_for_tests() -> OuroborosConfig {
+        OuroborosConfig {
+            geometry: WaferGeometry::tiny(2, 2, 8, 8),
+            yield_model: None,
+            mapping_iterations: 300,
+            ..OuroborosConfig::single_wafer()
+        }
+    }
+
+    /// Total crossbar SRAM across all wafers in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        let per_core = self.core.crossbars as u64 * self.core.crossbar.capacity_bytes();
+        self.geometry.total_sram_bytes(per_core) * self.wafers as u64
+    }
+
+    /// Total number of cores across all wafers.
+    pub fn total_cores(&self) -> usize {
+        self.geometry.total_cores() * self.wafers
+    }
+
+    /// Display label used in reports ("Ours", "Ours (2 wafers)", ...).
+    pub fn label(&self) -> String {
+        if self.wafers > 1 {
+            format!("Ours ({} wafers)", self.wafers)
+        } else {
+            "Ours".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_54_gb_of_sram() {
+        let c = OuroborosConfig::single_wafer();
+        let gb = c.total_sram_bytes() as f64 / 1e9;
+        assert!(gb > 53.0 && gb < 60.0, "got {gb}");
+        assert_eq!(c.total_cores(), 13_923);
+        assert_eq!(c.label(), "Ours");
+    }
+
+    #[test]
+    fn multi_wafer_doubles_capacity() {
+        let one = OuroborosConfig::single_wafer();
+        let two = OuroborosConfig::multi_wafer(2);
+        assert_eq!(two.total_sram_bytes(), 2 * one.total_sram_bytes());
+        assert_eq!(two.label(), "Ours (2 wafers)");
+        assert_eq!(OuroborosConfig::multi_wafer(0).wafers, 1);
+    }
+
+    #[test]
+    fn build_error_messages_are_informative() {
+        let e = BuildError::ModelDoesNotFit { required_bytes: 100, available_bytes: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(BuildError::NoKvCores.to_string().contains("kv"));
+    }
+}

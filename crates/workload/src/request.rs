@@ -1,0 +1,60 @@
+//! A single inference request.
+
+/// One inference request: a prompt to prefill and a number of tokens to
+/// decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Request identifier (dense, assigned by the trace generator).
+    pub id: usize,
+    /// Prompt (prefill) length in tokens. Always at least 1.
+    pub prompt_len: usize,
+    /// Number of tokens to generate (decode). May be 0 for encoder-style
+    /// scoring workloads.
+    pub decode_len: usize,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` is zero.
+    pub fn new(id: usize, prompt_len: usize, decode_len: usize) -> Request {
+        assert!(prompt_len > 0, "a request needs a non-empty prompt");
+        Request { id, prompt_len, decode_len }
+    }
+
+    /// Total number of tokens the request will ever hold in the KV cache.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_len + self.decode_len
+    }
+
+    /// Number of output tokens (decode tokens) this request produces.
+    pub fn output_tokens(&self) -> usize {
+        self.decode_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = Request::new(0, 128, 2048);
+        assert_eq!(r.total_tokens(), 2176);
+        assert_eq!(r.output_tokens(), 2048);
+    }
+
+    #[test]
+    fn zero_decode_is_allowed() {
+        let r = Request::new(1, 512, 0);
+        assert_eq!(r.total_tokens(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty prompt")]
+    fn empty_prompt_rejected() {
+        Request::new(2, 0, 16);
+    }
+}

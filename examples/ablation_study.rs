@@ -1,0 +1,38 @@
+//! Ablation study: walk the Fig. 15 ladder (Baseline → +Wafer → +CIM → +TGP
+//! → +Mapping → +KV Cache) on a reduced wafer so it runs in seconds.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use ouroboros::model::zoo;
+use ouroboros::sim::{ablation_ladder, OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{LengthConfig, TraceGenerator};
+
+fn main() {
+    let model = zoo::bert_large();
+    let base = OuroborosConfig::tiny_for_tests();
+    let trace = TraceGenerator::new(3).generate(&LengthConfig::wikitext2_like(), 24);
+
+    println!("{:<12} {:>14} {:>10} {:>14} {:>10}", "step", "tokens/s", "speedup", "uJ/token", "norm. E");
+    let mut baseline: Option<(f64, f64)> = None;
+    for (label, cfg) in ablation_ladder(&base) {
+        let system = match OuroborosSystem::new(cfg, &model) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{label:<12} skipped ({e})");
+                continue;
+            }
+        };
+        let r = system.simulate_labeled(&trace, "WikiText-2");
+        let (t0, e0) = *baseline.get_or_insert((r.throughput_tokens_per_s, r.energy_per_token_j()));
+        println!(
+            "{:<12} {:>14.1} {:>9.2}x {:>14.3} {:>10.3}",
+            label,
+            r.throughput_tokens_per_s,
+            r.throughput_tokens_per_s / t0,
+            r.energy_per_token_j() * 1e6,
+            r.energy_per_token_j() / e0
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Fault tolerance: draw a defect map with the Murphy yield model, map a
+//! transformer block around the defects, then inject a run-time core failure
+//! and repair the mapping with a replacement chain (§4.3.3, Fig. 9).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use ouroboros::hw::{CoreId, DefectMap, WaferGeometry, YieldModel};
+use ouroboros::mapping::{remap_with_chain, MappingProblem, Strategy};
+use ouroboros::model::zoo;
+use ouroboros::noc::route_xy_avoiding;
+
+fn main() {
+    let geometry = WaferGeometry::paper();
+    let yield_model = YieldModel::paper();
+    let defects = DefectMap::generate(&geometry, &yield_model, 2026);
+    println!(
+        "wafer: {} cores, {} fabrication defects ({:.3}% of cores)",
+        geometry.total_cores(),
+        defects.defective_count(),
+        100.0 * defects.defective_count() as f64 / geometry.total_cores() as f64
+    );
+
+    let model = zoo::llama_13b();
+    let candidates: Vec<CoreId> = defects.functional_cores().collect();
+    let problem = MappingProblem::for_block(
+        &model,
+        geometry.clone(),
+        defects.clone(),
+        candidates,
+        4 * 1024 * 1024,
+        4.0,
+    );
+    let solution = ouroboros::mapping::solve(&problem, Strategy::Anneal { iterations: 2000 }, 7);
+    println!(
+        "mapped one transformer block onto {} cores (objective {:.3e}, mean hops {:.2})",
+        problem.num_tiles(),
+        solution.objective,
+        solution.summary.mean_hops
+    );
+
+    // Designate some spare cores as KV cores and fail a weight core at run time.
+    let kv_cores: Vec<CoreId> = defects
+        .functional_cores()
+        .filter(|c| !solution.assignment.core.contains(c))
+        .take(64)
+        .collect();
+    let failed = solution.assignment.core[problem.num_tiles() / 2];
+    let outcome = remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed)
+        .expect("kv cores are available to absorb the displaced weights");
+    println!(
+        "run-time failure of {failed}: replacement chain of {} cores, {} tiles moved, evicted KV core {:?}",
+        outcome.chain.len(),
+        outcome.moved_tiles,
+        outcome.evicted_kv_core
+    );
+
+    // Interconnect failures are handled by rerouting around the dead core.
+    let mut with_fault = defects.clone();
+    with_fault.inject_fault(failed);
+    let from = outcome.chain.first().copied().unwrap_or(CoreId(0));
+    let neighbours = geometry.coord(from);
+    let target = geometry.id(ouroboros::hw::CoreCoord {
+        row: (neighbours.row + 5).min(geometry.global_rows() - 1),
+        col: (neighbours.col + 5).min(geometry.global_cols() - 1),
+    });
+    match route_xy_avoiding(&geometry, &with_fault, outcome.chain[outcome.chain.len() - 1], target) {
+        Ok(path) => println!("rerouted around the failure in {} hops", path.len() - 1),
+        Err(e) => println!("rerouting failed: {e}"),
+    }
+}

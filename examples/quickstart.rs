@@ -1,0 +1,47 @@
+//! Quickstart: build the paper's single-wafer Ouroboros system for
+//! LLaMA-13B, run a small request trace through it, and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ouroboros::model::zoo;
+use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{LengthConfig, TraceGenerator};
+
+fn main() {
+    let model = zoo::llama_13b();
+    println!("model: {model}");
+
+    let config = OuroborosConfig::single_wafer();
+    println!(
+        "wafer: {} cores, {:.1} GB of crossbar SRAM",
+        config.total_cores(),
+        config.total_sram_bytes() as f64 / 1e9
+    );
+
+    let system = OuroborosSystem::new(config, &model).expect("LLaMA-13B fits on a single wafer");
+    println!(
+        "mapping: {} weight cores, {} KV cores per block, mean hop distance {:.2}",
+        system.weight_cores(),
+        system.kv_cores_per_block(),
+        system.mapping().summary.mean_hops
+    );
+
+    let trace = TraceGenerator::new(1).generate(&LengthConfig::fixed(128, 2048), 64);
+    let report = system.simulate_labeled(&trace, "LP=128 LD=2048");
+    println!(
+        "throughput: {:.1} output tokens/s over {} requests",
+        report.throughput_tokens_per_s,
+        trace.len()
+    );
+    let e = &report.energy_per_token;
+    println!(
+        "energy/token: {:.3} mJ (compute {:.3}, on-chip {:.3}, off-chip {:.3}, comm {:.3})",
+        report.energy_per_token_j() * 1e3,
+        e.compute_j * 1e3,
+        e.on_chip_j * 1e3,
+        e.off_chip_j * 1e3,
+        e.communication_j * 1e3
+    );
+}

@@ -1,0 +1,44 @@
+//! Serving comparison: evaluate Ouroboros against the DGX A100, TPUv4,
+//! AttAcc and Cerebras WSE-2 baselines on the same workload — a miniature
+//! version of Fig. 13/14.
+//!
+//! ```text
+//! cargo run --release --example serving_comparison
+//! ```
+
+use ouroboros::baselines;
+use ouroboros::model::zoo;
+use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{LengthConfig, TraceGenerator};
+
+fn main() {
+    let model = zoo::llama_13b();
+    let trace = TraceGenerator::new(42).generate(&LengthConfig::wikitext2_like(), 100);
+    println!("workload: {} WikiText-2-like requests, {} total tokens", trace.len(), trace.total_tokens());
+
+    let mut reports = vec![
+        baselines::dgx_a100(8).evaluate(&model, &trace, "WikiText-2"),
+        baselines::tpu_v4().evaluate(&model, &trace, "WikiText-2"),
+        baselines::attacc().evaluate(&model, &trace, "WikiText-2"),
+        baselines::cerebras_wse2().evaluate(&model, &trace, "WikiText-2"),
+    ];
+    let ours = OuroborosSystem::new(OuroborosConfig::single_wafer(), &model)
+        .expect("LLaMA-13B fits on a single wafer");
+    reports.push(ours.simulate_labeled(&trace, "WikiText-2"));
+
+    let reference = reports[0].clone();
+    println!(
+        "{:<12} {:>14} {:>10} {:>14} {:>10}",
+        "system", "tokens/s", "speedup", "mJ/token", "norm. E"
+    );
+    for r in &reports {
+        println!(
+            "{:<12} {:>14.1} {:>9.2}x {:>14.3} {:>10.3}",
+            r.system,
+            r.throughput_tokens_per_s,
+            r.speedup_over(&reference),
+            r.energy_per_token_j() * 1e3,
+            r.energy_ratio_over(&reference)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # Ouroboros
+//!
+//! A reproduction of *"Ouroboros: Wafer-Scale SRAM CIM with Token-Grained
+//! Pipelining for Large Language Model Inference"* (ASPLOS 2026) as a family
+//! of Rust crates. This facade crate re-exports every sub-crate so that
+//! downstream users can depend on a single package:
+//!
+//! * [`model`] — transformer/LLM architectural descriptions and cost counters,
+//! * [`hw`] — the wafer / die / CIM-core / crossbar hardware model,
+//! * [`noc`] — the network-on-wafer communication model,
+//! * [`pipeline`] — sequence-grained, token-grained and blocked pipelines,
+//! * [`kvcache`] — distributed dynamic KV-cache management,
+//! * [`mapping`] — MIQP inter-core mapping, H-tree DP and fault tolerance,
+//! * [`workload`] — request-trace generators for the evaluation workloads,
+//! * [`baselines`] — analytical models of DGX A100, TPUv4, AttAcc, Cerebras,
+//! * [`sim`] — the end-to-end Ouroboros simulator tying everything together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ouroboros::model::zoo;
+//! use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+//! use ouroboros::workload::{LengthConfig, TraceGenerator};
+//!
+//! let model = zoo::llama_13b();
+//! let system = OuroborosSystem::new(OuroborosConfig::single_wafer(), &model)
+//!     .expect("LLaMA-13B fits on one wafer");
+//! let trace = TraceGenerator::new(7).generate(&LengthConfig::fixed(128, 128), 16);
+//! let report = system.simulate(&trace);
+//! assert!(report.throughput_tokens_per_s > 0.0);
+//! ```
+
+pub use ouro_baselines as baselines;
+pub use ouro_hw as hw;
+pub use ouro_kvcache as kvcache;
+pub use ouro_mapping as mapping;
+pub use ouro_model as model;
+pub use ouro_noc as noc;
+pub use ouro_pipeline as pipeline;
+pub use ouro_sim as sim;
+pub use ouro_workload as workload;
