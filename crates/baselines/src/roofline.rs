@@ -83,7 +83,7 @@ impl RooflineSystem {
         let weights = self.weight_bytes(model);
         let kv_per_seq = self.kv_bytes_per_token(model) * avg_seq_tokens.max(1) as u64;
         let free = self.config.mem_capacity.saturating_sub(weights);
-        let by_capacity = if kv_per_seq == 0 { self.config.max_batch } else { (free / kv_per_seq) as usize };
+        let by_capacity = free.checked_div(kv_per_seq).map_or(self.config.max_batch, |b| b as usize);
         by_capacity.clamp(1, self.config.max_batch)
     }
 
@@ -108,24 +108,17 @@ impl RooflineSystem {
         let avg_ctx = avg_prompt + avg_decode / 2.0;
 
         // ---- prefill: compute bound -------------------------------------
-        let prefill_flops: f64 = trace
-            .requests
-            .iter()
-            .map(|r| model.prefill_flops(r.prompt_len) as f64)
-            .sum();
+        let prefill_flops: f64 =
+            trace.requests.iter().map(|r| model.prefill_flops(r.prompt_len) as f64).sum();
         // Weights are streamed once per prefill pass when they do not stay
         // resident on chip (the fits==false streaming penalty).
         let prefill_weight_stream = if self.fits(model) { 0.0 } else { weight_bytes * n_req };
-        let prefill_time = prefill_flops / sustained_flops
-            + prefill_weight_stream / c.mem_bandwidth;
+        let prefill_time = prefill_flops / sustained_flops + prefill_weight_stream / c.mem_bandwidth;
 
         // ---- decode: memory bound ---------------------------------------
         let batch = self.decode_batch(model, avg_total as usize) as f64;
-        let decode_flops: f64 = trace
-            .requests
-            .iter()
-            .map(|r| model.decode_flops(r.prompt_len, r.decode_len) as f64)
-            .sum();
+        let decode_flops: f64 =
+            trace.requests.iter().map(|r| model.decode_flops(r.prompt_len, r.decode_len) as f64).sum();
         let kv_read_per_step = kv_per_token * avg_ctx * batch;
         let weight_read_per_step = if c.pim_attention || !c.weights_on_chip {
             weight_bytes
@@ -165,7 +158,11 @@ impl RooflineSystem {
         // Off-chip traffic: weights per decode step (if off chip), KV reads,
         // plus weight streaming during prefill for systems that do not fit.
         let off_chip_bytes = if c.weights_on_chip {
-            if self.fits(model) { 0.0 } else { weight_bytes * (n_req + decode_steps) }
+            if self.fits(model) {
+                0.0
+            } else {
+                weight_bytes * (n_req + decode_steps)
+            }
         } else {
             weight_read_per_step * decode_steps
                 + prefill_weight_stream
@@ -181,7 +178,11 @@ impl RooflineSystem {
         let on_chip_weight_bytes = if c.weights_on_chip { weight_bytes * decode_steps } else { 0.0 };
         let on_chip_bytes = act_bytes + on_chip_weight_bytes + pim_kv_bytes;
         let comm_bytes = allreduce_bytes * decode_steps
-            + if c.chips > 1 { total_prompt * model.hidden_dim as f64 * c.precision_bytes as f64 } else { 0.0 };
+            + if c.chips > 1 {
+                total_prompt * model.hidden_dim as f64 * c.precision_bytes as f64
+            } else {
+                0.0
+            };
 
         let per_token = 1.0 / output_tokens.max(1) as f64;
         let energy = EnergyBreakdown {
@@ -232,8 +233,8 @@ mod tests {
         let decode_heavy = TraceGenerator::new(9).generate(&LengthConfig::fixed(128, 2048), 32);
         let r = systems::dgx_a100(8).evaluate(&zoo::llama_13b(), &decode_heavy, "test");
         assert!(r.energy_per_token.off_chip_j > r.energy_per_token.compute_j);
-        let movement = r.energy_per_token.off_chip_j + r.energy_per_token.on_chip_j
-            + r.energy_per_token.communication_j;
+        let movement =
+            r.energy_per_token.off_chip_j + r.energy_per_token.on_chip_j + r.energy_per_token.communication_j;
         assert!(movement > r.energy_per_token.compute_j);
     }
 

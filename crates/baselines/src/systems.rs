@@ -163,8 +163,13 @@ mod tests {
     fn all_baselines_produce_finite_reports() {
         let trace = TraceGenerator::new(0).generate(&LengthConfig::fixed(256, 256), 16);
         let model = zoo::baichuan_13b();
-        for sys in [dgx_a100(8), tpu_v4(), attacc(), cerebras_wse2(),
-                    hbm_cim_system("ISSCC'22", 44.41, 30.55, 11.32e9)] {
+        for sys in [
+            dgx_a100(8),
+            tpu_v4(),
+            attacc(),
+            cerebras_wse2(),
+            hbm_cim_system("ISSCC'22", 44.41, 30.55, 11.32e9),
+        ] {
             let r = sys.evaluate(&model, &trace, "t");
             assert!(r.throughput_tokens_per_s.is_finite() && r.throughput_tokens_per_s > 0.0, "{}", r.system);
             assert!(r.energy_per_token_j().is_finite() && r.energy_per_token_j() > 0.0, "{}", r.system);

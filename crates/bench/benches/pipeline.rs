@@ -15,9 +15,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("sequence_grained", |b| {
         b.iter(|| sched.run(&trace, Granularity::Sequence).makespan_s)
     });
-    group.bench_function("token_grained", |b| {
-        b.iter(|| sched.run(&trace, Granularity::Token).makespan_s)
-    });
+    group.bench_function("token_grained", |b| b.iter(|| sched.run(&trace, Granularity::Token).makespan_s));
     group.bench_function("token_grained_with_block", |b| {
         b.iter(|| sched.run(&trace, Granularity::TokenWithBlock).makespan_s)
     });

@@ -10,9 +10,9 @@ fn bench_row_activation(c: &mut Criterion) {
             [128u32, 64, 32, 16, 8, 4]
                 .iter()
                 .map(|&d| {
-                    let core = CimCore::new(CoreConfig::with_crossbar(
-                        CrossbarConfig::with_row_activation(1.0 / d as f64),
-                    ));
+                    let core = CimCore::new(CoreConfig::with_crossbar(CrossbarConfig::with_row_activation(
+                        1.0 / d as f64,
+                    )));
                     core.tops() / core.sram_capacity_bytes() as f64
                 })
                 .sum::<f64>()

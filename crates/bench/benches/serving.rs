@@ -1,0 +1,47 @@
+//! Timing of the online serving simulator itself: how fast the
+//! discrete-event engine chews through open-loop traffic, per routing
+//! policy and arrival process.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::SEED;
+use ouro_model::zoo;
+use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+fn bench_serving(c: &mut Criterion) {
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &zoo::llama_13b()).expect("LLaMA-13B fits on one wafer");
+    let trace = TraceGenerator::new(SEED).generate(&LengthConfig::wikitext2_like(), 100);
+    let timed = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, SEED);
+    let bursty = ArrivalConfig::Bursty { rate_rps: 2_000.0, cv: 4.0 }.assign(&trace, SEED);
+    let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
+
+    let mut group = c.benchmark_group("online_serving");
+    for policy in [RoutePolicy::RoundRobin, RoutePolicy::LeastKvLoad, RoutePolicy::JoinShortestQueue] {
+        group.bench_function(format!("poisson_4_wafers_{policy}"), |b| {
+            b.iter(|| {
+                let mut cluster =
+                    Cluster::replicate(&system, 4, policy, EngineConfig::default()).expect("cluster builds");
+                cluster.run(&timed, &slo, f64::INFINITY)
+            })
+        });
+    }
+    group.bench_function("bursty_4_wafers_least-kv-load", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
+                    .expect("cluster builds");
+            cluster.run(&bursty, &slo, f64::INFINITY)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

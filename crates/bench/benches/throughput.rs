@@ -12,12 +12,9 @@ fn bench_throughput(c: &mut Criterion) {
     let ours = build_ouroboros(&model);
     let dgx = ouro_baselines::dgx_a100(8);
     let mut group = c.benchmark_group("fig13_throughput");
-    group.bench_function("ouroboros_llama13b", |b| {
-        b.iter(|| ours.simulate_labeled(&trace, "LP=128 LD=2048"))
-    });
-    group.bench_function("dgx_a100_llama13b", |b| {
-        b.iter(|| dgx.evaluate(&model, &trace, "LP=128 LD=2048"))
-    });
+    group
+        .bench_function("ouroboros_llama13b", |b| b.iter(|| ours.simulate_labeled(&trace, "LP=128 LD=2048")));
+    group.bench_function("dgx_a100_llama13b", |b| b.iter(|| dgx.evaluate(&model, &trace, "LP=128 LD=2048")));
     group.finish();
 }
 

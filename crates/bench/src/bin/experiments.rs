@@ -8,12 +8,17 @@
 //! ```
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
-//! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`, `all`.
+//! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
+//! `serving`, `all`.
+//!
+//! `serving` goes beyond the paper: an online load sweep (open-loop Poisson
+//! and bursty arrivals) against a multi-wafer cluster, reporting TTFT/TPOT
+//! percentiles and SLO goodput per routing policy.
 
 use ouro_baselines::SystemReport;
 use ouro_bench::{
-    build_ouroboros, compare_all, decoder_models, encoder_models, format_energy_breakdown,
-    format_normalized, trace_for, DEFAULT_REQUESTS, SEED,
+    build_ouroboros, compare_all, decoder_models, encoder_models, format_energy_breakdown, format_normalized,
+    trace_for, DEFAULT_REQUESTS, SEED,
 };
 use ouro_hw::{CircuitPoint, CoreConfig, CrossbarConfig};
 use ouro_mapping::{MappingProblem, Strategy};
@@ -63,6 +68,9 @@ fn main() {
     if run("table2") {
         table2();
     }
+    if run("serving") {
+        serving(requests);
+    }
 }
 
 fn header(title: &str) {
@@ -74,10 +82,7 @@ fn header(title: &str) {
 fn fig1(requests: usize) {
     header("Fig. 1: hardware scaling tax (A100 nodes, WikiText-2-like workload)");
     let trace = trace_for(&LengthConfig::wikitext2_like(), requests);
-    println!(
-        "{:<12} {:>6} {:>14} {:>14} {:>8}",
-        "model", "GPUs", "compute (J)", "total (J)", "ratio"
-    );
+    println!("{:<12} {:>6} {:>14} {:>14} {:>8}", "model", "GPUs", "compute (J)", "total (J)", "ratio");
     for model in zoo::scaling_tax_models() {
         for gpus in [1usize, 2, 4, 8] {
             let sys = ouro_baselines::dgx_a100(gpus);
@@ -119,7 +124,12 @@ fn fig11(requests: usize) {
                     r.throughput_tokens_per_s
                 );
             }
-            Err(e) => println!("{:>12} {:>12} {:>16} capacity-bound ({e})", format!("1/{denom}"), core.crossbars, "-"),
+            Err(e) => println!(
+                "{:>12} {:>12} {:>16} capacity-bound ({e})",
+                format!("1/{denom}"),
+                core.crossbars,
+                "-"
+            ),
         }
     }
 }
@@ -144,15 +154,16 @@ fn fig13_14(requests: usize, with_energy: bool) {
 /// Fig. 15 — cumulative ablation over Wafer/CIM/TGP/Mapping/KV cache.
 fn fig15(requests: usize) {
     header("Fig. 15: ablation ladder (normalized to Baseline)");
-    let workloads = [
-        ("WikiText-2", LengthConfig::wikitext2_like()),
-        ("LP=128 LD=2048", LengthConfig::fixed(128, 2048)),
-    ];
+    let workloads =
+        [("WikiText-2", LengthConfig::wikitext2_like()), ("LP=128 LD=2048", LengthConfig::fixed(128, 2048))];
     for model in [zoo::llama_13b(), zoo::llama_32b()] {
         for (label, config) in &workloads {
             let trace = trace_for(config, requests.min(200));
             println!("\n--- {} / {label} ---", model.name);
-            println!("{:<12} {:>12} {:>12} {:>12} {:>12}", "step", "tokens/s", "speedup", "J/token", "norm. E");
+            println!(
+                "{:<12} {:>12} {:>12} {:>12} {:>12}",
+                "step", "tokens/s", "speedup", "J/token", "norm. E"
+            );
             let mut reference: Option<SystemReport> = None;
             for (step, cfg) in ablation_ladder(&OuroborosConfig::single_wafer()) {
                 let mut cfg = cfg;
@@ -167,7 +178,11 @@ fn fig15(requests: usize) {
                         };
                         println!(
                             "{:<12} {:>12.1} {:>11.2}x {:>12.6} {:>12.3}",
-                            step, r.throughput_tokens_per_s, speedup, r.energy_per_token_j(), norm_e
+                            step,
+                            r.throughput_tokens_per_s,
+                            speedup,
+                            r.energy_per_token_j(),
+                            norm_e
                         );
                         if reference.is_none() {
                             reference = Some(r);
@@ -240,14 +255,7 @@ fn fig18() {
         let geometry = ouro_hw::WaferGeometry::paper();
         let defects = ouro_hw::DefectMap::pristine(&geometry);
         let cores: Vec<ouro_hw::CoreId> = geometry.all_cores().collect();
-        let problem = MappingProblem::for_block(
-            &model,
-            geometry,
-            defects,
-            cores,
-            4 * 1024 * 1024,
-            4.0,
-        );
+        let problem = MappingProblem::for_block(&model, geometry, defects, cores, 4 * 1024 * 1024, 4.0);
         let summa = ouro_mapping::solve(&problem, Strategy::Summa, SEED);
         let wll = ouro_mapping::solve(&problem, Strategy::WaferLlm, SEED);
         let ours = ouro_mapping::solve(&problem, Strategy::Anneal { iterations: 4_000 }, SEED);
@@ -308,6 +316,77 @@ fn fig21(requests: usize) {
                 r.energy_per_token_j() / ours.energy_per_token_j()
             );
         }
+    }
+}
+
+/// Online serving — load sweeps and routing policies on a 4-wafer cluster.
+fn serving(requests: usize) {
+    use ouro_serve::{
+        capacity_rps_estimate, format_sweep, ideal_latencies, Cluster, EngineConfig, LoadSweep, RoutePolicy,
+        SloConfig,
+    };
+    use ouro_workload::{ArrivalConfig, TraceGenerator};
+
+    header("Serving: online load sweep (4-wafer LLaMA-13B, WikiText-2-like)");
+    let model = zoo::llama_13b();
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let wafers = 4;
+    let lengths = LengthConfig::wikitext2_like();
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+
+    let mut sweep = LoadSweep::around_capacity(capacity, wafers, lengths.clone(), slo);
+    sweep.seed = SEED;
+    sweep.requests = requests.min(400);
+    let points = sweep.run(&system);
+    print!("{}", format_sweep(&points));
+
+    println!("\n--- routing policies at {:.0} req/s ---", sweep.rates_rps[sweep.rates_rps.len() - 1]);
+    let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
+    println!("{:<22} {:>11} {:>11} {:>11} {:>10}", "policy", "ttft-p99", "tpot-p99", "goodput/s", "slo-att");
+    for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+        let timed = ArrivalConfig::Poisson { rate_rps: sweep.rates_rps[sweep.rates_rps.len() - 1] }
+            .assign(&trace, SEED);
+        let mut cluster =
+            Cluster::replicate(&system, wafers, policy, EngineConfig::default()).expect("cluster builds");
+        let r = cluster.run(&timed, &slo, f64::INFINITY);
+        println!(
+            "{:<22} {:>9.1}ms {:>9.3}ms {:>11.1} {:>9.1}%",
+            policy.to_string(),
+            r.ttft.p99_s * 1e3,
+            r.tpot.p99_s * 1e3,
+            r.goodput_rps,
+            r.slo_attainment * 100.0
+        );
+    }
+
+    println!("\n--- bursty arrivals (Gamma, cv=4) vs Poisson at the saturation point ---");
+    let rate = sweep.rates_rps[3];
+    println!(
+        "{:<12} {:>11} {:>11} {:>11} {:>10}",
+        "arrivals", "ttft-p50", "ttft-p99", "goodput/s", "slo-att"
+    );
+    for (label, arrival) in [
+        ("poisson", ArrivalConfig::Poisson { rate_rps: rate }),
+        ("bursty", ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }),
+    ] {
+        let timed = arrival.assign(&trace, SEED);
+        let mut cluster =
+            Cluster::replicate(&system, wafers, RoutePolicy::LeastKvLoad, EngineConfig::default())
+                .expect("cluster builds");
+        let r = cluster.run(&timed, &slo, f64::INFINITY);
+        println!(
+            "{:<12} {:>9.1}ms {:>9.1}ms {:>11.1} {:>9.1}%",
+            label,
+            r.ttft.p50_s * 1e3,
+            r.ttft.p99_s * 1e3,
+            r.goodput_rps,
+            r.slo_attainment * 100.0
+        );
     }
 }
 

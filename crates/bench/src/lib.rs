@@ -53,11 +53,8 @@ pub fn baseline_systems() -> Vec<RooflineSystem> {
 /// LLaMA-65B).
 pub fn build_ouroboros(model: &ModelConfig) -> OuroborosSystem {
     for wafers in 1..=4 {
-        let mut cfg = if wafers == 1 {
-            OuroborosConfig::single_wafer()
-        } else {
-            OuroborosConfig::multi_wafer(wafers)
-        };
+        let mut cfg =
+            if wafers == 1 { OuroborosConfig::single_wafer() } else { OuroborosConfig::multi_wafer(wafers) };
         cfg.mapping_iterations = 2_000;
         cfg.seed = SEED;
         if let Ok(sys) = OuroborosSystem::new(cfg, model) {
@@ -68,12 +65,15 @@ pub fn build_ouroboros(model: &ModelConfig) -> OuroborosSystem {
 }
 
 /// Evaluates every baseline plus Ouroboros on one model and workload.
-pub fn compare_all(model: &ModelConfig, label: &str, config: &LengthConfig, requests: usize) -> Vec<SystemReport> {
+pub fn compare_all(
+    model: &ModelConfig,
+    label: &str,
+    config: &LengthConfig,
+    requests: usize,
+) -> Vec<SystemReport> {
     let trace = trace_for(config, requests);
-    let mut reports: Vec<SystemReport> = baseline_systems()
-        .iter()
-        .map(|sys| sys.evaluate(model, &trace, label))
-        .collect();
+    let mut reports: Vec<SystemReport> =
+        baseline_systems().iter().map(|sys| sys.evaluate(model, &trace, label)).collect();
     let ours = build_ouroboros(model);
     reports.push(ours.simulate_labeled(&trace, label));
     reports
@@ -113,7 +113,12 @@ pub fn format_energy_breakdown(reports: &[SystemReport]) -> String {
         let e = &r.energy_per_token;
         out.push_str(&format!(
             "{:<16} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
-            r.system, e.compute_j, e.on_chip_j, e.off_chip_j, e.communication_j, e.total_j()
+            r.system,
+            e.compute_j,
+            e.on_chip_j,
+            e.off_chip_j,
+            e.communication_j,
+            e.total_j()
         ));
     }
     out
@@ -142,10 +147,8 @@ mod tests {
     fn formatting_contains_every_system() {
         let model = ouro_model::zoo::llama_13b();
         let trace = trace_for(&LengthConfig::fixed(64, 64), 4);
-        let reports: Vec<SystemReport> = baseline_systems()
-            .iter()
-            .map(|s| s.evaluate(&model, &trace, "t"))
-            .collect();
+        let reports: Vec<SystemReport> =
+            baseline_systems().iter().map(|s| s.evaluate(&model, &trace, "t")).collect();
         let table = format_normalized(&reports);
         for r in &reports {
             assert!(table.contains(&r.system));

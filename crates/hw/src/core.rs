@@ -136,8 +136,7 @@ impl CimCore {
 
     /// Core area in mm².
     pub fn area_mm2(&self) -> f64 {
-        self.config.crossbars as f64 * self.config.crossbar.area_mm2()
-            + self.config.periphery_area_mm2
+        self.config.crossbars as f64 * self.config.crossbar.area_mm2() + self.config.periphery_area_mm2
     }
 
     /// Compute density in TOPS/mm².
@@ -178,9 +177,8 @@ impl CimCore {
     pub fn gemv_energy_j(&self, in_dim: usize, out_dim: usize) -> f64 {
         let macs = in_dim as u64 * out_dim as u64;
         let e = &self.config.energy;
-        e.mac_energy_j(macs)
-            + e.buffer_energy_j(in_dim as u64)
-            + e.buffer_energy_j(out_dim as u64 * 4) // 32-bit partial sums out
+        e.mac_energy_j(macs) + e.buffer_energy_j(in_dim as u64) + e.buffer_energy_j(out_dim as u64 * 4)
+        // 32-bit partial sums out
     }
 
     /// Latency of `ops` SFU operations.
@@ -236,10 +234,7 @@ mod tests {
     fn weight_capacity_shrinks_with_kv_reservation() {
         let core = CimCore::paper();
         assert_eq!(core.weight_capacity_bytes(0), core.sram_capacity_bytes());
-        assert_eq!(
-            core.weight_capacity_bytes(8),
-            24 * core.config.crossbar.capacity_bytes()
-        );
+        assert_eq!(core.weight_capacity_bytes(8), 24 * core.config.crossbar.capacity_bytes());
         assert_eq!(core.weight_capacity_bytes(64), 0);
     }
 
@@ -271,9 +266,12 @@ mod tests {
     fn reduced_sram_when_activation_ratio_rises() {
         let fast = CoreConfig::with_crossbar(CrossbarConfig::with_row_activation(1.0 / 4.0));
         let nominal = CoreConfig::paper();
-        assert!(fast.crossbars < nominal.crossbars,
+        assert!(
+            fast.crossbars < nominal.crossbars,
             "a 1/4 activation core should fit fewer crossbars ({} vs {})",
-            fast.crossbars, nominal.crossbars);
+            fast.crossbars,
+            nominal.crossbars
+        );
         let fast_core = CimCore::new(fast);
         let nominal_core = CimCore::new(nominal);
         assert!(fast_core.sram_capacity_bytes() < nominal_core.sram_capacity_bytes());

@@ -83,11 +83,7 @@ impl CrossbarConfig {
         assert!(ratio > 0.0 && ratio <= 1.0, "row activation ratio must be in (0, 1], got {ratio}");
         let base = CrossbarConfig::default();
         let scale = ratio / base.row_activation_ratio;
-        CrossbarConfig {
-            row_activation_ratio: ratio,
-            logic_area_mm2: base.logic_area_mm2 * scale,
-            ..base
-        }
+        CrossbarConfig { row_activation_ratio: ratio, logic_area_mm2: base.logic_area_mm2 * scale, ..base }
     }
 
     /// Weight storage capacity of the array in bytes (128 KiB).
@@ -135,8 +131,7 @@ impl CrossbarConfig {
     ///
     /// Panics if `in_dim` is zero or exceeds the number of rows.
     pub fn gemv_cycles(&self, in_dim: usize) -> u64 {
-        assert!(in_dim > 0 && in_dim <= self.rows,
-            "in_dim {in_dim} must be in 1..={}", self.rows);
+        assert!(in_dim > 0 && in_dim <= self.rows, "in_dim {in_dim} must be in 1..={}", self.rows);
         let groups = in_dim.div_ceil(self.active_rows());
         (groups * self.input_bits) as u64
     }

@@ -129,9 +129,14 @@ impl WaferGeometry {
     ///
     /// Panics if the coordinate is outside the grid.
     pub fn id(&self, coord: CoreCoord) -> CoreId {
-        assert!(coord.row < self.global_rows() && coord.col < self.global_cols(),
+        assert!(
+            coord.row < self.global_rows() && coord.col < self.global_cols(),
             "coordinate ({}, {}) outside the {}x{} core grid",
-            coord.row, coord.col, self.global_rows(), self.global_cols());
+            coord.row,
+            coord.col,
+            self.global_rows(),
+            self.global_cols()
+        );
         CoreId(coord.row * self.global_cols() + coord.col)
     }
 
@@ -287,13 +292,11 @@ mod tests {
         // Manhattan distance (the point of the S-shaped route).
         let g = WaferGeometry::tiny(2, 3, 4, 4);
         let order = g.s_order();
-        let max_gap = order
-            .windows(2)
-            .map(|w| g.manhattan(w[0], w[1]))
-            .max()
-            .unwrap();
-        assert!(max_gap <= g.core_rows_per_die + g.core_cols_per_die,
-            "serpentine jump of {max_gap} hops is too large");
+        let max_gap = order.windows(2).map(|w| g.manhattan(w[0], w[1])).max().unwrap();
+        assert!(
+            max_gap <= g.core_rows_per_die + g.core_cols_per_die,
+            "serpentine jump of {max_gap} hops is too large"
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ impl DefectMap {
     pub fn generate(geometry: &WaferGeometry, model: &YieldModel, seed: u64) -> DefectMap {
         let p_fail = 1.0 - model.core_yield(geometry.core_area_mm2);
         let mut rng = StdRng::seed_from_u64(seed);
-        let defective = (0..geometry.total_cores())
-            .map(|_| rng.gen::<f64>() < p_fail)
-            .collect();
+        let defective = (0..geometry.total_cores()).map(|_| rng.gen::<f64>() < p_fail).collect();
         DefectMap { defective }
     }
 
@@ -119,18 +117,12 @@ impl DefectMap {
 
     /// Iterator over the ids of all functional cores.
     pub fn functional_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
-        self.defective
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &d)| (!d).then_some(CoreId(i)))
+        self.defective.iter().enumerate().filter_map(|(i, &d)| (!d).then_some(CoreId(i)))
     }
 
     /// Iterator over the ids of all defective cores.
     pub fn defective_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
-        self.defective
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &d)| d.then_some(CoreId(i)))
+        self.defective.iter().enumerate().filter_map(|(i, &d)| d.then_some(CoreId(i)))
     }
 
     /// Marks an additional core as defective (runtime fault injection).

@@ -74,9 +74,7 @@ impl CrossbarBlocks {
     ///
     /// Panics if the block is free or owned by a different sequence.
     pub fn append(&mut self, idx: usize, seq: u64, tokens: usize) -> usize {
-        let slot = self.blocks[idx]
-            .as_mut()
-            .expect("appending into a free logical block");
+        let slot = self.blocks[idx].as_mut().expect("appending into a free logical block");
         assert_eq!(slot.0, seq, "logical block owned by a different sequence");
         let space = self.tokens_per_block - slot.1;
         let taken = tokens.min(space);

@@ -95,10 +95,7 @@ struct CoreState {
 
 impl CoreState {
     fn free_tokens(&self) -> usize {
-        self.crossbars
-            .iter()
-            .map(|c| c.free_blocks() * c.tokens_per_block())
-            .sum()
+        self.crossbars.iter().map(|c| c.free_blocks() * c.tokens_per_block()).sum()
     }
 
     fn capacity_tokens(&self) -> usize {
@@ -214,7 +211,8 @@ impl KvManager {
     /// resident simultaneously (per-head blocks are not shared between
     /// sequences, so allocation is quantised to logical blocks).
     pub fn max_resident_sequences(&self, tokens: usize) -> usize {
-        let per_block = self.config.crossbar.tokens_per_logical_block(self.config.head_dim, self.config.bytes_per_elem);
+        let per_block =
+            self.config.crossbar.tokens_per_logical_block(self.config.head_dim, self.config.bytes_per_elem);
         if per_block == 0 || tokens == 0 {
             return 0;
         }
@@ -295,8 +293,7 @@ impl KvManager {
         if let Some(slot) = core.bitmap.slot_for(seq) {
             core.bitmap.set(slot, (xb * core.crossbars[xb].num_blocks() + block) % 256);
         }
-        self.cursors
-            .insert((seq, head, role as u8), Cursor { core_index, crossbar: xb, block });
+        self.cursors.insert((seq, head, role as u8), Cursor { core_index, crossbar: xb, block });
         Ok(())
     }
 
@@ -401,10 +398,7 @@ mod tests {
 
     #[test]
     fn no_cores_is_an_error() {
-        assert_eq!(
-            KvManager::new(KvManagerConfig::new(vec![], 8, 128)).unwrap_err(),
-            KvError::NoKvCores
-        );
+        assert_eq!(KvManager::new(KvManagerConfig::new(vec![], 8, 128)).unwrap_err(), KvError::NoKvCores);
     }
 
     #[test]

@@ -110,11 +110,8 @@ impl KvScheduler {
                         // Clean up any partial allocation of the failed admit.
                         self.manager.release(req_idx as u64);
                         // Evict the most recently scheduled request if any.
-                        if let Some(victim_pos) = active
-                            .iter()
-                            .enumerate()
-                            .max_by_key(|(_, a)| a.admission_order)
-                            .map(|(i, _)| i)
+                        if let Some(victim_pos) =
+                            active.iter().enumerate().max_by_key(|(_, a)| a.admission_order).map(|(i, _)| i)
                         {
                             let victim = active.swap_remove(victim_pos);
                             stats.evictions += 1;
@@ -193,11 +190,7 @@ impl KvScheduler {
             }
         }
 
-        stats.avg_resident = if stats.steps > 0 {
-            resident_integral / stats.steps as f64
-        } else {
-            0.0
-        };
+        stats.avg_resident = if stats.steps > 0 { resident_integral / stats.steps as f64 } else { 0.0 };
         let useful = trace.total_tokens();
         let waste = stats.recomputed_tokens as f64 / (useful + stats.recomputed_tokens).max(1) as f64;
         SchedulerOutcome { stats, useful_tokens: useful, waste_fraction: waste }
@@ -261,9 +254,12 @@ mod tests {
         let mut high = KvScheduler::new(config(4, 1, 0.9)).unwrap();
         let out_low = low.run_trace(&trace);
         let out_high = high.run_trace(&trace);
-        assert!(out_high.stats.avg_resident <= out_low.stats.avg_resident + 1e-9,
+        assert!(
+            out_high.stats.avg_resident <= out_low.stats.avg_resident + 1e-9,
             "a 0.9 threshold should not increase residency ({} vs {})",
-            out_high.stats.avg_resident, out_low.stats.avg_resident);
+            out_high.stats.avg_resident,
+            out_low.stats.avg_resident
+        );
     }
 
     #[test]

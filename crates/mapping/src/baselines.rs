@@ -80,13 +80,8 @@ mod tests {
         let summa = summa_assignment(&p, &feasible);
         let wll = waferllm_assignment(&p, &feasible);
         // Average pairwise distance of layer 0's tiles.
-        let layer0: Vec<usize> = p
-            .tiles
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.layer == 0)
-            .map(|(i, _)| i)
-            .collect();
+        let layer0: Vec<usize> =
+            p.tiles.iter().enumerate().filter(|(_, t)| t.layer == 0).map(|(i, _)| i).collect();
         let spread = |a: &Assignment| -> f64 {
             let mut total = 0.0;
             let mut pairs = 0.0;
@@ -98,8 +93,11 @@ mod tests {
             }
             total / f64::max(pairs, 1.0)
         };
-        assert!(spread(&summa) > spread(&wll),
+        assert!(
+            spread(&summa) > spread(&wll),
             "summa should spread a layer wider than waferllm ({} vs {})",
-            spread(&summa), spread(&wll));
+            spread(&summa),
+            spread(&wll)
+        );
     }
 }

@@ -116,12 +116,7 @@ pub fn remap_with_chain(
             }
         }
     }
-    Ok(RemapOutcome {
-        chain,
-        evicted_kv_core: Some(target),
-        new_assignment,
-        moved_tiles: moved,
-    })
+    Ok(RemapOutcome { chain, evicted_kv_core: Some(target), new_assignment, moved_tiles: moved })
 }
 
 #[cfg(test)]

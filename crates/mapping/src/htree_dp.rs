@@ -100,7 +100,9 @@ pub fn htree_plan(group_sizes: &[usize], leaves: usize) -> HtreePlan {
         let mut placed = false;
         // Find the first aligned window whose slots are all free.
         for start in (0..leaves).step_by(aligned) {
-            if start + size <= leaves && optimised[start..start + aligned.min(leaves - start)].iter().all(Option::is_none) {
+            if start + size <= leaves
+                && optimised[start..start + aligned.min(leaves - start)].iter().all(Option::is_none)
+            {
                 for slot in &mut optimised[start..start + size] {
                     *slot = Some(group);
                 }

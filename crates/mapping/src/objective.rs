@@ -102,17 +102,24 @@ impl ObjectiveEvaluator {
             // input split of the same output slice).
             if layer.input_splits > 1 && tile.input != layer.input_splits - 1 {
                 if let Some(&root) = index.get(&(tile.layer, layer.input_splits - 1, tile.output)) {
-                    pairs.push(Pair { a: t, b: root, bytes: layer.reduction_bytes.max(1), kind: TrafficKind::Reduction });
+                    pairs.push(Pair {
+                        a: t,
+                        b: root,
+                        bytes: layer.reduction_bytes.max(1),
+                        kind: TrafficKind::Reduction,
+                    });
                 }
             }
             // Gather: reduction roots of every output split gather to the
             // first output split's root.
-            if layer.output_splits > 1
-                && tile.input == layer.input_splits - 1
-                && tile.output != 0
-            {
+            if layer.output_splits > 1 && tile.input == layer.input_splits - 1 && tile.output != 0 {
                 if let Some(&hub) = index.get(&(tile.layer, layer.input_splits - 1, 0)) {
-                    pairs.push(Pair { a: t, b: hub, bytes: layer.gather_bytes.max(1), kind: TrafficKind::Gather });
+                    pairs.push(Pair {
+                        a: t,
+                        b: hub,
+                        bytes: layer.gather_bytes.max(1),
+                        kind: TrafficKind::Gather,
+                    });
                 }
             }
         }
@@ -258,11 +265,8 @@ mod tests {
         let compact = sequential_assignment(&p);
         // Spread assignment: place tiles far apart.
         let n = p.feasible_cores().len();
-        let spread = Assignment {
-            core: (0..p.num_tiles())
-                .map(|t| p.feasible_cores()[(t * 37) % n])
-                .collect(),
-        };
+        let spread =
+            Assignment { core: (0..p.num_tiles()).map(|t| p.feasible_cores()[(t * 37) % n]).collect() };
         assert!(eval.cost(&compact) < eval.cost(&spread));
     }
 

@@ -136,11 +136,8 @@ impl MappingProblem {
             } else {
                 0
             };
-            let gather_bytes = if output_splits > 1 {
-                stage.output_dim as u64 * bytes / output_splits as u64
-            } else {
-                0
-            };
+            let gather_bytes =
+                if output_splits > 1 { stage.output_dim as u64 * bytes / output_splits as u64 } else { 0 };
             layers.push(LayerSpec {
                 kind: stage.kind,
                 index,
@@ -160,15 +157,7 @@ impl MappingProblem {
                 }
             }
         }
-        MappingProblem {
-            geometry,
-            defects,
-            layers,
-            tiles,
-            candidate_cores,
-            cost_inter,
-            wrap_around: true,
-        }
+        MappingProblem { geometry, defects, layers, tiles, candidate_cores, cost_inter, wrap_around: true }
     }
 
     /// Total number of tiles (cores required by one block).
@@ -178,11 +167,7 @@ impl MappingProblem {
 
     /// Functional candidate cores (the feasible placement domain, Eq. 2).
     pub fn feasible_cores(&self) -> Vec<CoreId> {
-        self.candidate_cores
-            .iter()
-            .copied()
-            .filter(|c| !self.defects.is_defective(*c))
-            .collect()
+        self.candidate_cores.iter().copied().filter(|c| !self.defects.is_defective(*c)).collect()
     }
 
     /// Checks the hard constraints of Eq. 2–3 for an assignment: every tile
@@ -192,11 +177,11 @@ impl MappingProblem {
             return false;
         }
         let mut seen = std::collections::HashSet::with_capacity(assignment.len());
-        let candidates: std::collections::HashSet<CoreId> =
-            self.candidate_cores.iter().copied().collect();
-        assignment.core.iter().all(|c| {
-            !self.defects.is_defective(*c) && candidates.contains(c) && seen.insert(*c)
-        })
+        let candidates: std::collections::HashSet<CoreId> = self.candidate_cores.iter().copied().collect();
+        assignment
+            .core
+            .iter()
+            .all(|c| !self.defects.is_defective(*c) && candidates.contains(c) && seen.insert(*c))
     }
 }
 
@@ -237,8 +222,12 @@ mod tests {
     fn tile_weights_fit_core_capacity() {
         let p = small_problem();
         for layer in &p.layers {
-            assert!(layer.tile_weight_bytes <= 4 * 1024 * 1024,
-                "layer {:?} tile of {} bytes exceeds capacity", layer.kind, layer.tile_weight_bytes);
+            assert!(
+                layer.tile_weight_bytes <= 4 * 1024 * 1024,
+                "layer {:?} tile of {} bytes exceeds capacity",
+                layer.kind,
+                layer.tile_weight_bytes
+            );
         }
     }
 

@@ -98,12 +98,8 @@ pub fn solve(problem: &MappingProblem, strategy: Strategy, seed: u64) -> Mapping
 /// candidate cores.
 fn greedy(problem: &MappingProblem, feasible: &[CoreId]) -> Assignment {
     let candidate_set: std::collections::HashSet<CoreId> = feasible.iter().copied().collect();
-    let ordered: Vec<CoreId> = problem
-        .geometry
-        .s_order()
-        .into_iter()
-        .filter(|c| candidate_set.contains(c))
-        .collect();
+    let ordered: Vec<CoreId> =
+        problem.geometry.s_order().into_iter().filter(|c| candidate_set.contains(c)).collect();
     Assignment { core: (0..problem.num_tiles()).map(|t| ordered[t]).collect() }
 }
 
@@ -229,8 +225,12 @@ mod tests {
         let greedy = solve(&p, Strategy::Greedy, 0);
         let anneal = solve(&p, Strategy::Anneal { iterations: 3000 }, 42);
         assert!(p.is_feasible(&anneal.assignment));
-        assert!(anneal.objective <= greedy.objective + 1e-9,
-            "anneal {} should not exceed greedy {}", anneal.objective, greedy.objective);
+        assert!(
+            anneal.objective <= greedy.objective + 1e-9,
+            "anneal {} should not exceed greedy {}",
+            anneal.objective,
+            greedy.objective
+        );
     }
 
     #[test]
@@ -248,10 +248,18 @@ mod tests {
         let ours = solve(&p, Strategy::Anneal { iterations: 4000 }, 1);
         let summa = solve(&p, Strategy::Summa, 1);
         let waferllm = solve(&p, Strategy::WaferLlm, 1);
-        assert!(ours.summary.transmission_volume() < summa.summary.transmission_volume(),
-            "ours {} vs summa {}", ours.summary.transmission_volume(), summa.summary.transmission_volume());
-        assert!(ours.summary.transmission_volume() <= waferllm.summary.transmission_volume() + 1e-9,
-            "ours {} vs waferllm {}", ours.summary.transmission_volume(), waferllm.summary.transmission_volume());
+        assert!(
+            ours.summary.transmission_volume() < summa.summary.transmission_volume(),
+            "ours {} vs summa {}",
+            ours.summary.transmission_volume(),
+            summa.summary.transmission_volume()
+        );
+        assert!(
+            ours.summary.transmission_volume() <= waferllm.summary.transmission_volume() + 1e-9,
+            "ours {} vs waferllm {}",
+            ours.summary.transmission_volume(),
+            waferllm.summary.transmission_volume()
+        );
         assert!(waferllm.summary.transmission_volume() < summa.summary.transmission_volume());
     }
 

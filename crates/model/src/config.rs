@@ -169,10 +169,7 @@ impl ModelConfig {
     /// (Fig. 4): QKV generation, score, softmax, context+projection,
     /// FFN1, FFN2.
     pub fn pipeline_stages(&self) -> Vec<PipelineStage> {
-        StageKind::ALL
-            .iter()
-            .map(|&kind| PipelineStage::new(kind, self))
-            .collect()
+        StageKind::ALL.iter().map(|&kind| PipelineStage::new(kind, self)).collect()
     }
 
     /// Mask kind used by the attention of this model.
@@ -183,10 +180,7 @@ impl ModelConfig {
     /// Returns a copy of this configuration with a different deployment
     /// precision (used when modelling fp16 GPU baselines of the same model).
     pub fn with_precision(&self, precision: Precision) -> ModelConfig {
-        ModelConfig {
-            precision,
-            ..self.clone()
-        }
+        ModelConfig { precision, ..self.clone() }
     }
 
     /// Approximate total parameter count expressed in billions, for display.
@@ -244,14 +238,8 @@ mod tests {
     #[test]
     fn kv_bytes_match_head_layout() {
         let m = zoo::llama_13b();
-        assert_eq!(
-            m.kv_bytes_per_token_per_block(),
-            2 * (m.heads * m.head_dim) as u64
-        );
-        assert_eq!(
-            m.kv_bytes_per_token(),
-            m.kv_bytes_per_token_per_block() * m.blocks as u64
-        );
+        assert_eq!(m.kv_bytes_per_token_per_block(), 2 * (m.heads * m.head_dim) as u64);
+        assert_eq!(m.kv_bytes_per_token(), m.kv_bytes_per_token_per_block() * m.blocks as u64);
     }
 
     #[test]

@@ -55,9 +55,7 @@ impl MaskKind {
     /// Total number of score-matrix entries that are *valid* (unmasked) for a
     /// sequence of length `seq_len` — the effective attention work.
     pub fn valid_score_entries(self, seq_len: usize, prefix_len: usize) -> u64 {
-        (0..seq_len)
-            .map(|t| self.attended_positions(t, seq_len, prefix_len) as u64)
-            .sum()
+        (0..seq_len).map(|t| self.attended_positions(t, seq_len, prefix_len) as u64).sum()
     }
 }
 

@@ -99,9 +99,13 @@ impl StageCosts {
             },
         }
     }
+}
+
+impl std::ops::Add for StageCosts {
+    type Output = StageCosts;
 
     /// Sum of two cost records, field-wise.
-    pub fn add(self, other: StageCosts) -> StageCosts {
+    fn add(self, other: StageCosts) -> StageCosts {
         StageCosts {
             flops: self.flops + other.flops,
             weight_bytes: self.weight_bytes + other.weight_bytes,
@@ -133,7 +137,7 @@ impl BlockCosts {
 
     /// Total over all six stages.
     pub fn total(&self) -> StageCosts {
-        self.stages.iter().fold(StageCosts::default(), |acc, s| acc.add(*s))
+        self.stages.iter().fold(StageCosts::default(), |acc, s| acc + *s)
     }
 
     /// Costs of the stage with the given kind.
@@ -159,9 +163,7 @@ impl ModelConfig {
     /// under this model's mask (token *t* attends to `attended_positions(t)`).
     pub fn prefill_flops(&self, prompt_len: usize) -> u64 {
         let mask = self.mask();
-        (0..prompt_len)
-            .map(|t| self.token_flops(mask.attended_positions(t, prompt_len, prompt_len)))
-            .sum()
+        (0..prompt_len).map(|t| self.token_flops(mask.attended_positions(t, prompt_len, prompt_len))).sum()
     }
 
     /// Total FLOPs of decoding `decode_len` tokens after a prompt of
@@ -265,10 +267,7 @@ mod tests {
     #[test]
     fn kv_bytes_for_sequence_accumulate() {
         let m = zoo::llama_13b();
-        assert_eq!(
-            m.kv_bytes_for_sequence(100, 28),
-            128 * m.kv_bytes_per_token()
-        );
+        assert_eq!(m.kv_bytes_for_sequence(100, 28), 128 * m.kv_bytes_per_token());
     }
 
     proptest! {

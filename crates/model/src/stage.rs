@@ -55,10 +55,7 @@ impl StageKind {
     pub fn holds_weights(self) -> bool {
         matches!(
             self,
-            StageKind::QkvGeneration
-                | StageKind::ContextProjection
-                | StageKind::Ffn1
-                | StageKind::Ffn2
+            StageKind::QkvGeneration | StageKind::ContextProjection | StageKind::Ffn1 | StageKind::Ffn2
         )
     }
 
@@ -172,10 +169,7 @@ mod tests {
     #[test]
     fn stage_weight_sum_matches_block_attention_and_ffn() {
         let m = zoo::llama_13b();
-        let total: u64 = StageKind::ALL
-            .iter()
-            .map(|&k| PipelineStage::new(k, &m).weight_elems)
-            .sum();
+        let total: u64 = StageKind::ALL.iter().map(|&k| PipelineStage::new(k, &m).weight_elems).sum();
         // block_params additionally counts the two layer norms (4 * d).
         assert_eq!(total + 4 * m.hidden_dim as u64, m.block_params());
     }

@@ -10,14 +10,7 @@
 
 use crate::config::{Architecture, ModelConfig, Precision};
 
-fn decoder(
-    name: &str,
-    blocks: usize,
-    hidden: usize,
-    heads: usize,
-    ffn: usize,
-    vocab: usize,
-) -> ModelConfig {
+fn decoder(name: &str, blocks: usize, hidden: usize, heads: usize, ffn: usize, vocab: usize) -> ModelConfig {
     ModelConfig {
         name: name.to_string(),
         architecture: Architecture::DecoderOnly,
@@ -107,27 +100,13 @@ pub fn bert_large() -> ModelConfig {
 
 /// All models used in the paper's main evaluation (Fig. 13–16).
 pub fn evaluation_models() -> Vec<ModelConfig> {
-    vec![
-        llama_13b(),
-        baichuan_13b(),
-        llama_32b(),
-        qwen_32b(),
-        bert_large(),
-        t5_11b(),
-    ]
+    vec![llama_13b(), baichuan_13b(), llama_32b(), qwen_32b(), bert_large(), t5_11b()]
 }
 
 /// The model sizes swept by the hardware-scaling-tax study (Fig. 1):
 /// roughly 7B, 13B, 19.5B, 32B, 65B and 130B parameters.
 pub fn scaling_tax_models() -> Vec<ModelConfig> {
-    vec![
-        llama_7b(),
-        llama_13b(),
-        gpt_20b(),
-        llama_32b(),
-        llama_65b(),
-        dense_130b(),
-    ]
+    vec![llama_7b(), llama_13b(), gpt_20b(), llama_32b(), llama_65b(), dense_130b()]
 }
 
 /// Looks a model up by its display name (case-insensitive).

@@ -111,25 +111,13 @@ impl CommCost {
 
     /// Convenience: latency of moving `bytes` between two cores of
     /// `geometry` along the XY route.
-    pub fn transfer_latency_s(
-        &self,
-        geometry: &WaferGeometry,
-        from: CoreId,
-        to: CoreId,
-        bytes: u64,
-    ) -> f64 {
+    pub fn transfer_latency_s(&self, geometry: &WaferGeometry, from: CoreId, to: CoreId, bytes: u64) -> f64 {
         self.latency_s(&Transfer::between(geometry, from, to, bytes))
     }
 
     /// Convenience: energy of moving `bytes` between two cores of `geometry`
     /// along the XY route.
-    pub fn transfer_energy_j(
-        &self,
-        geometry: &WaferGeometry,
-        from: CoreId,
-        to: CoreId,
-        bytes: u64,
-    ) -> f64 {
+    pub fn transfer_energy_j(&self, geometry: &WaferGeometry, from: CoreId, to: CoreId, bytes: u64) -> f64 {
         self.energy_j(&Transfer::between(geometry, from, to, bytes))
     }
 
@@ -172,8 +160,10 @@ mod tests {
         let near = cost.transfer_latency_s(&g, CoreId(0), CoreId(1), 4096);
         let far = cost.transfer_latency_s(&g, CoreId(0), CoreId(5000), 4096);
         assert!(far > near);
-        assert!(cost.transfer_energy_j(&g, CoreId(0), CoreId(5000), 4096)
-            > cost.transfer_energy_j(&g, CoreId(0), CoreId(1), 4096));
+        assert!(
+            cost.transfer_energy_j(&g, CoreId(0), CoreId(5000), 4096)
+                > cost.transfer_energy_j(&g, CoreId(0), CoreId(1), 4096)
+        );
     }
 
     #[test]

@@ -40,17 +40,11 @@ pub fn route_xy(geometry: &WaferGeometry, from: CoreId, to: CoreId) -> Vec<CoreI
     let mut path = vec![from];
     let mut cur = a;
     while cur.row != b.row {
-        cur = CoreCoord {
-            row: if cur.row < b.row { cur.row + 1 } else { cur.row - 1 },
-            col: cur.col,
-        };
+        cur = CoreCoord { row: if cur.row < b.row { cur.row + 1 } else { cur.row - 1 }, col: cur.col };
         path.push(geometry.id(cur));
     }
     while cur.col != b.col {
-        cur = CoreCoord {
-            row: cur.row,
-            col: if cur.col < b.col { cur.col + 1 } else { cur.col - 1 },
-        };
+        cur = CoreCoord { row: cur.row, col: if cur.col < b.col { cur.col + 1 } else { cur.col - 1 } };
         path.push(geometry.id(cur));
     }
     path
@@ -195,10 +189,7 @@ mod tests {
             route_xy_avoiding(&g, &defects, CoreId(0), bad),
             Err(RouteError::DestinationUnusable(bad))
         );
-        assert_eq!(
-            route_xy_avoiding(&g, &defects, bad, CoreId(0)),
-            Err(RouteError::SourceUnusable(bad))
-        );
+        assert_eq!(route_xy_avoiding(&g, &defects, bad, CoreId(0)), Err(RouteError::SourceUnusable(bad)));
     }
 
     #[test]

@@ -101,7 +101,7 @@ mod tests {
     fn slow_stage_dominates() {
         // Stage 1 is 3x slower; for long streams makespan ≈ units × 3.
         let (makespan, busy) = simulate_exact(100, 3, |_, s| if s == 1 { 3.0 } else { 1.0 });
-        assert!(makespan >= 300.0 && makespan < 310.0, "got {makespan}");
+        assert!((300.0..310.0).contains(&makespan), "got {makespan}");
         assert!((busy[1] - 300.0).abs() < 1e-9);
     }
 

@@ -105,11 +105,7 @@ impl<'a, T: StageTimeModel> PipelineScheduler<'a, T> {
     /// Panics if the granularity is invalid for the model (plain TGP on a
     /// bidirectional-mask model).
     pub fn run(&self, trace: &Trace, granularity: Granularity) -> PipelineReport {
-        assert!(
-            granularity.is_valid_for(self.model),
-            "{granularity} is not valid for {}",
-            self.model.name
-        );
+        assert!(granularity.is_valid_for(self.model), "{granularity} is not valid for {}", self.model.name);
         match granularity {
             Granularity::Sequence => self.run_sequence_grained(trace),
             Granularity::Token => self.run_token_grained(trace, 0.0),
@@ -253,8 +249,12 @@ mod tests {
         let trace = TraceGenerator::new(11).generate(&LengthConfig::wikitext2_like(), 40);
         let seq = sched.run(&trace, Granularity::Sequence);
         let tok = sched.run(&trace, Granularity::Token);
-        assert!(tok.makespan_s < seq.makespan_s,
-            "TGP {} should beat sequence-grained {}", tok.makespan_s, seq.makespan_s);
+        assert!(
+            tok.makespan_s < seq.makespan_s,
+            "TGP {} should beat sequence-grained {}",
+            tok.makespan_s,
+            seq.makespan_s
+        );
         assert!(tok.bubble_fraction() < seq.bubble_fraction());
     }
 
@@ -291,8 +291,12 @@ mod tests {
         let variable = TraceGenerator::new(3).generate(&LengthConfig::wikitext2_like(), 30);
         let u = sched.run(&uniform, Granularity::Sequence);
         let v = sched.run(&variable, Granularity::Sequence);
-        assert!(v.bubble_fraction() > u.bubble_fraction(),
-            "variable {} vs uniform {}", v.bubble_fraction(), u.bubble_fraction());
+        assert!(
+            v.bubble_fraction() > u.bubble_fraction(),
+            "variable {} vs uniform {}",
+            v.bubble_fraction(),
+            u.bubble_fraction()
+        );
     }
 
     #[test]
@@ -301,9 +305,8 @@ mod tests {
         let times = constant();
         let sched = PipelineScheduler::new(&model, &times);
         let trace = TraceGenerator::new(4).generate(&LengthConfig::fixed(128, 0), 4);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            sched.run(&trace, Granularity::Token)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sched.run(&trace, Granularity::Token)));
         assert!(result.is_err());
     }
 
@@ -317,7 +320,7 @@ mod tests {
         let plain = sched.run(&trace, Granularity::Token);
         let blocked = sched.run(&trace, Granularity::TokenWithBlock);
         let ratio = blocked.makespan_s / plain.makespan_s;
-        assert!(ratio >= 1.0 && ratio < 1.15, "got {ratio}");
+        assert!((1.0..1.15).contains(&ratio), "got {ratio}");
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Multi-wafer serving: one model replica per wafer, a front-end router, and
+//! the global event loop that interleaves arrivals with engine iterations.
+//!
+//! Each wafer runs an independent [`Engine`] over its own KV cache (the
+//! paper's multi-wafer study gangs wafers for *capacity*; here each wafer
+//! holds a full replica and the cluster scales *throughput*, the standard
+//! serving deployment). The router assigns every arrival to a wafer under a
+//! pluggable [`RoutePolicy`], with routing decisions made against live engine
+//! state at the arrival instant.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::{RequestRecord, ServingReport, SloConfig};
+use ouro_kvcache::KvError;
+use ouro_sim::OuroborosSystem;
+use ouro_workload::TimedTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// How the front-end router picks a wafer for an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Cycle through wafers regardless of state.
+    RoundRobin,
+    /// Send to the wafer whose KV cache (resident plus queued token demand)
+    /// is least loaded.
+    LeastKvLoad,
+    /// Send to the wafer with the fewest queued-plus-resident requests.
+    JoinShortestQueue,
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutePolicy::RoundRobin => write!(f, "round-robin"),
+            RoutePolicy::LeastKvLoad => write!(f, "least-kv-load"),
+            RoutePolicy::JoinShortestQueue => write!(f, "join-shortest-queue"),
+        }
+    }
+}
+
+/// A cluster of model replicas, one per wafer.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    engines: Vec<Engine>,
+    policy: RoutePolicy,
+    rr_next: usize,
+}
+
+impl Cluster {
+    /// Builds `wafers` identical replicas of `system`'s deployment: each
+    /// wafer gets the system's stage-time model and a fresh KV manager from
+    /// [`OuroborosSystem::serve_kv_config`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] when the deployment leaves no KV
+    /// cores.
+    pub fn replicate(
+        system: &OuroborosSystem,
+        wafers: usize,
+        policy: RoutePolicy,
+        engine_cfg: EngineConfig,
+    ) -> Result<Cluster, KvError> {
+        assert!(wafers > 0, "a cluster needs at least one wafer");
+        let engines = (0..wafers)
+            .map(|_| Engine::new(system.stage_times().clone(), system.serve_kv_config(), engine_cfg))
+            .collect::<Result<Vec<Engine>, KvError>>()?;
+        Ok(Cluster { engines, policy, rr_next: 0 })
+    }
+
+    /// Number of wafers.
+    pub fn wafers(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Read access to the per-wafer engines.
+    pub fn engines(&self) -> &[Engine] {
+        &self.engines
+    }
+
+    /// Picks the wafer for the next request under the configured policy.
+    fn route(&mut self) -> usize {
+        let n = self.engines.len();
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let w = self.rr_next % n;
+                self.rr_next = (self.rr_next + 1) % n;
+                w
+            }
+            RoutePolicy::LeastKvLoad => pick_min(&self.engines, Engine::kv_load),
+            RoutePolicy::JoinShortestQueue => {
+                pick_min(&self.engines, |e| (e.queue_len() + e.resident()) as f64)
+            }
+        }
+    }
+
+    /// Serves a timed trace to completion (or to `horizon_s`) and reports SLO
+    /// metrics. Closed-loop traces release one gated request per completion
+    /// after an exponential think time.
+    pub fn run(&mut self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> ServingReport {
+        // Open arrivals, sorted ascending; gated (closed-loop) requests wait
+        // in submission order.
+        let mut arrivals: VecDeque<(f64, usize)> = timed
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_gated())
+            .map(|(i, r)| (r.arrival_s, i))
+            .collect();
+        let mut gated: VecDeque<usize> =
+            timed.arrivals.iter().enumerate().filter(|(_, r)| r.is_gated()).map(|(i, _)| i).collect();
+        let think_time_s = match timed.config {
+            ouro_workload::ArrivalConfig::ClosedLoop { think_time_s, .. } => think_time_s,
+            _ => 0.0,
+        };
+        let mut think_rng = StdRng::seed_from_u64(timed.seed ^ 0x7417_1e5e_ed00_0002);
+
+        loop {
+            let next_arrival = arrivals.front().map(|&(t, _)| t);
+            let next_engine = self
+                .engines
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.has_work() && e.clock_s() < horizon_s)
+                .min_by(|(_, a), (_, b)| a.clock_s().total_cmp(&b.clock_s()))
+                .map(|(i, _)| i);
+
+            match (next_arrival, next_engine) {
+                (None, None) => break,
+                (Some(t_arr), engine) => {
+                    if t_arr >= horizon_s {
+                        // Arrivals beyond the horizon are never injected.
+                        if engine.is_none() {
+                            break;
+                        }
+                        self.step_engine(
+                            engine.expect("checked above"),
+                            &mut arrivals,
+                            &mut gated,
+                            think_time_s,
+                            &mut think_rng,
+                        );
+                        continue;
+                    }
+                    // Route the arrival once every busy engine has simulated
+                    // past it, so routing sees current state.
+                    let min_clock = engine.map(|i| self.engines[i].clock_s());
+                    match min_clock {
+                        Some(c) if c < t_arr => {
+                            self.step_engine(
+                                engine.expect("checked above"),
+                                &mut arrivals,
+                                &mut gated,
+                                think_time_s,
+                                &mut think_rng,
+                            );
+                        }
+                        _ => {
+                            let (t, idx) = arrivals.pop_front().expect("peeked above");
+                            let wafer = self.route();
+                            self.engines[wafer].submit(timed.arrivals[idx].request, t, idx, wafer);
+                        }
+                    }
+                }
+                (None, Some(i)) => {
+                    self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                }
+            }
+        }
+
+        self.report(timed, slo, horizon_s)
+    }
+
+    /// Advances one engine by one iteration, feeding closed-loop releases
+    /// back into the arrival queue.
+    fn step_engine(
+        &mut self,
+        i: usize,
+        arrivals: &mut VecDeque<(f64, usize)>,
+        gated: &mut VecDeque<usize>,
+        think_time_s: f64,
+        think_rng: &mut StdRng,
+    ) {
+        let completions = self.engines[i].step();
+        for (_, t_done) in completions {
+            if let Some(next) = gated.pop_front() {
+                let think: f64 = if think_time_s > 0.0 {
+                    ouro_workload::arrival::exponential(think_rng, 1.0 / think_time_s)
+                } else {
+                    0.0
+                };
+                let release = t_done + think;
+                // Released arrivals are appended in completion order; engine
+                // clocks only move forward, so later releases sort later.
+                let pos = arrivals.partition_point(|&(t, _)| t <= release);
+                arrivals.insert(pos, (release, next));
+            }
+        }
+    }
+
+    /// Assembles the cluster-wide serving report.
+    fn report(&self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> ServingReport {
+        let mut records: Vec<RequestRecord> =
+            self.engines.iter().flat_map(|e| e.records().iter().copied()).collect();
+        records.sort_by_key(|r| r.id);
+        let queued: usize = self.engines.iter().map(Engine::queue_len).sum();
+        let in_flight: usize = self.engines.iter().map(Engine::resident).sum();
+        let dropped: usize = self.engines.iter().map(|e| e.stats().dropped as usize).sum();
+        let evictions: u64 = self.engines.iter().map(|e| e.stats().evictions).sum();
+        let end_s =
+            self.engines.iter().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
+        let utilization = if end_s > 0.0 {
+            self.engines.iter().map(|e| e.busy_s().min(end_s) / end_s).sum::<f64>()
+                / self.engines.len() as f64
+        } else {
+            0.0
+        };
+        ServingReport::from_records(
+            &records,
+            slo,
+            timed.config.offered_rps(),
+            crate::metrics::RunTotals {
+                queued_at_horizon: queued,
+                in_flight_at_horizon: in_flight,
+                dropped,
+                evictions,
+                duration_s: end_s,
+                utilization,
+            },
+        )
+    }
+}
+
+fn pick_min(engines: &[Engine], score: impl Fn(&Engine) -> f64) -> usize {
+    engines
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)))
+        .map(|(i, _)| i)
+        .expect("cluster has at least one engine")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_model::zoo;
+    use ouro_sim::{OuroborosConfig, OuroborosSystem};
+    use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    fn slo() -> SloConfig {
+        SloConfig { ttft_s: 0.5, tpot_s: 0.05 }
+    }
+
+    fn timed(n: usize, rate: f64, seed: u64) -> ouro_workload::TimedTrace {
+        let trace = TraceGenerator::new(seed).generate(&LengthConfig::fixed(64, 32), n);
+        ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+    }
+
+    #[test]
+    fn cluster_completes_a_light_open_loop_workload() {
+        let sys = tiny_system();
+        let mut cluster =
+            Cluster::replicate(&sys, 2, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
+        let report = cluster.run(&timed(40, 50.0, 1), &slo(), f64::INFINITY);
+        assert_eq!(report.injected, 40);
+        assert_eq!(report.completed, 40);
+        assert!(report.is_conserved());
+        assert!(report.ttft.count > 0);
+        assert!(report.achieved_rps > 0.0);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let sys = tiny_system();
+        let mut cluster =
+            Cluster::replicate(&sys, 4, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
+        let report = cluster.run(&timed(40, 100.0, 2), &slo(), f64::INFINITY);
+        assert!(report.is_conserved());
+        for e in cluster.engines() {
+            assert_eq!(e.records().len(), 10);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let sys = tiny_system();
+        let run = || {
+            let mut cluster =
+                Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+            cluster.run(&timed(60, 200.0, 3), &slo(), f64::INFINITY)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn horizon_truncates_and_conserves() {
+        let sys = tiny_system();
+        let mut cluster =
+            Cluster::replicate(&sys, 1, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
+        // Absurd overload with a tight horizon: arrivals span ~10ms but the
+        // horizon cuts at 5ms, and 50k rps is far beyond one tiny wafer.
+        let t = timed(500, 50_000.0, 4);
+        let report = cluster.run(&t, &slo(), 0.005);
+        assert!(
+            report.is_conserved(),
+            "injected {} != completed {} + queued {} + in-flight {} + dropped {}",
+            report.injected,
+            report.completed,
+            report.queued_at_horizon,
+            report.in_flight_at_horizon,
+            report.dropped
+        );
+        assert!(report.injected < 500, "horizon must cut off late arrivals");
+        assert!(report.queued_at_horizon + report.in_flight_at_horizon > 0);
+        assert!(report.duration_s <= 0.005 + 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request() {
+        let sys = tiny_system();
+        let mut cluster =
+            Cluster::replicate(&sys, 2, RoutePolicy::JoinShortestQueue, EngineConfig::default()).unwrap();
+        let trace = TraceGenerator::new(9).generate(&LengthConfig::fixed(32, 16), 30);
+        let t = ArrivalConfig::ClosedLoop { users: 4, think_time_s: 0.01 }.assign(&trace, 9);
+        let report = cluster.run(&t, &slo(), f64::INFINITY);
+        assert_eq!(report.injected, 30);
+        assert_eq!(report.completed, 30);
+        assert!(report.is_conserved());
+        // With 4 users the cluster never holds more than 4 requests.
+        let peak: usize = cluster.engines().iter().map(|e| e.stats().peak_resident).max().unwrap();
+        assert!(peak <= 4, "closed loop caps concurrency, peak {peak}");
+    }
+
+    #[test]
+    fn policies_route_differently_under_skew() {
+        // One giant request pins wafer 0; LeastKvLoad steers followers away,
+        // RoundRobin does not.
+        let sys = tiny_system();
+        let trace = {
+            let mut t = TraceGenerator::new(5).generate(&LengthConfig::fixed(48, 24), 12);
+            t.requests[0] = ouro_workload::Request::new(0, 600, 200);
+            t
+        };
+        let t = ArrivalConfig::Poisson { rate_rps: 5_000.0 }.assign(&trace, 5);
+        let run = |policy| {
+            let mut cluster = Cluster::replicate(&sys, 2, policy, EngineConfig::default()).unwrap();
+            let r = cluster.run(&t, &slo(), f64::INFINITY);
+            let loads: Vec<usize> = cluster.engines().iter().map(|e| e.records().len()).collect();
+            (r, loads)
+        };
+        let (rr_report, rr_loads) = run(RoutePolicy::RoundRobin);
+        let (lkv_report, lkv_loads) = run(RoutePolicy::LeastKvLoad);
+        assert!(rr_report.is_conserved() && lkv_report.is_conserved());
+        assert_eq!(rr_loads, vec![6, 6], "round-robin splits 12 requests evenly");
+        assert!(
+            lkv_loads[0] < lkv_loads[1],
+            "least-kv-load must shield the wafer pinned by the giant request: {lkv_loads:?}"
+        );
+    }
+}

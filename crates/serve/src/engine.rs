@@ -1,0 +1,570 @@
+//! The single-wafer serving engine: continuous batching with chunked prefill
+//! over the distributed KV cache.
+//!
+//! The engine advances in *iterations* (steps), the unit of continuous
+//! batching: at each step boundary it admits waiting requests FCFS into the
+//! KV cache under the same admission/eviction rules as the offline
+//! [`ouro_kvcache::scheduler`] (most-recently-admitted eviction on capacity
+//! exhaustion, admission suspended until a completion, anti-thrashing
+//! threshold inside the manager), then advances every resident sequence by
+//! one unit of work — a chunk of prefill tokens or one decode token — and
+//! charges the step's wall-clock duration from the hardware-derived
+//! [`HwStageTimes`].
+//!
+//! A step that moves `T` tokens through the token-grained pipeline with mean
+//! context `c̄` takes `max(L(c̄), T · b(c̄))` seconds, where `L` is the full
+//! pipeline latency of one token and `b` the bottleneck stage interval: with
+//! few tokens in flight the pipeline drains before it refills (the
+//! autoregressive limit of §6.2), with many it streams one token per
+//! bottleneck interval.
+//!
+//! One deliberate divergence from the offline scheduler: an evicted sequence
+//! keeps its generation progress and only *recomputes* its resident KV
+//! (prompt plus tokens decoded so far) when re-admitted, the way a serving
+//! system replays a prefix. The offline replayer instead restarts decode from
+//! scratch, which would corrupt latency accounting here.
+
+use crate::metrics::RequestRecord;
+use ouro_kvcache::{KvError, KvManager, KvManagerConfig};
+use ouro_sim::HwStageTimes;
+use ouro_workload::Request;
+use std::collections::VecDeque;
+
+/// Tuning knobs of one engine (one wafer's replica).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Maximum number of simultaneously resident sequences (the KV cache
+    /// usually saturates first).
+    pub max_batch: usize,
+    /// Prefill tokens processed per sequence per iteration (chunked prefill,
+    /// so long prompts cannot starve decode steps).
+    pub prefill_chunk: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { max_batch: 4096, prefill_chunk: 128 }
+    }
+}
+
+/// Raw counters exposed by one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Admissions into the KV cache, including re-admissions after eviction.
+    pub admissions: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// Tokens recomputed because their sequence was evicted mid-flight.
+    pub recomputed_tokens: u64,
+    /// Requests dropped because they cannot fit in an empty cache.
+    pub dropped: u64,
+    /// Continuous-batching iterations executed.
+    pub steps: u64,
+    /// Peak resident sequences.
+    pub peak_resident: usize,
+}
+
+/// A sequence resident in the KV cache.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSeq {
+    /// Index into the engine's record table.
+    rec: usize,
+    /// Prefill (or recompute) tokens still to stream through the pipeline.
+    prefill_remaining: usize,
+    /// Decode tokens emitted so far.
+    decoded: usize,
+    /// Monotone admission stamp; the eviction victim is the largest.
+    admission_order: u64,
+}
+
+/// A request waiting for admission (fresh, or evicted with progress).
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    rec: usize,
+    /// Decode tokens already emitted before an eviction (0 for fresh).
+    decoded: usize,
+}
+
+/// A request completion event: `(record index, completion time)`.
+pub type Completion = (usize, f64);
+
+/// One wafer's online serving engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    times: HwStageTimes,
+    manager: KvManager,
+    config: EngineConfig,
+    records: Vec<RequestRecord>,
+    pending: VecDeque<PendingReq>,
+    active: Vec<ActiveSeq>,
+    admission_suspended: bool,
+    clock_s: f64,
+    busy_s: f64,
+    /// Token-demand of the pending queue (prompt + decoded per request),
+    /// maintained incrementally for the `LeastKvLoad` router.
+    pending_tokens: usize,
+    stats: EngineStats,
+    order_counter: u64,
+}
+
+impl Engine {
+    /// Builds an engine over a fresh KV manager.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] from the manager.
+    pub fn new(times: HwStageTimes, kv: KvManagerConfig, config: EngineConfig) -> Result<Engine, KvError> {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.prefill_chunk > 0, "prefill_chunk must be positive");
+        Ok(Engine {
+            times,
+            manager: KvManager::new(kv)?,
+            config,
+            records: Vec::new(),
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            admission_suspended: false,
+            clock_s: 0.0,
+            busy_s: 0.0,
+            pending_tokens: 0,
+            stats: EngineStats::default(),
+            order_counter: 0,
+        })
+    }
+
+    /// The engine's simulated clock.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Seconds spent with at least one token in flight.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Whether the engine has queued or resident work.
+    pub fn has_work(&self) -> bool {
+        !self.pending.is_empty() || !self.active.is_empty()
+    }
+
+    /// Requests waiting for admission.
+    pub fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequences resident in the KV cache.
+    pub fn resident(&self) -> usize {
+        self.active.len()
+    }
+
+    /// KV pressure for routing: resident plus queued token demand relative to
+    /// cache capacity (may exceed 1 under overload).
+    pub fn kv_load(&self) -> f64 {
+        let demand = self.manager.used_tokens() + self.pending_tokens;
+        demand as f64 / self.manager.capacity_tokens().max(1) as f64
+    }
+
+    /// Raw counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Per-request lifecycle records (indexed by submission order).
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Submits a request arriving at `arrival_s`, tagged with the global id
+    /// and wafer index for reporting. Returns the engine-local record index.
+    pub fn submit(&mut self, request: Request, arrival_s: f64, id: usize, wafer: usize) -> usize {
+        if !self.has_work() {
+            // An idle engine fast-forwards to the arrival.
+            self.clock_s = self.clock_s.max(arrival_s);
+        }
+        let rec = self.records.len();
+        self.records.push(RequestRecord {
+            id,
+            wafer,
+            prompt_len: request.prompt_len,
+            decode_len: request.decode_len,
+            arrival_s,
+            admitted_s: f64::NAN,
+            first_token_s: f64::NAN,
+            completed_s: f64::NAN,
+            evictions: 0,
+        });
+        self.pending.push_back(PendingReq { rec, decoded: 0 });
+        self.pending_tokens += request.prompt_len;
+        rec
+    }
+
+    /// Tokens a pending request will occupy at admission (prompt plus any
+    /// decode progress that survives an eviction).
+    fn resident_demand(&self, p: &PendingReq) -> usize {
+        self.records[p.rec].prompt_len + p.decoded
+    }
+
+    /// Admission phase of one iteration: FCFS continuous batching with the
+    /// offline scheduler's eviction rules.
+    fn admit_waiting(&mut self) {
+        // Nothing resident means nothing can complete, so a suspension would
+        // deadlock; lift it.
+        if self.active.is_empty() {
+            self.admission_suspended = false;
+        }
+        while !self.admission_suspended && self.active.len() < self.config.max_batch {
+            let Some(&front) = self.pending.front() else { break };
+            if self.records[front.rec].arrival_s > self.clock_s {
+                break; // not arrived yet (engine clock lags a routed burst)
+            }
+            let tokens = self.resident_demand(&front);
+            let seq_id = front.rec as u64;
+            match self.manager.admit(seq_id, tokens) {
+                Ok(()) => {
+                    self.pending.pop_front();
+                    self.pending_tokens -= tokens;
+                    self.stats.admissions += 1;
+                    let r = &mut self.records[front.rec];
+                    if r.admitted_s.is_nan() {
+                        r.admitted_s = self.clock_s;
+                    }
+                    self.active.push(ActiveSeq {
+                        rec: front.rec,
+                        prefill_remaining: tokens,
+                        decoded: front.decoded,
+                        admission_order: self.order_counter,
+                    });
+                    self.order_counter += 1;
+                }
+                Err(KvError::OutOfCapacity) => {
+                    self.manager.release(seq_id);
+                    if self.active.is_empty() {
+                        // Even an empty cache cannot hold it: drop to
+                        // guarantee progress (the offline scheduler does the
+                        // same).
+                        self.pending.pop_front();
+                        self.pending_tokens -= tokens;
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                    self.evict_most_recent();
+                    self.admission_suspended = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected kv error during admission: {e}"),
+            }
+        }
+    }
+
+    /// Evicts the most recently admitted sequence back to the queue front.
+    fn evict_most_recent(&mut self) {
+        let victim_pos = self
+            .active
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| a.admission_order)
+            .map(|(i, _)| i)
+            .expect("evict_most_recent requires a resident sequence");
+        let victim = self.active.swap_remove(victim_pos);
+        self.requeue_evicted(victim);
+    }
+
+    /// Shared eviction bookkeeping: the victim's resident KV (prompt plus
+    /// decode progress) is released and charged as recompute work, and the
+    /// request returns to the *front* of the queue keeping its progress.
+    fn requeue_evicted(&mut self, victim: ActiveSeq) {
+        let resident = self.records[victim.rec].prompt_len + victim.decoded;
+        self.stats.evictions += 1;
+        self.stats.recomputed_tokens += resident as u64;
+        self.records[victim.rec].evictions += 1;
+        self.manager.release(victim.rec as u64);
+        self.pending.push_front(PendingReq { rec: victim.rec, decoded: victim.decoded });
+        self.pending_tokens += resident;
+    }
+
+    /// Runs one continuous-batching iteration: admit, move one unit of work
+    /// per resident sequence, advance the clock, retire completions.
+    ///
+    /// Returns the completions that occurred, stamped with their times.
+    pub fn step(&mut self) -> Vec<Completion> {
+        // An empty batch with a future queue head means the engine is idle:
+        // fast-forward to the next arrival.
+        if self.active.is_empty() {
+            if let Some(front) = self.pending.front() {
+                let arr = self.records[front.rec].arrival_s;
+                if arr > self.clock_s {
+                    self.clock_s = arr;
+                }
+            }
+        }
+        self.admit_waiting();
+        if self.active.is_empty() {
+            return Vec::new();
+        }
+
+        self.stats.steps += 1;
+        self.stats.peak_resident = self.stats.peak_resident.max(self.active.len());
+
+        // Work selection: a chunk of prefill tokens per prefilling sequence,
+        // one decode token per decoding sequence — all interleaved in the
+        // same token-grained pipeline pass.
+        let mut step_tokens = 0usize;
+        let mut ctx_sum = 0.0f64;
+        for a in &self.active {
+            let r = &self.records[a.rec];
+            let resident = r.prompt_len + a.decoded;
+            ctx_sum += resident as f64;
+            if a.prefill_remaining > 0 {
+                step_tokens += a.prefill_remaining.min(self.config.prefill_chunk);
+            } else if a.decoded < r.decode_len {
+                step_tokens += 1;
+            }
+        }
+        let mean_ctx = (ctx_sum / self.active.len() as f64).max(1.0) as usize;
+        let pipeline_s = self.times.token_pipeline_latency_s(mean_ctx);
+        let bottleneck_s = self.times.bottleneck_stage_s(mean_ctx);
+        let step_s = if step_tokens == 0 {
+            // Every resident sequence finished prefill with zero decode
+            // tokens requested; charge one drain pass so completion time is
+            // well defined.
+            pipeline_s
+        } else {
+            pipeline_s.max(step_tokens as f64 * bottleneck_s)
+        };
+        let end_s = self.clock_s + step_s;
+        self.busy_s += step_s;
+
+        // Advance every resident sequence by its unit of work.
+        let mut evicted_now: Vec<usize> = Vec::new();
+        for i in 0..self.active.len() {
+            let a = self.active[i];
+            if a.prefill_remaining > 0 {
+                self.active[i].prefill_remaining =
+                    a.prefill_remaining.saturating_sub(self.config.prefill_chunk);
+                continue;
+            }
+            let r = &self.records[a.rec];
+            if a.decoded >= r.decode_len {
+                continue; // zero-decode request: completes below
+            }
+            match self.manager.append_tokens(a.rec as u64, 1) {
+                Ok(()) => {
+                    self.active[i].decoded += 1;
+                    let rec = &mut self.records[a.rec];
+                    if rec.first_token_s.is_nan() {
+                        rec.first_token_s = end_s;
+                    }
+                }
+                Err(KvError::OutOfCapacity) => evicted_now.push(i),
+                Err(e) => panic!("unexpected kv error during decode: {e}"),
+            }
+        }
+        // Decode-growth failures evict (highest index first so swap_remove
+        // keeps earlier indices valid).
+        evicted_now.sort_unstable_by(|a, b| b.cmp(a));
+        for i in evicted_now {
+            let victim = self.active.swap_remove(i);
+            self.requeue_evicted(victim);
+        }
+
+        // Retire completed sequences; a completion lifts the admission
+        // suspension.
+        self.clock_s = end_s;
+        let mut completions = Vec::new();
+        let records = &mut self.records;
+        let manager = &mut self.manager;
+        self.active.retain(|a| {
+            let r = &mut records[a.rec];
+            if a.prefill_remaining == 0 && a.decoded >= r.decode_len {
+                r.completed_s = end_s;
+                manager.release(a.rec as u64);
+                completions.push((a.rec, end_s));
+                false
+            } else {
+                true
+            }
+        });
+        if !completions.is_empty() {
+            self.admission_suspended = false;
+        }
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_hw::{CimCore, CoreId};
+    use ouro_model::zoo;
+    use ouro_noc::CommCost;
+
+    fn times() -> HwStageTimes {
+        HwStageTimes {
+            model: zoo::llama_13b(),
+            core: CimCore::paper(),
+            cores_per_stage: [20, 0, 0, 7, 27, 27],
+            comm: CommCost::paper(),
+            mean_hops: 3.0,
+            inter_wafer_crossings_per_token: 0.0,
+        }
+    }
+
+    fn kv(cores: usize) -> KvManagerConfig {
+        KvManagerConfig::new((0..cores).map(CoreId).collect(), 1, 128)
+    }
+
+    fn engine(cores: usize) -> Engine {
+        Engine::new(times(), kv(cores), EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_request_runs_to_completion() {
+        let mut e = engine(8);
+        e.submit(Request::new(0, 64, 8), 0.5, 0, 0);
+        let mut completions = Vec::new();
+        while e.has_work() {
+            completions.extend(e.step());
+        }
+        assert_eq!(completions.len(), 1);
+        let r = &e.records()[0];
+        assert!(r.admitted_s >= 0.5);
+        assert!(r.first_token_s > r.admitted_s, "prefill must take time");
+        assert!(r.completed_s > r.first_token_s);
+        assert_eq!(e.stats().dropped, 0);
+        assert_eq!(e.stats().evictions, 0);
+        assert!(e.busy_s() > 0.0);
+    }
+
+    #[test]
+    fn idle_engine_fast_forwards_to_arrivals() {
+        let mut e = engine(8);
+        e.submit(Request::new(0, 32, 4), 10.0, 0, 0);
+        assert!(e.clock_s() >= 10.0);
+        while e.has_work() {
+            e.step();
+        }
+        let r = &e.records()[0];
+        assert!(r.completed_s > 10.0);
+        // Utilization excludes the idle gap before the arrival.
+        assert!(e.busy_s() < r.completed_s - 5.0);
+    }
+
+    #[test]
+    fn later_arrival_waits_for_its_timestamp() {
+        let mut e = engine(8);
+        e.submit(Request::new(0, 32, 64), 0.0, 0, 0);
+        e.submit(Request::new(1, 32, 4), 1e9, 1, 0);
+        // The first request completes long before the second arrives.
+        let mut steps = 0;
+        while e.records()[0].completed_s.is_nan() && steps < 10_000 {
+            e.step();
+            steps += 1;
+        }
+        assert!(e.records()[0].completed_s < 1e9);
+        assert!(e.records()[1].admitted_s.is_nan());
+        while e.has_work() {
+            e.step();
+        }
+        assert!(e.records()[1].admitted_s >= 1e9);
+    }
+
+    #[test]
+    fn overload_evicts_but_conserves_requests() {
+        // A 2-core cache holds ~32k tokens; 40 requests of 2k tokens each
+        // demand ~80k, so decode growth must evict.
+        let mut e = engine(2);
+        for i in 0..40 {
+            e.submit(Request::new(i, 1000, 1000), 0.0, i, 0);
+        }
+        let mut completions = 0;
+        let mut guard = 0;
+        while e.has_work() && guard < 2_000_000 {
+            completions += e.step().len();
+            guard += 1;
+        }
+        assert!(guard < 2_000_000, "engine must make progress under overload");
+        let done = e.records().iter().filter(|r| r.completed()).count();
+        assert_eq!(done, completions);
+        assert_eq!(done + e.stats().dropped as usize, 40, "every request completes or is dropped");
+        assert!(e.stats().evictions > 0, "a tiny cache must evict under this load");
+        assert!(e.stats().recomputed_tokens > 0);
+    }
+
+    #[test]
+    fn eviction_preserves_decode_progress() {
+        let mut e = engine(2);
+        for i in 0..40 {
+            e.submit(Request::new(i, 800, 800), 0.0, i, 0);
+        }
+        while e.has_work() {
+            e.step();
+        }
+        let evicted: Vec<&RequestRecord> =
+            e.records().iter().filter(|r| r.evictions > 0 && r.completed()).collect();
+        assert!(!evicted.is_empty(), "this workload must evict at least one request");
+        for r in evicted {
+            // First token precedes completion even across evictions, and is
+            // never re-emitted (monotone record).
+            assert!(r.first_token_s <= r.completed_s);
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_dropped_not_spun_on() {
+        let mut e = engine(2);
+        let cap = 100_000; // far beyond two cores of KV
+        e.submit(Request::new(0, cap, 4), 0.0, 0, 0);
+        e.submit(Request::new(1, 64, 4), 0.0, 1, 0);
+        while e.has_work() {
+            e.step();
+        }
+        assert_eq!(e.stats().dropped, 1);
+        assert!(e.records()[1].completed());
+    }
+
+    #[test]
+    fn zero_decode_requests_complete_after_prefill() {
+        let mut e = engine(8);
+        e.submit(Request::new(0, 128, 0), 0.0, 0, 0);
+        while e.has_work() {
+            e.step();
+        }
+        let r = &e.records()[0];
+        assert!(r.completed());
+        assert!(r.first_token_s.is_nan(), "no decode token is ever emitted");
+        assert!(r.completed_s > 0.0);
+    }
+
+    #[test]
+    fn bigger_batches_run_more_tokens_per_step() {
+        // With 8 identical requests resident, steady-state decode steps move
+        // 8 tokens and so take at least as long as single-request steps, but
+        // less than 8x (pipeline overlap).
+        let run = |n: usize| -> f64 {
+            let mut e = engine(16);
+            for i in 0..n {
+                e.submit(Request::new(i, 32, 64), 0.0, i, 0);
+            }
+            while e.has_work() {
+                e.step();
+            }
+            e.records().iter().map(|r| r.completed_s).fold(0.0, f64::max)
+        };
+        let t1 = run(1);
+        let t8 = run(8);
+        assert!(t8 >= t1, "more work cannot finish earlier");
+        assert!(t8 < 8.0 * t1, "continuous batching must overlap sequences, {t8} vs {t1}");
+    }
+
+    #[test]
+    fn kv_load_tracks_queue_and_residency() {
+        let mut e = engine(4);
+        assert_eq!(e.kv_load(), 0.0);
+        e.submit(Request::new(0, 512, 64), 0.0, 0, 0);
+        let queued = e.kv_load();
+        assert!(queued > 0.0, "queued demand counts toward load");
+        e.step();
+        assert!(e.resident() == 1);
+        assert!(e.kv_load() > 0.0);
+    }
+}

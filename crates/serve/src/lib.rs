@@ -1,0 +1,51 @@
+//! Online serving simulator for Ouroboros deployments.
+//!
+//! The offline crates answer "how fast does a wafer chew through a fixed
+//! batch"; this crate answers the production question — "how much live
+//! traffic can a deployment absorb while meeting latency SLOs". It layers
+//! four pieces on top of [`ouro_sim::OuroborosSystem`]:
+//!
+//! * **arrival processes** (in `ouro-workload`): open-loop Poisson and
+//!   bursty-Gamma traffic plus closed-loop think-time clients
+//!   ([`ouro_workload::ArrivalConfig`]),
+//! * **a continuous-batching engine** ([`engine::Engine`]): discrete-event
+//!   iterations that admit requests FCFS into the distributed KV cache under
+//!   the offline scheduler's admission/eviction rules, interleave chunked
+//!   prefill with decode in the token-grained pipeline, and charge wall-clock
+//!   from the hardware-derived [`ouro_sim::HwStageTimes`],
+//! * **a multi-wafer cluster** ([`cluster::Cluster`]): one model replica per
+//!   wafer behind a router with pluggable policies
+//!   ([`cluster::RoutePolicy`]: round-robin, least-KV-load,
+//!   join-shortest-queue),
+//! * **SLO metrics and load sweeps** ([`metrics`], [`sweep`]): TTFT / TPOT /
+//!   E2E p50/p95/p99, goodput under an SLO, utilization, and
+//!   throughput-vs-latency curves over offered load.
+//!
+//! # Example
+//!
+//! ```
+//! use ouro_model::zoo;
+//! use ouro_serve::{capacity_rps_estimate, ideal_latencies, LoadSweep, SloConfig};
+//! use ouro_sim::{OuroborosConfig, OuroborosSystem};
+//! use ouro_workload::LengthConfig;
+//!
+//! let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap();
+//! let lengths = LengthConfig::fixed(64, 32);
+//! let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+//! let (ttft, tpot) = ideal_latencies(system.stage_times(), 64, 96);
+//! let mut sweep = LoadSweep::around_capacity(capacity, 2, lengths, SloConfig::with_slack(ttft, tpot, 10.0));
+//! sweep.requests = 40;
+//! let points = sweep.run(&system);
+//! assert_eq!(points.len(), 6);
+//! assert!(points[0].report.is_conserved());
+//! ```
+
+pub mod cluster;
+pub mod engine;
+pub mod metrics;
+pub mod sweep;
+
+pub use cluster::{Cluster, RoutePolicy};
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};
+pub use sweep::{capacity_rps_estimate, format_sweep, ideal_latencies, LoadSweep, SweepPoint};

@@ -1,0 +1,212 @@
+//! Load-sweep driver: offered load vs. achieved throughput and tail latency.
+//!
+//! The standard serving-capacity methodology: hold the workload mix fixed,
+//! sweep the open-loop arrival rate, and record achieved throughput, tail
+//! latency, and SLO goodput at every point. Below saturation the achieved
+//! rate tracks the offered rate; past it the queue grows without bound,
+//! goodput flattens or falls, and tail latency explodes — the knee locates
+//! the wafer's serving capacity.
+
+use crate::cluster::{Cluster, RoutePolicy};
+use crate::engine::EngineConfig;
+use crate::metrics::{ServingReport, SloConfig};
+use ouro_sim::{HwStageTimes, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+/// Configuration of one load sweep.
+#[derive(Debug, Clone)]
+pub struct LoadSweep {
+    /// Offered loads to sweep, in requests per second per cluster.
+    pub rates_rps: Vec<f64>,
+    /// Number of requests injected at each point.
+    pub requests: usize,
+    /// Sequence-length mix.
+    pub lengths: LengthConfig,
+    /// Trace / arrival seed (one fixed seed across the sweep so points share
+    /// the same request mix).
+    pub seed: u64,
+    /// Number of wafers in the cluster.
+    pub wafers: usize,
+    /// Routing policy.
+    pub policy: RoutePolicy,
+    /// Per-engine tuning.
+    pub engine: EngineConfig,
+    /// Latency SLO for goodput.
+    pub slo: SloConfig,
+    /// Simulation horizon per point (bounds the overloaded tail).
+    pub horizon_s: f64,
+}
+
+/// One point of a sweep: the offered load and the resulting report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// The serving metrics at this load.
+    pub report: ServingReport,
+}
+
+impl LoadSweep {
+    /// A sweep with sensible defaults around an estimated per-wafer capacity
+    /// of `capacity_rps`: six points from 20% to 160% of the cluster's
+    /// aggregate capacity.
+    pub fn around_capacity(
+        capacity_rps: f64,
+        wafers: usize,
+        lengths: LengthConfig,
+        slo: SloConfig,
+    ) -> LoadSweep {
+        let aggregate = capacity_rps * wafers as f64;
+        LoadSweep {
+            rates_rps: [0.2, 0.5, 0.8, 1.0, 1.3, 1.6].iter().map(|f| f * aggregate).collect(),
+            requests: 200,
+            lengths,
+            seed: 2026,
+            wafers,
+            policy: RoutePolicy::LeastKvLoad,
+            engine: EngineConfig::default(),
+            slo,
+            horizon_s: f64::INFINITY,
+        }
+    }
+
+    /// Runs the sweep against replicas of `system`, one cluster per offered
+    /// load.
+    pub fn run(&self, system: &OuroborosSystem) -> Vec<SweepPoint> {
+        let trace = TraceGenerator::new(self.seed).generate(&self.lengths, self.requests);
+        self.rates_rps
+            .iter()
+            .map(|&rate| {
+                let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, self.seed);
+                let mut cluster = Cluster::replicate(system, self.wafers, self.policy, self.engine)
+                    .expect("system was built with KV cores");
+                let report = cluster.run(&timed, &self.slo, self.horizon_s);
+                SweepPoint { offered_rps: rate, report }
+            })
+            .collect()
+    }
+}
+
+/// Unloaded ("ideal") TTFT and TPOT of one wafer for a typical request, used
+/// to anchor SLOs: the prefill pipeline pass plus prompt streaming for TTFT,
+/// and the full pipeline pass for TPOT (a lone request's decode token must
+/// traverse all `6·blocks` stages; the bottleneck interval is only reached in
+/// aggregate when the token-grained pipeline is saturated by a batch).
+pub fn ideal_latencies(times: &HwStageTimes, prompt_len: usize, context: usize) -> (f64, f64) {
+    let pipeline = times.token_pipeline_latency_s(context);
+    let ttft = pipeline + prompt_len as f64 * times.bottleneck_stage_s(context);
+    (ttft, pipeline)
+}
+
+/// Estimates one wafer's request capacity for a workload mix: the
+/// steady-state token rate divided by tokens per request.
+pub fn capacity_rps_estimate(times: &HwStageTimes, lengths: &LengthConfig) -> f64 {
+    let tokens_per_request = lengths.nominal_total_tokens().max(1) as f64;
+    let context = (tokens_per_request * 0.75).max(1.0) as usize;
+    let token_rate = 1.0 / times.bottleneck_stage_s(context);
+    token_rate / tokens_per_request
+}
+
+/// Formats a sweep as a fixed-width throughput-vs-latency table.
+pub fn format_sweep(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10} {:>10} {:>10} {:>10} {:>11} {:>11} {:>11} {:>11} {:>8} {:>7}\n",
+        "offered/s",
+        "done/s",
+        "goodput/s",
+        "tok/s",
+        "ttft-p50",
+        "ttft-p99",
+        "tpot-p50",
+        "tpot-p99",
+        "slo-att",
+        "util"
+    ));
+    for p in points {
+        let r = &p.report;
+        out.push_str(&format!(
+            "{:>10.1} {:>10.1} {:>10.1} {:>10.0} {:>10.1}ms {:>10.1}ms {:>10.3}ms {:>10.3}ms {:>7.1}% {:>6.1}%\n",
+            p.offered_rps,
+            r.achieved_rps,
+            r.goodput_rps,
+            r.output_tokens_per_s,
+            r.ttft.p50_s * 1e3,
+            r.ttft.p99_s * 1e3,
+            r.tpot.p50_s * 1e3,
+            r.tpot.p99_s * 1e3,
+            r.slo_attainment * 100.0,
+            r.utilization * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_model::zoo;
+    use ouro_sim::OuroborosConfig;
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    #[test]
+    fn sweep_throughput_rises_then_saturates() {
+        let sys = tiny_system();
+        let times = sys.stage_times();
+        let lengths = LengthConfig::fixed(64, 48);
+        let capacity = capacity_rps_estimate(times, &lengths);
+        let (ttft, tpot) = ideal_latencies(times, 64, 112);
+        let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+        let mut sweep = LoadSweep::around_capacity(capacity, 2, lengths, slo);
+        sweep.requests = 80;
+        let points = sweep.run(&sys);
+        assert_eq!(points.len(), 6);
+        for w in points.windows(2) {
+            assert!(
+                w[1].report.output_tokens_per_s >= w[0].report.output_tokens_per_s * 0.95,
+                "token throughput must not collapse as load rises: {} then {}",
+                w[0].report.output_tokens_per_s,
+                w[1].report.output_tokens_per_s
+            );
+        }
+        // Under light load everything completes; the table formats.
+        assert_eq!(points[0].report.completed, 80);
+        let table = format_sweep(&points);
+        assert!(table.contains("offered/s"));
+        for p in &points {
+            assert!(p.report.is_conserved());
+        }
+    }
+
+    #[test]
+    fn tail_latency_grows_with_load() {
+        let sys = tiny_system();
+        let lengths = LengthConfig::fixed(64, 48);
+        let capacity = capacity_rps_estimate(sys.stage_times(), &lengths);
+        let slo = SloConfig { ttft_s: 1.0, tpot_s: 0.1 };
+        let mut sweep = LoadSweep::around_capacity(capacity, 1, lengths, slo);
+        sweep.requests = 60;
+        let points = sweep.run(&sys);
+        let first = &points[0].report;
+        let last = &points[points.len() - 1].report;
+        assert!(
+            last.ttft.p99_s >= first.ttft.p99_s,
+            "p99 TTFT should not shrink under overload: {} vs {}",
+            first.ttft.p99_s,
+            last.ttft.p99_s
+        );
+    }
+
+    #[test]
+    fn capacity_estimate_is_positive_and_finite() {
+        let sys = tiny_system();
+        let c = capacity_rps_estimate(sys.stage_times(), &LengthConfig::wikitext2_like());
+        assert!(c.is_finite() && c > 0.0);
+        let (ttft, tpot) = ideal_latencies(sys.stage_times(), 128, 256);
+        assert!(ttft > tpot);
+        assert!(tpot > 0.0);
+    }
+}

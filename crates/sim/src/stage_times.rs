@@ -119,10 +119,7 @@ impl HwStageTimes {
     /// The slowest single-stage time at the given context length (the
     /// pipeline's steady-state token interval).
     pub fn bottleneck_stage_s(&self, attended: usize) -> f64 {
-        StageKind::ALL
-            .iter()
-            .map(|&k| self.token_time_s(k, attended))
-            .fold(0.0f64, f64::max)
+        StageKind::ALL.iter().map(|&k| self.token_time_s(k, attended)).fold(0.0f64, f64::max)
     }
 }
 

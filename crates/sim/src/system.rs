@@ -38,11 +38,7 @@ impl OuroborosSystem {
     /// mapping leaves no cores for KV storage.
     pub fn new(config: OuroborosConfig, model: &ModelConfig) -> Result<OuroborosSystem, BuildError> {
         let core = CimCore::new(config.core.clone());
-        let comm = if config.wafer_integration {
-            CommCost::paper()
-        } else {
-            CommCost::chiplet_nvlink()
-        };
+        let comm = if config.wafer_integration { CommCost::paper() } else { CommCost::chiplet_nvlink() };
         let mut core = core;
         if config.lut_compute {
             core.config.energy = core.config.energy.with_lut_compute();
@@ -58,7 +54,10 @@ impl OuroborosSystem {
         let weight_bytes = model.total_weight_bytes();
         let available = config.total_sram_bytes();
         if weight_bytes > available {
-            return Err(BuildError::ModelDoesNotFit { required_bytes: weight_bytes, available_bytes: available });
+            return Err(BuildError::ModelDoesNotFit {
+                required_bytes: weight_bytes,
+                available_bytes: available,
+            });
         }
 
         // Map one transformer block; the mapping repeats for every block.
@@ -125,6 +124,16 @@ impl OuroborosSystem {
         })
     }
 
+    /// The deployment configuration this system was built from.
+    pub fn config(&self) -> &OuroborosConfig {
+        &self.config
+    }
+
+    /// The model this system serves.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
     /// The mapping of one transformer block.
     pub fn mapping(&self) -> &MappingSolution {
         &self.mapping
@@ -150,23 +159,26 @@ impl OuroborosSystem {
         &self.defects
     }
 
+    /// The per-head-scaled KV manager configuration used to replay traces
+    /// against one transformer block's cache (capacity and demand both shrink
+    /// by the head count, preserving the ratio). The online serving engine
+    /// (`ouro-serve`) drives a manager built from this same configuration, so
+    /// offline and online runs agree on admission capacity.
+    pub fn serve_kv_config(&self) -> KvManagerConfig {
+        let scaled_cores = (self.kv_cores_per_block / self.model.heads.max(1)).max(2);
+        let mut cfg = KvManagerConfig::new((0..scaled_cores).map(CoreId).collect(), 1, self.model.head_dim);
+        cfg.crossbars_per_core = self.core.config.crossbars;
+        cfg.crossbar = self.core.config.crossbar;
+        cfg.threshold = self.config.kv_threshold;
+        cfg
+    }
+
     /// KV concurrency and thrashing for this trace: returns
     /// `(resident_sequences, waste_fraction)`.
     fn kv_behaviour(&self, trace: &Trace) -> (f64, f64) {
         let per_block_tokens = self.kv_block_capacity_tokens();
         if self.config.dynamic_kv {
-            // Replay the trace against a per-head-scaled manager (capacity and
-            // demand both shrink by the head count, preserving the ratio).
-            let scaled_cores = (self.kv_cores_per_block / self.model.heads.max(1)).max(2);
-            let mut cfg = KvManagerConfig::new(
-                (0..scaled_cores).map(CoreId).collect(),
-                1,
-                self.model.head_dim,
-            );
-            cfg.crossbars_per_core = self.core.config.crossbars;
-            cfg.crossbar = self.core.config.crossbar;
-            cfg.threshold = self.config.kv_threshold;
-            match KvScheduler::new(cfg) {
+            match KvScheduler::new(self.serve_kv_config()) {
                 Ok(mut sched) => {
                     let out = sched.run_trace(trace);
                     (out.stats.avg_resident.max(1.0), out.waste_fraction)
@@ -201,11 +213,8 @@ impl OuroborosSystem {
     /// Runs the trace with an explicit workload label in the report.
     pub fn simulate_labeled(&self, trace: &Trace, workload: &str) -> SystemReport {
         let scheduler = PipelineScheduler::new(&self.model, &self.stage_times);
-        let granularity = if self.config.tgp {
-            Granularity::finest_for(&self.model)
-        } else {
-            Granularity::Sequence
-        };
+        let granularity =
+            if self.config.tgp { Granularity::finest_for(&self.model) } else { Granularity::Sequence };
         let report = scheduler.run(trace, granularity);
 
         let (resident, waste_fraction) = self.kv_behaviour(trace);
@@ -226,11 +235,8 @@ impl OuroborosSystem {
         let per_token_interval_limited = pipeline_latency / resident.max(1.0);
         let decode_penalty_s = decode_tokens * (per_token_interval_limited - bottleneck).max(0.0);
         // Thrashing recomputes tokens at the bottleneck rate.
-        let recompute_tokens = if waste_fraction < 1.0 {
-            total_tokens * waste_fraction / (1.0 - waste_fraction)
-        } else {
-            0.0
-        };
+        let recompute_tokens =
+            if waste_fraction < 1.0 { total_tokens * waste_fraction / (1.0 - waste_fraction) } else { 0.0 };
         let recompute_s = recompute_tokens * bottleneck;
 
         let makespan = report.makespan_s + decode_penalty_s + recompute_s;
@@ -273,8 +279,7 @@ impl OuroborosSystem {
         let kv_read_per_token = per_block.kv_read_bytes as f64 * blocks;
 
         // Compute: in-situ MACs plus SFU work.
-        let compute_j_total =
-            total_tokens * (macs_per_token * e.cim_mac_j + sfu_per_token * e.sfu_op_j);
+        let compute_j_total = total_tokens * (macs_per_token * e.cim_mac_j + sfu_per_token * e.sfu_op_j);
 
         // On-chip: activation buffers, KV writes, and — when CIM is disabled —
         // reading every used weight byte out of SRAM into the compute units.
@@ -369,9 +374,12 @@ mod tests {
         let trace = TraceGenerator::new(3).generate(&LengthConfig::wikitext2_like(), 12);
         let r_tgp = tgp.simulate(&trace);
         let r_seq = seq.simulate(&trace);
-        assert!(r_tgp.throughput_tokens_per_s > r_seq.throughput_tokens_per_s,
+        assert!(
+            r_tgp.throughput_tokens_per_s > r_seq.throughput_tokens_per_s,
             "TGP {} should beat sequence-grained {}",
-            r_tgp.throughput_tokens_per_s, r_seq.throughput_tokens_per_s);
+            r_tgp.throughput_tokens_per_s,
+            r_seq.throughput_tokens_per_s
+        );
     }
 
     #[test]

@@ -71,7 +71,14 @@ impl LengthConfig {
     pub fn nominal_total_tokens(&self) -> usize {
         match self {
             LengthConfig::Fixed { prompt, decode } => prompt + decode,
-            LengthConfig::LogNormal { prompt_mu, prompt_sigma, decode_mu, decode_sigma, min_len, max_len } => {
+            LengthConfig::LogNormal {
+                prompt_mu,
+                prompt_sigma,
+                decode_mu,
+                decode_sigma,
+                min_len,
+                max_len,
+            } => {
                 let mean = |mu: f64, sigma: f64| (mu + sigma * sigma / 2.0).exp();
                 let p = mean(*prompt_mu, *prompt_sigma).clamp(*min_len as f64, *max_len as f64);
                 let d = mean(*decode_mu, *decode_sigma).clamp(*min_len as f64, *max_len as f64);

@@ -12,10 +12,17 @@
 //! lengths mixed with variable generation lengths — via a seeded log-normal
 //! sampler, as documented in `DESIGN.md`.
 
+//!
+//! For online serving (the `ouro-serve` crate), [`arrival::ArrivalConfig`]
+//! additionally stamps each request with an arrival time drawn from a
+//! Poisson, bursty-Gamma, or closed-loop process.
+
+pub mod arrival;
 pub mod length;
 pub mod request;
 pub mod trace;
 
+pub use arrival::{ArrivalConfig, TimedRequest, TimedTrace};
 pub use length::LengthConfig;
 pub use request::Request;
 pub use trace::{Trace, TraceGenerator};

@@ -41,11 +41,8 @@ fn main() {
     );
 
     // Designate some spare cores as KV cores and fail a weight core at run time.
-    let kv_cores: Vec<CoreId> = defects
-        .functional_cores()
-        .filter(|c| !solution.assignment.core.contains(c))
-        .take(64)
-        .collect();
+    let kv_cores: Vec<CoreId> =
+        defects.functional_cores().filter(|c| !solution.assignment.core.contains(c)).take(64).collect();
     let failed = solution.assignment.core[problem.num_tiles() / 2];
     let outcome = remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed)
         .expect("kv cores are available to absorb the displaced weights");

@@ -1,0 +1,103 @@
+//! Online serving: a 4-wafer LLaMA-13B cluster under open-loop Poisson
+//! traffic, swept from light load past saturation.
+//!
+//! For each offered load the cluster serves the same fixed-seed
+//! WikiText-2-like request mix; the table reports achieved throughput, TTFT
+//! and TPOT percentiles, and goodput under a 10x-unloaded-latency SLO. The
+//! final section compares routing policies at the highest swept load.
+//!
+//! ```text
+//! cargo run --release --example online_serving
+//! ```
+
+use ouroboros::model::zoo;
+use ouroboros::serve::{
+    capacity_rps_estimate, format_sweep, ideal_latencies, Cluster, EngineConfig, LoadSweep, RoutePolicy,
+    SloConfig,
+};
+use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+const SEED: u64 = 2026;
+const WAFERS: usize = 4;
+
+fn main() {
+    let model = zoo::llama_13b();
+    let mut config = OuroborosConfig::single_wafer();
+    config.seed = SEED;
+    let system = OuroborosSystem::new(config, &model).expect("LLaMA-13B fits on one wafer");
+
+    let lengths = LengthConfig::wikitext2_like();
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ideal_ttft, ideal_tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ideal_ttft, ideal_tpot, 10.0);
+
+    println!("model: {} on {WAFERS} wafers", model.name);
+    println!(
+        "estimated per-wafer capacity: {capacity:.1} req/s  (ideal TTFT {:.2} ms, ideal TPOT {:.4} ms)",
+        ideal_ttft * 1e3,
+        ideal_tpot * 1e3
+    );
+    println!("SLO: TTFT <= {:.2} ms, TPOT <= {:.4} ms\n", slo.ttft_s * 1e3, slo.tpot_s * 1e3);
+
+    // Poisson load sweep: 20% to 160% of estimated aggregate capacity.
+    let mut sweep = LoadSweep::around_capacity(capacity, WAFERS, lengths.clone(), slo);
+    sweep.seed = SEED;
+    sweep.requests = 200;
+    sweep.policy = RoutePolicy::LeastKvLoad;
+    println!("=== Poisson load sweep, {} requests/point, least-kv-load routing ===", sweep.requests);
+    let points = sweep.run(&system);
+    print!("{}", format_sweep(&points));
+
+    // The throughput-vs-load curve must rise to saturation and then hold.
+    for w in points.windows(2) {
+        assert!(
+            w[1].report.output_tokens_per_s >= w[0].report.output_tokens_per_s * 0.95,
+            "throughput-vs-load curve must be monotone (within tolerance): {:.0} tok/s then {:.0} tok/s",
+            w[0].report.output_tokens_per_s,
+            w[1].report.output_tokens_per_s
+        );
+    }
+    for p in &points {
+        assert!(p.report.is_conserved(), "request conservation must hold at every load");
+    }
+
+    // Routing-policy shootout at the highest swept load.
+    let top_rate = *sweep.rates_rps.last().expect("sweep has points");
+    let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
+    let timed = ArrivalConfig::Poisson { rate_rps: top_rate }.assign(&trace, SEED);
+    println!("\n=== routing policies at {top_rate:.0} req/s (past saturation) ===");
+    println!(
+        "{:<22} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "policy", "ttft-p50", "ttft-p99", "tpot-p99", "goodput/s", "evictions"
+    );
+    let mut by_policy = Vec::new();
+    for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+        let mut cluster =
+            Cluster::replicate(&system, WAFERS, policy, EngineConfig::default()).expect("cluster builds");
+        let report = cluster.run(&timed, &slo, f64::INFINITY);
+        println!(
+            "{:<22} {:>9.1}ms {:>9.1}ms {:>9.3}ms {:>9.1} {:>9}",
+            policy.to_string(),
+            report.ttft.p50_s * 1e3,
+            report.ttft.p99_s * 1e3,
+            report.tpot.p99_s * 1e3,
+            report.goodput_rps,
+            report.evictions
+        );
+        by_policy.push((policy, report));
+    }
+    let rr = &by_policy[0].1;
+    let lkv = &by_policy[2].1;
+    assert!(
+        lkv.ttft.p99_s <= rr.ttft.p99_s,
+        "least-kv-load routing must match or beat round-robin p99 TTFT at the highest load: {:.1} ms vs {:.1} ms",
+        lkv.ttft.p99_s * 1e3,
+        rr.ttft.p99_s * 1e3
+    );
+    println!(
+        "\nleast-kv-load p99 TTFT is {:.1}% of round-robin's at {top_rate:.0} req/s",
+        100.0 * lkv.ttft.p99_s / rr.ttft.p99_s
+    );
+}

@@ -27,10 +27,7 @@ fn main() {
     reports.push(ours.simulate_labeled(&trace, "WikiText-2"));
 
     let reference = reports[0].clone();
-    println!(
-        "{:<12} {:>14} {:>10} {:>14} {:>10}",
-        "system", "tokens/s", "speedup", "mJ/token", "norm. E"
-    );
+    println!("{:<12} {:>14} {:>10} {:>14} {:>10}", "system", "tokens/s", "speedup", "mJ/token", "norm. E");
     for r in &reports {
         println!(
             "{:<12} {:>14.1} {:>9.2}x {:>14.3} {:>10.3}",

@@ -11,9 +11,12 @@
 //! * [`pipeline`] — sequence-grained, token-grained and blocked pipelines,
 //! * [`kvcache`] — distributed dynamic KV-cache management,
 //! * [`mapping`] — MIQP inter-core mapping, H-tree DP and fault tolerance,
-//! * [`workload`] — request-trace generators for the evaluation workloads,
+//! * [`workload`] — request-trace and arrival-process generators for the
+//!   evaluation workloads,
 //! * [`baselines`] — analytical models of DGX A100, TPUv4, AttAcc, Cerebras,
-//! * [`sim`] — the end-to-end Ouroboros simulator tying everything together.
+//! * [`sim`] — the end-to-end Ouroboros simulator tying everything together,
+//! * [`serve`] — the online serving simulator: open-loop arrivals,
+//!   continuous batching, multi-wafer load balancing and SLO metrics.
 //!
 //! # Quickstart
 //!
@@ -29,6 +32,24 @@
 //! let report = system.simulate(&trace);
 //! assert!(report.throughput_tokens_per_s > 0.0);
 //! ```
+//!
+//! # Online serving
+//!
+//! ```
+//! use ouroboros::model::zoo;
+//! use ouroboros::serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+//! use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+//! use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+//!
+//! let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap();
+//! let trace = TraceGenerator::new(7).generate(&LengthConfig::fixed(64, 32), 32);
+//! let timed = ArrivalConfig::Poisson { rate_rps: 100.0 }.assign(&trace, 7);
+//! let mut cluster =
+//!     Cluster::replicate(&system, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+//! let report = cluster.run(&timed, &SloConfig { ttft_s: 0.5, tpot_s: 0.05 }, f64::INFINITY);
+//! assert_eq!(report.completed, 32);
+//! assert!(report.is_conserved());
+//! ```
 
 pub use ouro_baselines as baselines;
 pub use ouro_hw as hw;
@@ -37,5 +58,6 @@ pub use ouro_mapping as mapping;
 pub use ouro_model as model;
 pub use ouro_noc as noc;
 pub use ouro_pipeline as pipeline;
+pub use ouro_serve as serve;
 pub use ouro_sim as sim;
 pub use ouro_workload as workload;

@@ -40,12 +40,8 @@ fn ouroboros_beats_every_baseline_on_decode_heavy_13b() {
     let ours = OuroborosSystem::new(OuroborosConfig::single_wafer(), &model)
         .unwrap()
         .simulate_labeled(&trace, "LP=128 LD=2048");
-    for sys in [
-        baselines::dgx_a100(8),
-        baselines::tpu_v4(),
-        baselines::attacc(),
-        baselines::cerebras_wse2(),
-    ] {
+    for sys in [baselines::dgx_a100(8), baselines::tpu_v4(), baselines::attacc(), baselines::cerebras_wse2()]
+    {
         let base = sys.evaluate(&model, &trace, "LP=128 LD=2048");
         assert!(
             ours.throughput_tokens_per_s > base.throughput_tokens_per_s,
@@ -83,12 +79,8 @@ fn ablation_ladder_improves_monotonically_on_throughput_ends() {
     let base = OuroborosConfig::tiny_for_tests();
     let trace = TraceGenerator::new(9).generate(&LengthConfig::wikitext2_like(), 16);
     let ladder = ablation_ladder(&base);
-    let first = OuroborosSystem::new(ladder.first().unwrap().1.clone(), &model)
-        .unwrap()
-        .simulate(&trace);
-    let last = OuroborosSystem::new(ladder.last().unwrap().1.clone(), &model)
-        .unwrap()
-        .simulate(&trace);
+    let first = OuroborosSystem::new(ladder.first().unwrap().1.clone(), &model).unwrap().simulate(&trace);
+    let last = OuroborosSystem::new(ladder.last().unwrap().1.clone(), &model).unwrap().simulate(&trace);
     assert!(last.throughput_tokens_per_s > first.throughput_tokens_per_s);
     assert!(last.energy_per_token_j() < first.energy_per_token_j());
 }

@@ -33,14 +33,8 @@ fn optimized_mapping_reduces_transmission_volume_on_the_real_wafer() {
     let geometry = WaferGeometry::paper();
     let defects = DefectMap::pristine(&geometry);
     let candidates: Vec<CoreId> = geometry.all_cores().collect();
-    let problem = MappingProblem::for_block(
-        &zoo::llama_13b(),
-        geometry,
-        defects,
-        candidates,
-        4 * 1024 * 1024,
-        4.0,
-    );
+    let problem =
+        MappingProblem::for_block(&zoo::llama_13b(), geometry, defects, candidates, 4 * 1024 * 1024, 4.0);
     let ours = ouroboros::mapping::solve(&problem, Strategy::Anneal { iterations: 2_000 }, 1);
     let summa = ouroboros::mapping::solve(&problem, Strategy::Summa, 1);
     let waferllm = ouroboros::mapping::solve(&problem, Strategy::WaferLlm, 1);
@@ -62,11 +56,8 @@ fn replacement_chain_repairs_a_mapped_block() {
         4.0,
     );
     let solution = ouroboros::mapping::solve(&problem, Strategy::Greedy, 0);
-    let kv_cores: Vec<CoreId> = geometry
-        .all_cores()
-        .filter(|c| !solution.assignment.core.contains(c))
-        .take(32)
-        .collect();
+    let kv_cores: Vec<CoreId> =
+        geometry.all_cores().filter(|c| !solution.assignment.core.contains(c)).take(32).collect();
     let failed = solution.assignment.core[0];
     let outcome = remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed).unwrap();
     assert!(!outcome.new_assignment.core.contains(&failed));

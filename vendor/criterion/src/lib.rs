@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of criterion 0.5 the workspace's benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`], the
+//! [`Bencher::iter`] timing loop, and the `criterion_group!` /
+//! `criterion_main!` macros (both the list form and the
+//! `name/config/targets` form). Timing is a simple wall-clock mean over
+//! `sample_size` samples — no outlier analysis, plots, or saved baselines —
+//! which is enough for `cargo bench` to run and print comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benched value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock duration of one iteration, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/allocations
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = self.samples as u64;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion {
+        run_one(self.sample_size, &id.into(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        run_one(self.criterion.sample_size, &format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(samples: usize, id: &str, mut f: F) {
+    let mut b = Bencher { samples, elapsed: Duration::ZERO, iters_done: 0 };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{id:<50} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed / b.iters_done as u32;
+    println!("{:<50} time: [{} per iter, {} samples]", id, format_duration(per_iter), b.iters_done);
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("unit");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = quick_bench
+    }
+
+    #[test]
+    fn harness_runs_and_times() {
+        benches();
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

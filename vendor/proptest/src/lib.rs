@@ -1,0 +1,204 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `#[test]` functions with `arg in strategy`
+//!   bindings,
+//! * range strategies over integers and floats, tuple strategies, and
+//!   [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! sampled values still bound, and the per-test RNG is seeded from the test
+//! name so failures reproduce exactly across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases sampled per property.
+pub const CASES: usize = 64;
+
+/// Marker returned by [`prop_assume!`] to skip a sampled case.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;
+
+/// Builds the deterministic per-test RNG (seeded from the test name).
+pub fn runner_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of the values this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length drawn from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.sizes.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests: each `fn` is expanded to a `#[test]` running
+/// [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __ptrng = $crate::runner_for(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __ptrng);)*
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::Reject> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    // A rejected assumption just skips the case.
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Reject);
+        }
+    };
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            x in 3usize..10,
+            f in 0.5f64..1.5,
+            v in crate::collection::vec((0u64..4, 1usize..300), 0..50),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..1.5).contains(&f));
+            prop_assert!(v.len() < 50);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!((1..300).contains(b));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use rand::Rng;
+        let a: u64 = crate::runner_for("t").gen();
+        let b: u64 = crate::runner_for("t").gen();
+        let c: u64 = crate::runner_for("u").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
