@@ -50,7 +50,7 @@ pub fn tpu_v4() -> RooflineSystem {
     })
 }
 
-/// The DGX+AttAcc configuration of [46]: a DGX A100 whose HBM stacks perform
+/// The DGX+AttAcc configuration of \[46\]: a DGX A100 whose HBM stacks perform
 /// the attention (score and context) operations in memory, with 320 GB of
 /// PIM-enabled HBM. Attention reads stop consuming HBM *bandwidth* at the
 /// host and cost near-array energy instead.

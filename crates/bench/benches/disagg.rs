@@ -1,0 +1,50 @@
+//! Timing of the disaggregated serving simulator: the discrete-event cost
+//! of running split prefill/decode pools with KV migration, per placement
+//! policy, against the colocated cluster as the reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::SEED;
+use ouro_disagg::{DecodePlacement, DisaggCluster, DisaggConfig};
+use ouro_model::zoo;
+use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+fn bench_disagg(c: &mut Criterion) {
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &zoo::llama_13b()).expect("LLaMA-13B fits on one wafer");
+    let trace = TraceGenerator::new(SEED).generate(&LengthConfig::fixed(512, 64), 100);
+    let timed = ArrivalConfig::Bursty { rate_rps: 2_000.0, cv: 4.0 }.assign(&trace, SEED);
+    let slo = SloConfig { ttft_s: 0.05, tpot_s: 0.005 };
+
+    let mut group = c.benchmark_group("disaggregation");
+    for placement in
+        [DecodePlacement::LeastKvLoad, DecodePlacement::MostFreeBlocks, DecodePlacement::LocalityAware]
+    {
+        group.bench_function(format!("disagg_1p3d_{placement}"), |b| {
+            b.iter(|| {
+                let mut dcfg = DisaggConfig::new(1, 3);
+                dcfg.placement = placement;
+                let mut cluster = DisaggCluster::new(&system, dcfg).expect("pools build");
+                cluster.run(&timed, &slo, f64::INFINITY)
+            })
+        });
+    }
+    group.bench_function("colocated_4_wafers_reference", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
+                    .expect("cluster builds");
+            cluster.run(&timed, &slo, f64::INFINITY)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_disagg
+}
+criterion_main!(benches);

@@ -9,11 +9,21 @@
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
-//! `serving`, `all`.
+//! `serving`, `disagg`, `all`.
 //!
 //! `serving` goes beyond the paper: an online load sweep (open-loop Poisson
 //! and bursty arrivals) against a multi-wafer cluster, reporting TTFT/TPOT
-//! percentiles and SLO goodput per routing policy.
+//! percentiles and SLO goodput per routing policy. `disagg` compares that
+//! colocated cluster against prefill/decode disaggregation at equal wafer
+//! count, including the pool-ratio sweep.
+//!
+//! Both serving-style subcommands accept `--json <path>` to dump their
+//! points as a JSON array for perf-trajectory capture in CI:
+//!
+//! ```text
+//! cargo run -p ouro-bench --release --bin experiments -- serving --json BENCH_serving.json
+//! cargo run -p ouro-bench --release --bin experiments -- disagg --json BENCH_disagg.json
+//! ```
 
 use ouro_baselines::SystemReport;
 use ouro_bench::{
@@ -35,6 +45,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(DEFAULT_REQUESTS);
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
     let run = |name: &str| which == "all" || which == name;
 
@@ -68,8 +79,27 @@ fn main() {
     if run("table2") {
         table2();
     }
+    // Serving-style experiments collect JSON rows; `all --json` merges the
+    // rows of every collecting subcommand into one file (the `experiment`
+    // field disambiguates) instead of overwriting it per subcommand.
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
     if run("serving") {
-        serving(requests);
+        rows.extend(serving(requests));
+    }
+    if run("disagg") {
+        rows.extend(disagg(requests));
+    }
+    if let Some(path) = json_path.as_deref() {
+        if run("serving") || run("disagg") {
+            match ouro_bench::json::write_array(path, &rows) {
+                Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
+                Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+            }
+        } else {
+            // Writing an empty [] here would let a misconfigured CI capture
+            // "succeed" with no data.
+            eprintln!("\n--json is only produced by the serving/disagg subcommands; nothing written");
+        }
     }
 }
 
@@ -319,8 +349,34 @@ fn fig21(requests: usize) {
     }
 }
 
+/// Flattens one serving report into a JSON row shared by the `serving` and
+/// `disagg` dumps.
+fn serving_row(
+    experiment: &str,
+    label: &str,
+    offered_rps: f64,
+    r: &ouro_serve::ServingReport,
+) -> ouro_bench::json::JsonObject {
+    ouro_bench::json::JsonObject::new()
+        .str("experiment", experiment)
+        .str("label", label)
+        .num("offered_rps", offered_rps)
+        .num("achieved_rps", r.achieved_rps)
+        .num("goodput_rps", r.goodput_rps)
+        .num("output_tokens_per_s", r.output_tokens_per_s)
+        .num("ttft_p50_s", r.ttft.p50_s)
+        .num("ttft_p99_s", r.ttft.p99_s)
+        .num("tpot_p50_s", r.tpot.p50_s)
+        .num("tpot_p99_s", r.tpot.p99_s)
+        .num("slo_attainment", r.slo_attainment)
+        .num("utilization", r.utilization)
+        .int("completed", r.completed as u64)
+        .int("evictions", r.evictions)
+}
+
 /// Online serving — load sweeps and routing policies on a 4-wafer cluster.
-fn serving(requests: usize) {
+/// Returns the JSON rows of every printed point.
+fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_serve::{
         capacity_rps_estimate, format_sweep, ideal_latencies, Cluster, EngineConfig, LoadSweep, RoutePolicy,
         SloConfig,
@@ -344,6 +400,8 @@ fn serving(requests: usize) {
     sweep.requests = requests.min(400);
     let points = sweep.run(&system);
     print!("{}", format_sweep(&points));
+    let mut rows: Vec<ouro_bench::json::JsonObject> =
+        points.iter().map(|p| serving_row("serving", "poisson-sweep", p.offered_rps, &p.report)).collect();
 
     println!("\n--- routing policies at {:.0} req/s ---", sweep.rates_rps[sweep.rates_rps.len() - 1]);
     let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
@@ -362,6 +420,12 @@ fn serving(requests: usize) {
             r.goodput_rps,
             r.slo_attainment * 100.0
         );
+        rows.push(serving_row(
+            "serving",
+            &format!("policy-{policy}"),
+            sweep.rates_rps[sweep.rates_rps.len() - 1],
+            &r,
+        ));
     }
 
     println!("\n--- bursty arrivals (Gamma, cv=4) vs Poisson at the saturation point ---");
@@ -387,7 +451,99 @@ fn serving(requests: usize) {
             r.goodput_rps,
             r.slo_attainment * 100.0
         );
+        rows.push(serving_row("serving", &format!("arrivals-{label}"), rate, &r));
     }
+    rows
+}
+
+/// Disaggregated serving — the pool-ratio sweep and the colocated-vs-
+/// disaggregated shootout at equal wafer count. Returns the JSON rows of
+/// every printed point.
+fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+    use ouro_disagg::{
+        best_ratio, format_shootout, head_to_head, DecodePlacement, RatioPlanner, ShootoutConfig,
+    };
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, EngineConfig, RoutePolicy, SloConfig};
+    use ouro_workload::{ArrivalConfig, TraceGenerator};
+
+    header("Disaggregation: prefill/decode pools vs colocated (4-wafer LLaMA-13B)");
+    let model = zoo::llama_13b();
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let wafers = 4;
+    // A prefill-heavy mix: long prompts, short generations — the regime
+    // where prefill bursts hurt colocated decode tails the most.
+    let lengths = LengthConfig::fixed(512, 64);
+    let requests = requests.min(300);
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+    let rate = capacity * wafers as f64;
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
+
+    println!("\n--- pool-ratio sweep at {rate:.0} req/s (bursty cv=4, LP=512 LD=64) ---");
+    let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
+    let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, SEED);
+    let planner = RatioPlanner::new(wafers);
+    let plans = planner.sweep(&system, &timed, &slo).expect("pools build");
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>11} {:>12}",
+        "split", "ttft-p99", "tpot-p99", "goodput/s", "migr (MB)", "migr-mean"
+    );
+    for p in &plans {
+        let s = &p.report.serving;
+        println!(
+            "{:<10} {:>9.1}ms {:>9.3}ms {:>11.1} {:>11.1} {:>10.2}ms",
+            format!("{}p:{}d", p.prefill_wafers, p.decode_wafers),
+            s.ttft.p99_s * 1e3,
+            s.tpot.p99_s * 1e3,
+            s.goodput_rps,
+            p.report.exported_kv_bytes as f64 / 1e6,
+            p.report.mean_migration_s * 1e3,
+        );
+        rows.push(
+            serving_row("disagg", &format!("ratio-{}p{}d", p.prefill_wafers, p.decode_wafers), rate, s)
+                .int("migrations", p.report.migrations as u64)
+                .int("exported_kv_bytes", p.report.exported_kv_bytes)
+                .num("mean_migration_s", p.report.mean_migration_s),
+        );
+    }
+    let best = best_ratio(&plans);
+    println!("goodput-optimal split: {}p:{}d", best.prefill_wafers, best.decode_wafers);
+
+    println!(
+        "\n--- colocated vs disaggregated ({}p:{}d) over offered load ---",
+        best.prefill_wafers, best.decode_wafers
+    );
+    let shootout = ShootoutConfig {
+        wafers,
+        prefill_wafers: best.prefill_wafers,
+        rates_rps: [0.5, 1.0, 1.5].iter().map(|f| f * rate).collect(),
+        cv: 4.0,
+        requests,
+        lengths,
+        seed: SEED,
+        slo,
+        colocated_policy: RoutePolicy::LeastKvLoad,
+        placement: DecodePlacement::LeastKvLoad,
+        engine: EngineConfig::default(),
+        horizon_s: f64::INFINITY,
+    };
+    let points = head_to_head(&system, &shootout).expect("clusters build");
+    print!("{}", format_shootout(&points));
+    for p in &points {
+        rows.push(serving_row("disagg", "colocated", p.rate_rps, &p.colocated));
+        rows.push(
+            serving_row("disagg", "disaggregated", p.rate_rps, &p.disagg.serving)
+                .int("migrations", p.disagg.migrations as u64)
+                .int("exported_kv_bytes", p.disagg.exported_kv_bytes)
+                .num("mean_migration_s", p.disagg.mean_migration_s)
+                .num("link_energy_j", p.disagg.link_energy_j),
+        );
+    }
+    rows
 }
 
 /// Table 2 — circuit-level comparison.

@@ -1,0 +1,620 @@
+//! The disaggregated cluster: separate prefill and decode wafer pools with
+//! KV migration over the inter-wafer optical fabric.
+//!
+//! Every arrival is routed to a *prefill* wafer (join-shortest-queue, ties
+//! toward the lowest index), which runs the prompt through the pipeline in
+//! prefill-only mode. When prefill finishes, the sequence's KV — priced at
+//! the model's full per-token KV footprint across all blocks — is exported
+//! and migrated to a *decode* wafer chosen by the configured
+//! [`DecodePlacement`] policy. The migration is charged from the shared
+//! [`InterWaferLink`] model and overlaps decode: the target engine keeps
+//! stepping its resident sequences and only admits the migrated sequence
+//! once the transfer lands. Decode wafers then generate tokens without ever
+//! paying a prefill pass, so their step times — and hence TPOT — stay
+//! decoupled from prefill bursts.
+//!
+//! Wafers sit on a line: prefill wafers at global positions
+//! `0..prefill_wafers`, decode wafers after them. A migration crosses one
+//! optical boundary per position it travels, which is what makes
+//! [`DecodePlacement::LocalityAware`] meaningful.
+
+use crate::report::{DisaggReport, Migration};
+use ouro_kvcache::KvError;
+use ouro_noc::InterWaferLink;
+use ouro_serve::{
+    pick_min_index, release_gated, Engine, EngineConfig, RequestRecord, RunTotals, ServingReport, SloConfig,
+};
+use ouro_sim::OuroborosSystem;
+use ouro_workload::TimedTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// How a finished prefill picks the decode wafer its KV migrates to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodePlacement {
+    /// The decode wafer whose KV cache (resident plus queued demand,
+    /// including announced migrations) is least loaded.
+    LeastKvLoad,
+    /// The decode wafer with the most free KV tokens net of queued demand
+    /// (block-level headroom rather than relative load).
+    MostFreeBlocks,
+    /// Prefers nearby decode wafers (fewer optical boundary crossings) but
+    /// yields to load: the score is `kv_load + 0.1 · wafer_hops`, so a hop
+    /// of distance is worth 10% of a cache of load.
+    LocalityAware,
+}
+
+impl std::fmt::Display for DecodePlacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodePlacement::LeastKvLoad => write!(f, "least-kv-load"),
+            DecodePlacement::MostFreeBlocks => write!(f, "most-free-blocks"),
+            DecodePlacement::LocalityAware => write!(f, "locality-aware"),
+        }
+    }
+}
+
+/// Configuration of a disaggregated deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggConfig {
+    /// Wafers dedicated to prefill.
+    pub prefill_wafers: usize,
+    /// Wafers dedicated to decode.
+    pub decode_wafers: usize,
+    /// Decode-placement policy for migrated KV.
+    pub placement: DecodePlacement,
+    /// Per-engine tuning (shared by both pools).
+    pub engine: EngineConfig,
+}
+
+impl DisaggConfig {
+    /// A pool split with the default engine tuning and least-KV-load
+    /// placement.
+    pub fn new(prefill_wafers: usize, decode_wafers: usize) -> DisaggConfig {
+        DisaggConfig {
+            prefill_wafers,
+            decode_wafers,
+            placement: DecodePlacement::LeastKvLoad,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    /// Total wafer count of the deployment.
+    pub fn total_wafers(&self) -> usize {
+        self.prefill_wafers + self.decode_wafers
+    }
+}
+
+/// Which pool an engine belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pool {
+    Prefill,
+    Decode,
+}
+
+/// A disaggregated serving cluster over one model deployment.
+#[derive(Debug, Clone)]
+pub struct DisaggCluster {
+    prefill: Vec<Engine>,
+    decode: Vec<Engine>,
+    config: DisaggConfig,
+    link: InterWaferLink,
+    kv_bytes_per_token: u64,
+    migrations: Vec<Migration>,
+}
+
+impl DisaggCluster {
+    /// Builds the two pools from replicas of `system`'s deployment; the
+    /// migration link and per-token KV footprint come from the same system,
+    /// so colocated and disaggregated runs price inter-wafer bytes
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] when the deployment leaves no KV
+    /// cores.
+    pub fn new(system: &OuroborosSystem, config: DisaggConfig) -> Result<DisaggCluster, KvError> {
+        assert!(config.prefill_wafers > 0, "disaggregation needs at least one prefill wafer");
+        assert!(config.decode_wafers > 0, "disaggregation needs at least one decode wafer");
+        let mk_pool = |n: usize| -> Result<Vec<Engine>, KvError> {
+            (0..n)
+                .map(|_| Engine::new(system.stage_times().clone(), system.serve_kv_config(), config.engine))
+                .collect()
+        };
+        Ok(DisaggCluster {
+            prefill: mk_pool(config.prefill_wafers)?,
+            decode: mk_pool(config.decode_wafers)?,
+            config,
+            link: system.stage_times().inter_wafer_link(),
+            kv_bytes_per_token: system.kv_migration_bytes(1),
+            migrations: Vec::new(),
+        })
+    }
+
+    /// The pool split and policies this cluster was built with.
+    pub fn config(&self) -> &DisaggConfig {
+        &self.config
+    }
+
+    /// Read access to the prefill-pool engines.
+    pub fn prefill_engines(&self) -> &[Engine] {
+        &self.prefill
+    }
+
+    /// Read access to the decode-pool engines.
+    pub fn decode_engines(&self) -> &[Engine] {
+        &self.decode
+    }
+
+    /// Every KV migration performed so far, in prefill-completion order.
+    pub fn migrations(&self) -> &[Migration] {
+        &self.migrations
+    }
+
+    /// Optical distance between a prefill wafer and a decode wafer on the
+    /// line: one boundary per position travelled.
+    fn wafer_hops(&self, prefill_idx: usize, decode_idx: usize) -> usize {
+        (self.config.prefill_wafers - prefill_idx) + decode_idx
+    }
+
+    /// Routes an arrival to the prefill pool: join-shortest-queue, ties
+    /// toward the lowest wafer index.
+    fn route_prefill(&self) -> usize {
+        pick_min_index(&self.prefill, |e| (e.queue_len() + e.resident()) as f64)
+    }
+
+    /// Picks the decode wafer for KV prefilled on wafer `from` under the
+    /// configured placement policy (ties toward the lowest index).
+    fn place_decode(&self, from: usize) -> usize {
+        match self.config.placement {
+            DecodePlacement::LeastKvLoad => pick_min_index(&self.decode, Engine::kv_load),
+            DecodePlacement::MostFreeBlocks => pick_min_index(&self.decode, |e| -(e.kv_free_tokens() as f64)),
+            DecodePlacement::LocalityAware => {
+                let scores: Vec<f64> = self
+                    .decode
+                    .iter()
+                    .enumerate()
+                    .map(|(j, e)| e.kv_load() + 0.1 * self.wafer_hops(from, j) as f64)
+                    .collect();
+                pick_min_index(&scores, |&s| s)
+            }
+        }
+    }
+
+    /// Serves a timed trace to completion (or to `horizon_s`). Mirrors
+    /// [`ouro_serve::Cluster::run`]'s event loop, with prefill completions
+    /// spawning KV migrations instead of retiring requests, and closed-loop
+    /// releases fed by *decode* completions.
+    pub fn run(&mut self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> DisaggReport {
+        let mut arrivals: VecDeque<(f64, usize)> = timed
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_gated())
+            .map(|(i, r)| (r.arrival_s, i))
+            .collect();
+        let mut gated: VecDeque<usize> =
+            timed.arrivals.iter().enumerate().filter(|(_, r)| r.is_gated()).map(|(i, _)| i).collect();
+        let think_time_s = match timed.config {
+            ouro_workload::ArrivalConfig::ClosedLoop { think_time_s, .. } => think_time_s,
+            _ => 0.0,
+        };
+        let mut think_rng = StdRng::seed_from_u64(timed.seed ^ 0x7417_1e5e_ed00_0002);
+
+        loop {
+            let next_arrival = arrivals.front().map(|&(t, _)| t);
+            let next_engine = self.min_event_engine(horizon_s);
+
+            match (next_arrival, next_engine) {
+                (None, None) => break,
+                (Some(t_arr), engine) => {
+                    if t_arr >= horizon_s {
+                        let Some((pool, i, _)) = engine else { break };
+                        self.step_engine(pool, i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                        continue;
+                    }
+                    match engine {
+                        Some((pool, i, event_s)) if event_s < t_arr => {
+                            self.step_engine(
+                                pool,
+                                i,
+                                &mut arrivals,
+                                &mut gated,
+                                think_time_s,
+                                &mut think_rng,
+                            );
+                        }
+                        _ => {
+                            let (t, idx) = arrivals.pop_front().expect("peeked above");
+                            let wafer = self.route_prefill();
+                            self.prefill[wafer].submit_prefill_only(
+                                timed.arrivals[idx].request,
+                                t,
+                                idx,
+                                wafer,
+                            );
+                        }
+                    }
+                }
+                (None, Some((pool, i, _))) => {
+                    self.step_engine(pool, i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                }
+            }
+        }
+
+        self.report(timed, slo, horizon_s)
+    }
+
+    /// The engine whose next event is earliest (and below the horizon);
+    /// ties resolve prefill-pool-first, lowest index, so runs are
+    /// deterministic. Ordering by next event — not raw clock — matters:
+    /// stepping an idle decode engine commits its clock to the earliest
+    /// *currently announced* migration, so it must wait its global turn or
+    /// a prefill engine at an earlier simulated time could still announce a
+    /// migration that lands sooner, which would then be admitted late.
+    fn min_event_engine(&self, horizon_s: f64) -> Option<(Pool, usize, f64)> {
+        let mut best: Option<(Pool, usize, f64)> = None;
+        let pools = [(Pool::Prefill, &self.prefill), (Pool::Decode, &self.decode)];
+        for (pool, engines) in pools {
+            for (i, e) in engines.iter().enumerate() {
+                let event_s = e.next_event_s();
+                if !e.has_work() || event_s >= horizon_s {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, c)| event_s.total_cmp(&c).is_lt()) {
+                    best = Some((pool, i, event_s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances one engine by one iteration; prefill completions become KV
+    /// migrations, decode completions feed closed-loop releases.
+    fn step_engine(
+        &mut self,
+        pool: Pool,
+        i: usize,
+        arrivals: &mut VecDeque<(f64, usize)>,
+        gated: &mut VecDeque<usize>,
+        think_time_s: f64,
+        think_rng: &mut StdRng,
+    ) {
+        match pool {
+            Pool::Prefill => {
+                let completions = self.prefill[i].step();
+                for (rec, t_done) in completions {
+                    self.migrate(i, rec, t_done);
+                }
+            }
+            Pool::Decode => {
+                let completions = self.decode[i].step();
+                for (_, t_done) in completions {
+                    release_gated(arrivals, gated, t_done, think_time_s, think_rng);
+                }
+            }
+        }
+    }
+
+    /// Ships one finished prefill's KV to a decode wafer: places the
+    /// sequence, charges the transfer from the link model, and submits it
+    /// for imported-KV decode gated on the migration's landing time.
+    fn migrate(&mut self, from: usize, rec: usize, t_done: f64) {
+        let record = self.prefill[from].records()[rec];
+        let tokens = record.prompt_len;
+        let bytes = tokens as u64 * self.kv_bytes_per_token;
+        let to = self.place_decode(from);
+        let hops = self.wafer_hops(from, to);
+        let arrive_s = t_done + self.link.transfer_time_s(bytes, hops);
+        let request = ouro_workload::Request::new(record.id, record.prompt_len, record.decode_len);
+        self.decode[to].submit_imported(
+            request,
+            record.arrival_s,
+            arrive_s,
+            record.id,
+            self.config.prefill_wafers + to,
+        );
+        self.migrations.push(Migration {
+            id: record.id,
+            from_wafer: from,
+            to_wafer: self.config.prefill_wafers + to,
+            tokens: tokens as u64,
+            bytes,
+            start_s: t_done,
+            arrive_s,
+            wafer_hops: hops,
+            energy_j: self.link.transfer_energy_j(bytes, hops),
+        });
+    }
+
+    /// Assembles the disaggregated serving report: per-request records are
+    /// merged across pools (arrival and prefill admission from the prefill
+    /// side, first-token and completion from the decode side), and KV
+    /// migration accounting is reconciled against both pools' managers.
+    fn report(&self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> DisaggReport {
+        let mut merged: Vec<RequestRecord> =
+            self.prefill.iter().flat_map(|e| e.records().iter().copied()).collect();
+        let decode_by_id: HashMap<usize, &RequestRecord> =
+            self.decode.iter().flat_map(|e| e.records().iter()).map(|r| (r.id, r)).collect();
+        for r in &mut merged {
+            match decode_by_id.get(&r.id) {
+                Some(d) => {
+                    // A completed prefill is not a completed request: the
+                    // decode side owns first-token and completion.
+                    r.wafer = d.wafer;
+                    r.first_token_s = d.first_token_s;
+                    r.completed_s = d.completed_s;
+                    r.evictions += d.evictions;
+                }
+                None => {
+                    r.completed_s = f64::NAN;
+                }
+            }
+        }
+        merged.sort_by_key(|r| r.id);
+
+        let all = self.prefill.iter().chain(self.decode.iter());
+        let queued: usize = all.clone().map(Engine::queue_len).sum();
+        let in_flight: usize = all.clone().map(Engine::resident).sum();
+        let dropped: usize = all.clone().map(|e| e.stats().dropped as usize).sum();
+        let evictions: u64 = all.clone().map(|e| e.stats().evictions).sum();
+        let end_s = all.clone().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
+        let util = |engines: &[Engine]| -> f64 {
+            if end_s > 0.0 {
+                engines.iter().map(|e| e.busy_s().min(end_s) / end_s).sum::<f64>() / engines.len() as f64
+            } else {
+                0.0
+            }
+        };
+        let prefill_utilization = util(&self.prefill);
+        let decode_utilization = util(&self.decode);
+        let total = self.config.total_wafers();
+        let utilization = (prefill_utilization * self.prefill.len() as f64
+            + decode_utilization * self.decode.len() as f64)
+            / total as f64;
+
+        let serving = ServingReport::from_records(
+            &merged,
+            slo,
+            timed.config.offered_rps(),
+            RunTotals {
+                queued_at_horizon: queued,
+                in_flight_at_horizon: in_flight,
+                dropped,
+                evictions,
+                duration_s: end_s,
+                utilization,
+            },
+        );
+
+        let exported_tokens: u64 = self.prefill.iter().map(|e| e.kv_transfers().exported_tokens).sum();
+        let imported_tokens: u64 = self.decode.iter().map(|e| e.kv_transfers().imported_tokens).sum();
+        let in_flight_tokens: u64 = self.decode.iter().map(|e| e.pending_imported_tokens() as u64).sum();
+        let dropped_tokens: u64 = self.decode.iter().map(|e| e.stats().dropped_imported_tokens).sum();
+        let migration_times: Vec<f64> = self.migrations.iter().map(|m| m.arrive_s - m.start_s).collect();
+        DisaggReport {
+            serving,
+            prefill_wafers: self.config.prefill_wafers,
+            decode_wafers: self.config.decode_wafers,
+            placement: self.config.placement,
+            migrations: self.migrations.len(),
+            migrated_tokens: self.migrations.iter().map(|m| m.tokens).sum(),
+            exported_kv_bytes: exported_tokens * self.kv_bytes_per_token,
+            imported_kv_bytes: imported_tokens * self.kv_bytes_per_token,
+            in_flight_kv_bytes: in_flight_tokens * self.kv_bytes_per_token,
+            dropped_kv_bytes: dropped_tokens * self.kv_bytes_per_token,
+            mean_migration_s: if migration_times.is_empty() {
+                0.0
+            } else {
+                migration_times.iter().sum::<f64>() / migration_times.len() as f64
+            },
+            max_migration_s: migration_times.iter().fold(0.0, |a: f64, &b| a.max(b)),
+            link_energy_j: self.migrations.iter().map(|m| m.energy_j).sum(),
+            prefill_utilization,
+            decode_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_model::zoo;
+    use ouro_sim::{OuroborosConfig, OuroborosSystem};
+    use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    fn slo() -> SloConfig {
+        SloConfig { ttft_s: 0.5, tpot_s: 0.05 }
+    }
+
+    fn timed(n: usize, rate: f64, seed: u64) -> TimedTrace {
+        let trace = TraceGenerator::new(seed).generate(&LengthConfig::fixed(64, 32), n);
+        ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+    }
+
+    #[test]
+    fn disagg_cluster_serves_a_light_workload() {
+        let sys = tiny_system();
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(1, 1)).unwrap();
+        let report = cluster.run(&timed(30, 50.0, 1), &slo(), f64::INFINITY);
+        assert_eq!(report.serving.injected, 30);
+        assert_eq!(report.serving.completed, 30);
+        assert!(report.serving.is_conserved());
+        assert_eq!(report.migrations, 30, "every request migrates exactly once");
+        assert!(
+            report.kv_bytes_conserved(),
+            "exported {} != imported {}",
+            report.exported_kv_bytes,
+            report.imported_kv_bytes
+        );
+        assert_eq!(report.exported_kv_bytes, report.imported_kv_bytes);
+        assert!(report.mean_migration_s > 0.0, "migrations take link time");
+        assert!(report.link_energy_j > 0.0);
+    }
+
+    #[test]
+    fn ttft_includes_prefill_queueing_and_migration() {
+        let sys = tiny_system();
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(1, 1)).unwrap();
+        let report = cluster.run(&timed(10, 100.0, 2), &slo(), f64::INFINITY);
+        // First token can only appear after the migration lands.
+        for m in cluster.migrations() {
+            assert!(m.arrive_s > m.start_s);
+        }
+        assert!(report.serving.ttft.count > 0);
+        assert!(
+            report.serving.ttft.mean_s > cluster.migrations()[0].arrive_s - cluster.migrations()[0].start_s
+        );
+    }
+
+    #[test]
+    fn same_seed_same_disagg_report() {
+        let sys = tiny_system();
+        for placement in
+            [DecodePlacement::LeastKvLoad, DecodePlacement::MostFreeBlocks, DecodePlacement::LocalityAware]
+        {
+            let run = || {
+                let mut cfg = DisaggConfig::new(2, 2);
+                cfg.placement = placement;
+                let mut cluster = DisaggCluster::new(&sys, cfg).unwrap();
+                cluster.run(&timed(60, 400.0, 3), &slo(), f64::INFINITY)
+            };
+            assert_eq!(run(), run(), "{placement} must be deterministic under a fixed seed");
+        }
+    }
+
+    #[test]
+    fn horizon_truncates_and_conserves_requests_and_bytes() {
+        let sys = tiny_system();
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(1, 1)).unwrap();
+        let t = timed(300, 20_000.0, 4);
+        let report = cluster.run(&t, &slo(), 0.004);
+        assert!(
+            report.serving.is_conserved(),
+            "injected {} != completed {} + queued {} + in-flight {} + dropped {}",
+            report.serving.injected,
+            report.serving.completed,
+            report.serving.queued_at_horizon,
+            report.serving.in_flight_at_horizon,
+            report.serving.dropped
+        );
+        assert!(report.kv_bytes_conserved());
+        assert!(report.serving.duration_s <= 0.004 + 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_disagg_serves_every_request() {
+        let sys = tiny_system();
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(1, 2)).unwrap();
+        let trace = TraceGenerator::new(9).generate(&LengthConfig::fixed(32, 16), 24);
+        let t = ArrivalConfig::ClosedLoop { users: 4, think_time_s: 0.01 }.assign(&trace, 9);
+        let report = cluster.run(&t, &slo(), f64::INFINITY);
+        assert_eq!(report.serving.injected, 24);
+        assert_eq!(report.serving.completed, 24);
+        assert!(report.serving.is_conserved());
+        assert!(report.kv_bytes_conserved());
+    }
+
+    #[test]
+    fn locality_aware_prefers_near_decode_wafers() {
+        let sys = tiny_system();
+        let mut cfg = DisaggConfig::new(1, 3);
+        cfg.placement = DecodePlacement::LocalityAware;
+        let mut cluster = DisaggCluster::new(&sys, cfg).unwrap();
+        cluster.run(&timed(12, 30.0, 5), &slo(), f64::INFINITY);
+        // Light load: every placement lands on the nearest decode wafer.
+        let near: usize = cluster.migrations().iter().filter(|m| m.to_wafer == 1).count();
+        assert!(
+            near > cluster.migrations().len() / 2,
+            "locality-aware must favour the nearest decode wafer under light load"
+        );
+        let hops: Vec<usize> = cluster.migrations().iter().map(|m| m.wafer_hops).collect();
+        assert!(hops.iter().all(|&h| h >= 1), "every migration crosses at least one boundary");
+    }
+
+    #[test]
+    fn placement_policies_spread_load_under_pressure() {
+        let sys = tiny_system();
+        for placement in [DecodePlacement::LeastKvLoad, DecodePlacement::MostFreeBlocks] {
+            let mut cfg = DisaggConfig::new(1, 2);
+            cfg.placement = placement;
+            let mut cluster = DisaggCluster::new(&sys, cfg).unwrap();
+            let report = cluster.run(&timed(80, 2_000.0, 6), &slo(), f64::INFINITY);
+            assert!(report.serving.is_conserved());
+            let counts: Vec<usize> = cluster.decode_engines().iter().map(|e| e.records().len()).collect();
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{placement} must use every decode wafer under sustained load: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_landing_migration_is_not_stranded_by_a_prior_announcement() {
+        use ouro_workload::{Request, TimedRequest};
+        let sys = tiny_system();
+        let mk_trace = |arrivals: Vec<TimedRequest>| TimedTrace {
+            arrivals,
+            config: ArrivalConfig::Poisson { rate_rps: 1.0 },
+            seed: 0,
+        };
+        // Probe: when does a lone 1500-token prefill announce its migration?
+        let mut probe = DisaggCluster::new(&sys, DisaggConfig::new(2, 1)).unwrap();
+        probe.run(
+            &mk_trace(vec![TimedRequest { request: Request::new(0, 1500, 4), arrival_s: 0.0 }]),
+            &slo(),
+            f64::INFINITY,
+        );
+        let announce_s = probe.migrations()[0].start_s;
+
+        // A tiny request arrives just after the bulk migration is announced:
+        // its prefill finishes — and its small migration lands — while the
+        // 1500-token transfer is still serialising. The decode engine must
+        // not have committed its clock to the bulk landing in the meantime.
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(2, 1)).unwrap();
+        cluster.run(
+            &mk_trace(vec![
+                TimedRequest { request: Request::new(0, 1500, 4), arrival_s: 0.0 },
+                TimedRequest { request: Request::new(1, 32, 4), arrival_s: announce_s * 1.000_001 },
+            ]),
+            &slo(),
+            f64::INFINITY,
+        );
+        let bulk = cluster.migrations().iter().find(|m| m.id == 0).copied().unwrap();
+        let small = cluster.migrations().iter().find(|m| m.id == 1).copied().unwrap();
+        assert!(
+            small.arrive_s < bulk.arrive_s,
+            "scenario guard: the small migration ({} s) must land before the bulk one ({} s)",
+            small.arrive_s,
+            bulk.arrive_s
+        );
+        let records = cluster.decode_engines()[0].records();
+        let b = records.iter().find(|r| r.id == 1).unwrap();
+        assert!(
+            b.admitted_s < bulk.arrive_s,
+            "the early-landing migration (landed {}) must be admitted before the bulk one lands \
+             ({}), not at the decode engine's pre-committed clock: admitted {}",
+            small.arrive_s,
+            bulk.arrive_s,
+            b.admitted_s
+        );
+    }
+
+    #[test]
+    fn decode_wafers_never_recompute_unless_evicted() {
+        let sys = tiny_system();
+        let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(1, 1)).unwrap();
+        let report = cluster.run(&timed(20, 100.0, 7), &slo(), f64::INFINITY);
+        assert!(report.serving.is_conserved());
+        if report.serving.evictions == 0 {
+            for e in cluster.decode_engines() {
+                assert_eq!(e.stats().recomputed_tokens, 0, "imported KV must not be recomputed");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The pool-ratio planner: given a total wafer budget, which prefill:decode
+//! split maximises goodput for a model and arrival process?
+//!
+//! Prefill work scales with prompt tokens, decode work with generated
+//! tokens, and the two phases have different arithmetic intensity on the
+//! token-grained pipeline — so the goodput-optimal split depends on the
+//! workload mix, not just the wafer count. The planner runs the *same* timed
+//! trace against every split `p : (total - p)` for `p in 1..total` and
+//! reports each split's [`DisaggReport`]; because the trace and seed are
+//! shared, the sweep is deterministic and the argmax is meaningful.
+
+use crate::cluster::{DecodePlacement, DisaggCluster, DisaggConfig};
+use crate::report::DisaggReport;
+use ouro_kvcache::KvError;
+use ouro_serve::{EngineConfig, SloConfig};
+use ouro_sim::OuroborosSystem;
+use ouro_workload::TimedTrace;
+
+/// One swept split and its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolPlan {
+    /// Wafers assigned to prefill.
+    pub prefill_wafers: usize,
+    /// Wafers assigned to decode.
+    pub decode_wafers: usize,
+    /// The disaggregated run at this split.
+    pub report: DisaggReport,
+}
+
+impl PoolPlan {
+    /// The planner's objective: SLO goodput in requests per second.
+    pub fn goodput_rps(&self) -> f64 {
+        self.report.serving.goodput_rps
+    }
+}
+
+/// Configuration of one pool-ratio sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioPlanner {
+    /// Total wafer budget split between the pools.
+    pub total_wafers: usize,
+    /// Decode-placement policy used at every split.
+    pub placement: DecodePlacement,
+    /// Per-engine tuning used at every split.
+    pub engine: EngineConfig,
+    /// Simulation horizon per split (bounds overloaded tails).
+    pub horizon_s: f64,
+}
+
+impl RatioPlanner {
+    /// A planner over `total_wafers` with default tuning.
+    pub fn new(total_wafers: usize) -> RatioPlanner {
+        assert!(total_wafers >= 2, "a split needs at least one wafer per pool");
+        RatioPlanner {
+            total_wafers,
+            placement: DecodePlacement::LeastKvLoad,
+            engine: EngineConfig::default(),
+            horizon_s: f64::INFINITY,
+        }
+    }
+
+    /// Runs every split of the wafer budget against the same timed trace,
+    /// in ascending prefill-wafer order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] from engine construction.
+    pub fn sweep(
+        &self,
+        system: &OuroborosSystem,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+    ) -> Result<Vec<PoolPlan>, KvError> {
+        (1..self.total_wafers)
+            .map(|prefill| {
+                let mut cfg = DisaggConfig::new(prefill, self.total_wafers - prefill);
+                cfg.placement = self.placement;
+                cfg.engine = self.engine;
+                let mut cluster = DisaggCluster::new(system, cfg)?;
+                let report = cluster.run(timed, slo, self.horizon_s);
+                Ok(PoolPlan { prefill_wafers: prefill, decode_wafers: self.total_wafers - prefill, report })
+            })
+            .collect()
+    }
+}
+
+/// The goodput-optimal plan of a sweep; ties break toward fewer prefill
+/// wafers (decode capacity is the scarcer resource for TPOT), regardless of
+/// the slice's order.
+pub fn best_ratio(plans: &[PoolPlan]) -> &PoolPlan {
+    assert!(!plans.is_empty(), "the sweep produced no plans");
+    let mut best = &plans[0];
+    for p in &plans[1..] {
+        let cmp = p.goodput_rps().total_cmp(&best.goodput_rps());
+        if cmp.is_gt() || (cmp.is_eq() && p.prefill_wafers < best.prefill_wafers) {
+            best = p;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_model::zoo;
+    use ouro_sim::{OuroborosConfig, OuroborosSystem};
+    use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_every_split_and_best_is_argmax() {
+        let sys = tiny_system();
+        let trace = TraceGenerator::new(11).generate(&LengthConfig::fixed(96, 24), 40);
+        let timed = ArrivalConfig::Bursty { rate_rps: 400.0, cv: 4.0 }.assign(&trace, 11);
+        let slo = SloConfig { ttft_s: 0.5, tpot_s: 0.05 };
+        let planner = RatioPlanner::new(4);
+        let plans = planner.sweep(&sys, &timed, &slo).unwrap();
+        assert_eq!(plans.len(), 3);
+        for (i, p) in plans.iter().enumerate() {
+            assert_eq!(p.prefill_wafers, i + 1);
+            assert_eq!(p.prefill_wafers + p.decode_wafers, 4);
+            assert!(p.report.serving.is_conserved());
+            assert!(p.report.kv_bytes_conserved());
+        }
+        let best = best_ratio(&plans);
+        for p in &plans {
+            assert!(
+                best.goodput_rps() >= p.goodput_rps(),
+                "best ratio {}:{} must dominate {}:{}",
+                best.prefill_wafers,
+                best.decode_wafers,
+                p.prefill_wafers,
+                p.decode_wafers
+            );
+        }
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let sys = tiny_system();
+        let trace = TraceGenerator::new(3).generate(&LengthConfig::fixed(64, 16), 30);
+        let timed = ArrivalConfig::Poisson { rate_rps: 300.0 }.assign(&trace, 3);
+        let slo = SloConfig { ttft_s: 0.5, tpot_s: 0.05 };
+        let planner = RatioPlanner::new(3);
+        let a = planner.sweep(&sys, &timed, &slo).unwrap();
+        let b = planner.sweep(&sys, &timed, &slo).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ties_break_toward_fewer_prefill_wafers() {
+        let mk = |prefill: usize, goodput: f64| -> PoolPlan {
+            let sys = tiny_system();
+            let trace = TraceGenerator::new(1).generate(&LengthConfig::fixed(32, 8), 2);
+            let timed = ArrivalConfig::Poisson { rate_rps: 10.0 }.assign(&trace, 1);
+            let slo = SloConfig { ttft_s: 10.0, tpot_s: 1.0 };
+            let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(prefill, 1)).unwrap();
+            let mut report = cluster.run(&timed, &slo, f64::INFINITY);
+            report.serving.goodput_rps = goodput;
+            PoolPlan { prefill_wafers: prefill, decode_wafers: 1, report }
+        };
+        let plans = vec![mk(1, 5.0), mk(2, 5.0), mk(3, 4.0)];
+        assert_eq!(best_ratio(&plans).prefill_wafers, 1);
+        // The tie-break is on the plan, not the slice order.
+        let reversed = vec![mk(3, 4.0), mk(2, 5.0), mk(1, 5.0)];
+        assert_eq!(best_ratio(&reversed).prefill_wafers, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Reports of disaggregated runs: serving metrics plus KV-migration
+//! accounting.
+//!
+//! Byte conservation is the core invariant: every byte of KV a prefill
+//! wafer exports is either imported into a decode wafer's cache, still on
+//! the wire (announced but not admitted) at the horizon, or discarded
+//! because the sequence could not fit even an empty decode cache. The
+//! identity `exported = imported + in_flight + dropped` must hold at any
+//! observation instant; after a run drains completely the last two terms
+//! are zero and exported equals imported exactly.
+
+use crate::cluster::DecodePlacement;
+use ouro_serve::ServingReport;
+
+/// One KV migration from a prefill wafer to a decode wafer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Migration {
+    /// Global request id.
+    pub id: usize,
+    /// Global index of the source (prefill) wafer.
+    pub from_wafer: usize,
+    /// Global index of the destination (decode) wafer.
+    pub to_wafer: usize,
+    /// Whole-sequence tokens migrated (the prompt at prefill completion).
+    pub tokens: u64,
+    /// Bytes on the wire: tokens × the model's full per-token KV footprint.
+    pub bytes: u64,
+    /// Prefill-completion instant (migration start).
+    pub start_s: f64,
+    /// Instant the KV lands on the decode wafer and becomes admissible.
+    pub arrive_s: f64,
+    /// Optical wafer boundaries crossed.
+    pub wafer_hops: usize,
+    /// Link energy of the transfer.
+    pub energy_j: f64,
+}
+
+/// Aggregate outcome of one disaggregated serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisaggReport {
+    /// SLO metrics over merged per-request records (arrival on the prefill
+    /// side, first token and completion on the decode side).
+    pub serving: ServingReport,
+    /// Wafers in the prefill pool.
+    pub prefill_wafers: usize,
+    /// Wafers in the decode pool.
+    pub decode_wafers: usize,
+    /// Decode-placement policy used.
+    pub placement: DecodePlacement,
+    /// KV migrations started.
+    pub migrations: usize,
+    /// Whole-sequence tokens migrated.
+    pub migrated_tokens: u64,
+    /// KV bytes exported by prefill wafers.
+    pub exported_kv_bytes: u64,
+    /// KV bytes imported (admitted) into decode caches.
+    pub imported_kv_bytes: u64,
+    /// KV bytes announced but still in flight (not admitted) at the horizon.
+    pub in_flight_kv_bytes: u64,
+    /// KV bytes discarded because the sequence could not fit an empty
+    /// decode cache.
+    pub dropped_kv_bytes: u64,
+    /// Mean migration wall-clock (setup + head latency + serialisation).
+    pub mean_migration_s: f64,
+    /// Slowest migration of the run.
+    pub max_migration_s: f64,
+    /// Total optical link energy spent on KV migration.
+    pub link_energy_j: f64,
+    /// Mean busy fraction of the prefill pool.
+    pub prefill_utilization: f64,
+    /// Mean busy fraction of the decode pool.
+    pub decode_utilization: f64,
+}
+
+impl DisaggReport {
+    /// The migration-byte conservation identity: every exported byte is
+    /// imported, in flight, or accounted as dropped.
+    pub fn kv_bytes_conserved(&self) -> bool {
+        self.exported_kv_bytes == self.imported_kv_bytes + self.in_flight_kv_bytes + self.dropped_kv_bytes
+    }
+
+    /// Mean migrated KV per request, in bytes (0 with no migrations).
+    pub fn mean_migration_bytes(&self) -> f64 {
+        if self.migrations == 0 {
+            0.0
+        } else {
+            self.exported_kv_bytes as f64 / self.migrations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ouro_serve::{RunTotals, ServingReport, SloConfig};
+
+    fn report(exported: u64, imported: u64, in_flight: u64, dropped: u64) -> DisaggReport {
+        DisaggReport {
+            serving: ServingReport::from_records(
+                &[],
+                &SloConfig { ttft_s: 1.0, tpot_s: 0.1 },
+                Some(1.0),
+                RunTotals::default(),
+            ),
+            prefill_wafers: 1,
+            decode_wafers: 1,
+            placement: DecodePlacement::LeastKvLoad,
+            migrations: 2,
+            migrated_tokens: 100,
+            exported_kv_bytes: exported,
+            imported_kv_bytes: imported,
+            in_flight_kv_bytes: in_flight,
+            dropped_kv_bytes: dropped,
+            mean_migration_s: 0.001,
+            max_migration_s: 0.002,
+            link_energy_j: 0.1,
+            prefill_utilization: 0.5,
+            decode_utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn conservation_identity() {
+        assert!(report(100, 100, 0, 0).kv_bytes_conserved());
+        assert!(report(100, 60, 30, 10).kv_bytes_conserved());
+        assert!(!report(100, 60, 30, 0).kv_bytes_conserved());
+    }
+
+    #[test]
+    fn mean_migration_bytes_averages_over_migrations() {
+        assert_eq!(report(100, 100, 0, 0).mean_migration_bytes(), 50.0);
+        let mut r = report(0, 0, 0, 0);
+        r.migrations = 0;
+        assert_eq!(r.mean_migration_bytes(), 0.0);
+    }
+}

@@ -116,6 +116,22 @@ struct Cursor {
     block: usize,
 }
 
+/// Counters of KV state handed across wafer boundaries (prefill/decode
+/// disaggregation). Token counts are whole-sequence tokens; byte accounting
+/// is the caller's job because the manager does not know the model's head
+/// layout across blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KvTransferStats {
+    /// Sequences whose KV was exported (released for migration elsewhere).
+    pub exported_sequences: u64,
+    /// Tokens resident at export time, summed over exported sequences.
+    pub exported_tokens: u64,
+    /// Sequences admitted with KV computed on another wafer.
+    pub imported_sequences: u64,
+    /// Tokens of imported (not recomputed) KV, summed over imports.
+    pub imported_tokens: u64,
+}
+
 /// The distributed dynamic KV cache manager.
 #[derive(Debug, Clone)]
 pub struct KvManager {
@@ -127,6 +143,7 @@ pub struct KvManager {
     ring_next: [usize; 2],
     cursors: HashMap<(u64, usize, u8), Cursor>,
     resident_tokens: HashMap<u64, usize>,
+    transfers: KvTransferStats,
 }
 
 impl KvManager {
@@ -160,6 +177,7 @@ impl KvManager {
             ring_next: [0, 0],
             cursors: HashMap::new(),
             resident_tokens: HashMap::new(),
+            transfers: KvTransferStats::default(),
         })
     }
 
@@ -375,6 +393,46 @@ impl KvManager {
         tokens
     }
 
+    /// Exports a resident sequence's KV for migration to another wafer:
+    /// releases every block locally and returns the token count that must
+    /// travel. The serving layer charges the byte volume against the
+    /// inter-wafer link model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::UnknownSequence`] when the sequence is not
+    /// resident.
+    pub fn export_sequence(&mut self, seq: u64) -> Result<usize, KvError> {
+        if !self.resident_tokens.contains_key(&seq) {
+            return Err(KvError::UnknownSequence(seq));
+        }
+        let tokens = self.release(seq);
+        self.transfers.exported_sequences += 1;
+        self.transfers.exported_tokens += tokens as u64;
+        Ok(tokens)
+    }
+
+    /// Admits a sequence whose `tokens` of KV were computed on another wafer
+    /// and have arrived over the inter-wafer link: allocation follows the
+    /// same ring/threshold rules as [`KvManager::admit`], but the tokens are
+    /// counted as imported rather than locally produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfCapacity`] under the same conditions as
+    /// [`KvManager::admit`] (the caller should release, evict, and retry).
+    pub fn import_sequence(&mut self, seq: u64, tokens: usize) -> Result<(), KvError> {
+        self.admit(seq, tokens)?;
+        self.transfers.imported_sequences += 1;
+        self.transfers.imported_tokens += tokens as u64;
+        Ok(())
+    }
+
+    /// Counters of exported/imported KV state.
+    pub fn transfer_stats(&self) -> &KvTransferStats {
+        &self.transfers
+    }
+
     /// The page table (first translation level), for lookups by the
     /// simulator and tests.
     pub fn page_table(&self) -> &PageTable {
@@ -494,6 +552,63 @@ mod tests {
         m.admit(1, 512).unwrap();
         assert!(m.utilization() > before);
         assert!(m.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn export_releases_blocks_and_counts_tokens() {
+        let mut m = manager(8, 2);
+        m.admit(1, 300).unwrap();
+        let used_before = m.used_tokens();
+        assert!(used_before >= 300);
+        assert_eq!(m.export_sequence(1), Ok(300));
+        assert_eq!(m.used_tokens(), 0);
+        assert_eq!(m.resident_sequences(), 0);
+        let s = m.transfer_stats();
+        assert_eq!(s.exported_sequences, 1);
+        assert_eq!(s.exported_tokens, 300);
+        assert_eq!(s.imported_tokens, 0);
+    }
+
+    #[test]
+    fn export_of_absent_sequence_fails() {
+        let mut m = manager(4, 1);
+        assert_eq!(m.export_sequence(42), Err(KvError::UnknownSequence(42)));
+        assert_eq!(m.transfer_stats().exported_sequences, 0);
+    }
+
+    #[test]
+    fn import_allocates_like_admit_and_counts() {
+        let mut m = manager(8, 2);
+        m.import_sequence(5, 200).unwrap();
+        assert_eq!(m.sequence_tokens(5), Some(200));
+        let s = m.transfer_stats();
+        assert_eq!(s.imported_sequences, 1);
+        assert_eq!(s.imported_tokens, 200);
+        // The imported sequence grows and releases like any other.
+        m.append_tokens(5, 8).unwrap();
+        assert_eq!(m.release(5), 208);
+    }
+
+    #[test]
+    fn failed_import_counts_nothing() {
+        let mut m = manager(2, 1);
+        let cap = m.capacity_tokens();
+        assert_eq!(m.import_sequence(9, cap * 2), Err(KvError::OutOfCapacity));
+        assert_eq!(m.transfer_stats().imported_sequences, 0);
+        assert_eq!(m.transfer_stats().imported_tokens, 0);
+    }
+
+    #[test]
+    fn export_import_roundtrip_conserves_tokens() {
+        // Simulates a migration: export from one manager, import the same
+        // token count into another.
+        let mut prefill = manager(8, 2);
+        let mut decode = manager(8, 2);
+        prefill.admit(1, 500).unwrap();
+        let tokens = prefill.export_sequence(1).unwrap();
+        decode.import_sequence(1, tokens).unwrap();
+        assert_eq!(prefill.transfer_stats().exported_tokens, decode.transfer_stats().imported_tokens);
+        assert_eq!(decode.sequence_tokens(1), Some(500));
     }
 
     #[test]

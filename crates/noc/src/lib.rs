@@ -9,7 +9,8 @@
 //! The crate provides:
 //!
 //! * [`link`] — link/bandwidth/latency/energy parameters for intra-die,
-//!   inter-die and inter-wafer hops,
+//!   inter-die and inter-wafer hops, plus the aggregated [`InterWaferLink`]
+//!   optical fabric used for bulk KV migrations between wafers,
 //! * [`routing`] — XY dimension-order routing with fault-aware detours
 //!   around defective cores and links,
 //! * [`cost`] — the transfer cost model (latency and energy of moving a
@@ -25,5 +26,5 @@ pub mod routing;
 
 pub use cost::{CommCost, Transfer};
 pub use htree::HTree;
-pub use link::{LinkConfig, NocConfig};
+pub use link::{InterWaferLink, LinkConfig, NocConfig};
 pub use routing::{route_xy, route_xy_avoiding, RouteError};

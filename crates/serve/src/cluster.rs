@@ -88,9 +88,9 @@ impl Cluster {
                 self.rr_next = (self.rr_next + 1) % n;
                 w
             }
-            RoutePolicy::LeastKvLoad => pick_min(&self.engines, Engine::kv_load),
+            RoutePolicy::LeastKvLoad => pick_min_index(&self.engines, Engine::kv_load),
             RoutePolicy::JoinShortestQueue => {
-                pick_min(&self.engines, |e| (e.queue_len() + e.resident()) as f64)
+                pick_min_index(&self.engines, |e| (e.queue_len() + e.resident()) as f64)
             }
         }
     }
@@ -118,12 +118,16 @@ impl Cluster {
 
         loop {
             let next_arrival = arrivals.front().map(|&(t, _)| t);
+            // Arbitration is by next *event* time, not raw clock: stepping
+            // an idle engine commits its clock to its earliest admissible
+            // pending, so it must wait its global turn (see
+            // [`Engine::next_event_s`]).
             let next_engine = self
                 .engines
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| e.has_work() && e.clock_s() < horizon_s)
-                .min_by(|(_, a), (_, b)| a.clock_s().total_cmp(&b.clock_s()))
+                .filter(|(_, e)| e.has_work() && e.next_event_s() < horizon_s)
+                .min_by(|(_, a), (_, b)| a.next_event_s().total_cmp(&b.next_event_s()))
                 .map(|(i, _)| i);
 
             match (next_arrival, next_engine) {
@@ -145,8 +149,8 @@ impl Cluster {
                     }
                     // Route the arrival once every busy engine has simulated
                     // past it, so routing sees current state.
-                    let min_clock = engine.map(|i| self.engines[i].clock_s());
-                    match min_clock {
+                    let min_event = engine.map(|i| self.engines[i].next_event_s());
+                    match min_event {
                         Some(c) if c < t_arr => {
                             self.step_engine(
                                 engine.expect("checked above"),
@@ -184,18 +188,7 @@ impl Cluster {
     ) {
         let completions = self.engines[i].step();
         for (_, t_done) in completions {
-            if let Some(next) = gated.pop_front() {
-                let think: f64 = if think_time_s > 0.0 {
-                    ouro_workload::arrival::exponential(think_rng, 1.0 / think_time_s)
-                } else {
-                    0.0
-                };
-                let release = t_done + think;
-                // Released arrivals are appended in completion order; engine
-                // clocks only move forward, so later releases sort later.
-                let pos = arrivals.partition_point(|&(t, _)| t <= release);
-                arrivals.insert(pos, (release, next));
-            }
+            release_gated(arrivals, gated, t_done, think_time_s, think_rng);
         }
     }
 
@@ -232,13 +225,52 @@ impl Cluster {
     }
 }
 
-fn pick_min(engines: &[Engine], score: impl Fn(&Engine) -> f64) -> usize {
-    engines
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| score(a).total_cmp(&score(b)))
-        .map(|(i, _)| i)
-        .expect("cluster has at least one engine")
+/// Feeds one closed-loop release back into a sorted arrival queue after a
+/// completion at `t_done`: the next gated request (if any) is released
+/// after an exponential think time drawn from `think_rng`. Shared by the
+/// colocated [`Cluster`] and `ouro-disagg`'s event loop so both serve
+/// closed-loop traces with identical release semantics.
+pub fn release_gated(
+    arrivals: &mut VecDeque<(f64, usize)>,
+    gated: &mut VecDeque<usize>,
+    t_done: f64,
+    think_time_s: f64,
+    think_rng: &mut StdRng,
+) {
+    let Some(next) = gated.pop_front() else { return };
+    let think: f64 = if think_time_s > 0.0 {
+        ouro_workload::arrival::exponential(think_rng, 1.0 / think_time_s)
+    } else {
+        0.0
+    };
+    let release = t_done + think;
+    // Released arrivals are appended in completion order; engine clocks
+    // only move forward, so later releases sort later.
+    let pos = arrivals.partition_point(|&(t, _)| t <= release);
+    arrivals.insert(pos, (release, next));
+}
+
+/// Index of the item with the lowest score, breaking ties toward the
+/// lowest index (a strict `<` scan; `Iterator::min_by` would return the
+/// *last* minimum, making tie-breaks depend on pool size). Shared by the
+/// colocated router and `ouro-disagg`'s placement policies so every
+/// pool-selection decision in the workspace tie-breaks identically.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn pick_min_index<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
+    assert!(!items.is_empty(), "selection requires at least one candidate");
+    let mut best = 0;
+    let mut best_score = score(&items[0]);
+    for (i, it) in items.iter().enumerate().skip(1) {
+        let s = score(it);
+        if s.total_cmp(&best_score).is_lt() {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -296,6 +328,35 @@ mod tests {
             cluster.run(&timed(60, 200.0, 3), &slo(), f64::INFINITY)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn same_seed_same_report_for_every_policy() {
+        // Regression for deterministic tie-breaking: JoinShortestQueue and
+        // LeastKvLoad see frequent exact score ties (idle engines), which
+        // must resolve identically run over run.
+        let sys = tiny_system();
+        for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+            let run = || {
+                let mut cluster = Cluster::replicate(&sys, 3, policy, EngineConfig::default()).unwrap();
+                cluster.run(&timed(90, 500.0, 17), &slo(), f64::INFINITY)
+            };
+            assert_eq!(run(), run(), "{policy} must be deterministic under a fixed seed");
+        }
+    }
+
+    #[test]
+    fn score_ties_break_toward_the_lowest_wafer_index() {
+        let sys = tiny_system();
+        for policy in [RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+            let mut cluster = Cluster::replicate(&sys, 4, policy, EngineConfig::default()).unwrap();
+            // All four engines are idle and identical: a perfect four-way tie.
+            let trace = TraceGenerator::new(8).generate(&LengthConfig::fixed(16, 4), 1);
+            let t = ArrivalConfig::Poisson { rate_rps: 10.0 }.assign(&trace, 8);
+            let report = cluster.run(&t, &slo(), f64::INFINITY);
+            assert!(report.is_conserved());
+            assert_eq!(cluster.engines()[0].records().len(), 1, "{policy}: a full tie must route to wafer 0");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! scratch, which would corrupt latency accounting here.
 
 use crate::metrics::RequestRecord;
-use ouro_kvcache::{KvError, KvManager, KvManagerConfig};
+use ouro_kvcache::{KvError, KvManager, KvManagerConfig, KvTransferStats};
 use ouro_sim::HwStageTimes;
 use ouro_workload::Request;
 use std::collections::VecDeque;
@@ -58,6 +58,9 @@ pub struct EngineStats {
     pub recomputed_tokens: u64,
     /// Requests dropped because they cannot fit in an empty cache.
     pub dropped: u64,
+    /// Tokens of migrated KV discarded because the imported request was
+    /// dropped at admission (its prompt alone exceeds an empty cache).
+    pub dropped_imported_tokens: u64,
     /// Continuous-batching iterations executed.
     pub steps: u64,
     /// Peak resident sequences.
@@ -75,14 +78,28 @@ struct ActiveSeq {
     decoded: usize,
     /// Monotone admission stamp; the eviction victim is the largest.
     admission_order: u64,
+    /// Disaggregated prefill: the sequence completes (and exports its KV)
+    /// when prefill finishes, emitting no decode tokens here.
+    prefill_only: bool,
 }
 
-/// A request waiting for admission (fresh, or evicted with progress).
+/// A request waiting for admission (fresh, evicted with progress, or an
+/// imported-KV arrival waiting out its migration).
 #[derive(Debug, Clone, Copy)]
 struct PendingReq {
     rec: usize,
     /// Decode tokens already emitted before an eviction (0 for fresh).
     decoded: usize,
+    /// Earliest admission time: the arrival for local requests, the
+    /// migration-completion instant for imported KV. Evicted requeues use
+    /// the eviction clock (already in the past).
+    ready_s: f64,
+    /// The sequence's KV was prefilled on another wafer: admission imports
+    /// it (allocation without recompute). Cleared on eviction, because the
+    /// migrated KV is lost and must be recomputed locally.
+    imported: bool,
+    /// Prefill-only service (disaggregated prefill wafer).
+    prefill_only: bool,
 }
 
 /// A request completion event: `(record index, completion time)`.
@@ -164,6 +181,51 @@ impl Engine {
         demand as f64 / self.manager.capacity_tokens().max(1) as f64
     }
 
+    /// Earliest instant at which any queued request becomes admissible
+    /// (`None` with an empty queue).
+    pub fn next_ready_s(&self) -> Option<f64> {
+        self.pending.iter().map(|p| p.ready_s).min_by(f64::total_cmp)
+    }
+
+    /// The engine's next event time: its clock while sequences are
+    /// resident, otherwise the earliest instant queued work becomes
+    /// admissible (stepping an idle engine fast-forwards the clock there).
+    /// Schedulers arbitrating between engines must order by this rather
+    /// than the raw clock, or an idle engine gets stepped — and commits its
+    /// clock — to a late-landing migration before another engine at an
+    /// earlier simulated time announces one that lands sooner.
+    pub fn next_event_s(&self) -> f64 {
+        if self.active.is_empty() {
+            match self.next_ready_s() {
+                Some(ready) => self.clock_s.max(ready),
+                None => self.clock_s,
+            }
+        } else {
+            self.clock_s
+        }
+    }
+
+    /// Free KV tokens net of the queued demand (0 when oversubscribed), the
+    /// signal behind the most-free-blocks decode placement policy.
+    pub fn kv_free_tokens(&self) -> usize {
+        self.manager
+            .capacity_tokens()
+            .saturating_sub(self.manager.used_tokens())
+            .saturating_sub(self.pending_tokens)
+    }
+
+    /// Token demand of queued imported-KV requests that have not been
+    /// admitted yet (migrations announced but not landed in the cache);
+    /// used by conservation checks of the disaggregated cluster.
+    pub fn pending_imported_tokens(&self) -> usize {
+        self.pending.iter().filter(|p| p.imported).map(|p| self.resident_demand(p)).sum()
+    }
+
+    /// KV exported to / imported from other wafers by this engine's manager.
+    pub fn kv_transfers(&self) -> &KvTransferStats {
+        self.manager.transfer_stats()
+    }
+
     /// Raw counters.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
@@ -177,10 +239,56 @@ impl Engine {
     /// Submits a request arriving at `arrival_s`, tagged with the global id
     /// and wafer index for reporting. Returns the engine-local record index.
     pub fn submit(&mut self, request: Request, arrival_s: f64, id: usize, wafer: usize) -> usize {
-        if !self.has_work() {
-            // An idle engine fast-forwards to the arrival.
-            self.clock_s = self.clock_s.max(arrival_s);
-        }
+        self.submit_inner(request, arrival_s, arrival_s, id, wafer, false, false)
+    }
+
+    /// Submits a request for *prefill-only* service (the prefill wafer of a
+    /// disaggregated deployment): the sequence completes — and its KV is
+    /// exported for migration — as soon as prefill finishes, emitting no
+    /// decode tokens here. The completion event carries the prefill-finish
+    /// time; [`Engine::stats`]' export counters account the KV handed off.
+    pub fn submit_prefill_only(
+        &mut self,
+        request: Request,
+        arrival_s: f64,
+        id: usize,
+        wafer: usize,
+    ) -> usize {
+        self.submit_inner(request, arrival_s, arrival_s, id, wafer, false, true)
+    }
+
+    /// Submits a request whose prompt KV was prefilled on another wafer and
+    /// arrives over the inter-wafer link at `ready_s`: admission *imports*
+    /// the KV (allocating capacity without recompute) and the sequence goes
+    /// straight to decode. `arrival_s` is the request's original arrival,
+    /// kept for TTFT/E2E accounting; admission is gated on `ready_s`.
+    pub fn submit_imported(
+        &mut self,
+        request: Request,
+        arrival_s: f64,
+        ready_s: f64,
+        id: usize,
+        wafer: usize,
+    ) -> usize {
+        self.submit_inner(request, arrival_s, ready_s, id, wafer, true, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn submit_inner(
+        &mut self,
+        request: Request,
+        arrival_s: f64,
+        ready_s: f64,
+        id: usize,
+        wafer: usize,
+        imported: bool,
+        prefill_only: bool,
+    ) -> usize {
+        // No clock fast-forward here: an idle engine advances to the
+        // earliest admissible instant at the top of `step`, where the
+        // *minimum* ready time over the whole queue is known. Jumping to
+        // this request's `ready_s` now would strand a later submission that
+        // becomes ready sooner (migrations land out of submission order).
         let rec = self.records.len();
         self.records.push(RequestRecord {
             id,
@@ -193,7 +301,7 @@ impl Engine {
             completed_s: f64::NAN,
             evictions: 0,
         });
-        self.pending.push_back(PendingReq { rec, decoded: 0 });
+        self.pending.push_back(PendingReq { rec, decoded: 0, ready_s, imported, prefill_only });
         self.pending_tokens += request.prompt_len;
         rec
     }
@@ -213,15 +321,26 @@ impl Engine {
             self.admission_suspended = false;
         }
         while !self.admission_suspended && self.active.len() < self.config.max_batch {
-            let Some(&front) = self.pending.front() else { break };
-            if self.records[front.rec].arrival_s > self.clock_s {
-                break; // not arrived yet (engine clock lags a routed burst)
-            }
+            // Earliest-submitted *admissible* request. Readiness is monotone
+            // with queue order for local arrivals, but not for imported KV
+            // (a small migration submitted later can land before a large one
+            // submitted earlier), so an unready head must not block a landed
+            // request behind it. The scan settles on the head after one
+            // comparison in the common ready-head case.
+            let Some(pos) = self.pending.iter().position(|p| p.ready_s <= self.clock_s) else {
+                break; // nothing has arrived (or finished migrating) yet
+            };
+            let front = self.pending[pos];
             let tokens = self.resident_demand(&front);
             let seq_id = front.rec as u64;
-            match self.manager.admit(seq_id, tokens) {
+            let admitted = if front.imported {
+                self.manager.import_sequence(seq_id, tokens)
+            } else {
+                self.manager.admit(seq_id, tokens)
+            };
+            match admitted {
                 Ok(()) => {
-                    self.pending.pop_front();
+                    self.pending.remove(pos);
                     self.pending_tokens -= tokens;
                     self.stats.admissions += 1;
                     let r = &mut self.records[front.rec];
@@ -230,9 +349,12 @@ impl Engine {
                     }
                     self.active.push(ActiveSeq {
                         rec: front.rec,
-                        prefill_remaining: tokens,
+                        // Imported KV is already materialised: no prefill
+                        // (or recompute) pass is charged.
+                        prefill_remaining: if front.imported { 0 } else { tokens },
                         decoded: front.decoded,
                         admission_order: self.order_counter,
+                        prefill_only: front.prefill_only,
                     });
                     self.order_counter += 1;
                 }
@@ -242,9 +364,12 @@ impl Engine {
                         // Even an empty cache cannot hold it: drop to
                         // guarantee progress (the offline scheduler does the
                         // same).
-                        self.pending.pop_front();
+                        self.pending.remove(pos);
                         self.pending_tokens -= tokens;
                         self.stats.dropped += 1;
+                        if front.imported {
+                            self.stats.dropped_imported_tokens += tokens as u64;
+                        }
                         continue;
                     }
                     self.evict_most_recent();
@@ -278,7 +403,16 @@ impl Engine {
         self.stats.recomputed_tokens += resident as u64;
         self.records[victim.rec].evictions += 1;
         self.manager.release(victim.rec as u64);
-        self.pending.push_front(PendingReq { rec: victim.rec, decoded: victim.decoded });
+        // An evicted import loses its migrated KV: it re-enters as a local
+        // recompute (imported = false). The eviction clock is already in the
+        // past, so readiness never gates a requeue.
+        self.pending.push_front(PendingReq {
+            rec: victim.rec,
+            decoded: victim.decoded,
+            ready_s: self.clock_s,
+            imported: false,
+            prefill_only: victim.prefill_only,
+        });
         self.pending_tokens += resident;
     }
 
@@ -287,13 +421,13 @@ impl Engine {
     ///
     /// Returns the completions that occurred, stamped with their times.
     pub fn step(&mut self) -> Vec<Completion> {
-        // An empty batch with a future queue head means the engine is idle:
-        // fast-forward to the next arrival.
+        // An empty batch with only future-ready queued work means the engine
+        // is idle: fast-forward to the earliest admissible instant (not the
+        // head's — migrations make readiness non-monotone with queue order).
         if self.active.is_empty() {
-            if let Some(front) = self.pending.front() {
-                let arr = self.records[front.rec].arrival_s;
-                if arr > self.clock_s {
-                    self.clock_s = arr;
+            if let Some(min_ready) = self.next_ready_s() {
+                if min_ready > self.clock_s {
+                    self.clock_s = min_ready;
                 }
             }
         }
@@ -316,7 +450,7 @@ impl Engine {
             ctx_sum += resident as f64;
             if a.prefill_remaining > 0 {
                 step_tokens += a.prefill_remaining.min(self.config.prefill_chunk);
-            } else if a.decoded < r.decode_len {
+            } else if !a.prefill_only && a.decoded < r.decode_len {
                 step_tokens += 1;
             }
         }
@@ -342,6 +476,9 @@ impl Engine {
                 self.active[i].prefill_remaining =
                     a.prefill_remaining.saturating_sub(self.config.prefill_chunk);
                 continue;
+            }
+            if a.prefill_only {
+                continue; // completes below; decode happens on another wafer
             }
             let r = &self.records[a.rec];
             if a.decoded >= r.decode_len {
@@ -375,9 +512,17 @@ impl Engine {
         let manager = &mut self.manager;
         self.active.retain(|a| {
             let r = &mut records[a.rec];
-            if a.prefill_remaining == 0 && a.decoded >= r.decode_len {
+            let done = a.prefill_remaining == 0 && (a.prefill_only || a.decoded >= r.decode_len);
+            if done {
                 r.completed_s = end_s;
-                manager.release(a.rec as u64);
+                if a.prefill_only {
+                    // A disaggregated prefill hands its KV off instead of
+                    // discarding it; the export counter feeds migration
+                    // byte accounting.
+                    manager.export_sequence(a.rec as u64).expect("prefill-only sequence is resident");
+                } else {
+                    manager.release(a.rec as u64);
+                }
                 completions.push((a.rec, end_s));
                 false
             } else {
@@ -439,7 +584,8 @@ mod tests {
     fn idle_engine_fast_forwards_to_arrivals() {
         let mut e = engine(8);
         e.submit(Request::new(0, 32, 4), 10.0, 0, 0);
-        assert!(e.clock_s() >= 10.0);
+        e.step();
+        assert!(e.clock_s() >= 10.0, "the first step jumps an idle engine to the arrival");
         while e.has_work() {
             e.step();
         }
@@ -554,6 +700,132 @@ mod tests {
         let t8 = run(8);
         assert!(t8 >= t1, "more work cannot finish earlier");
         assert!(t8 < 8.0 * t1, "continuous batching must overlap sequences, {t8} vs {t1}");
+    }
+
+    #[test]
+    fn prefill_only_completes_at_prefill_end_and_exports_kv() {
+        let mut e = engine(8);
+        e.submit_prefill_only(Request::new(0, 256, 64), 0.0, 0, 0);
+        let mut completions = Vec::new();
+        while e.has_work() {
+            completions.extend(e.step());
+        }
+        assert_eq!(completions.len(), 1);
+        let r = &e.records()[0];
+        assert!(r.completed(), "prefill-only service completes when prefill ends");
+        assert!(r.first_token_s.is_nan(), "no decode token is emitted on the prefill wafer");
+        let t = e.kv_transfers();
+        assert_eq!(t.exported_sequences, 1);
+        assert_eq!(t.exported_tokens, 256, "the whole prompt KV is exported");
+        assert_eq!(t.imported_tokens, 0);
+    }
+
+    #[test]
+    fn prefill_only_is_faster_than_full_service() {
+        let run = |prefill_only: bool| -> f64 {
+            let mut e = engine(8);
+            if prefill_only {
+                e.submit_prefill_only(Request::new(0, 256, 64), 0.0, 0, 0);
+            } else {
+                e.submit(Request::new(0, 256, 64), 0.0, 0, 0);
+            }
+            while e.has_work() {
+                e.step();
+            }
+            e.records()[0].completed_s
+        };
+        assert!(run(true) < run(false), "skipping 64 decode steps must save time");
+    }
+
+    #[test]
+    fn imported_sequence_decodes_without_recompute() {
+        let mut e = engine(8);
+        // KV for the 256-token prompt was prefilled elsewhere; migration
+        // lands at t = 5.0 although the request arrived at t = 1.0.
+        e.submit_imported(Request::new(0, 256, 16), 1.0, 5.0, 0, 0);
+        let mut completions = Vec::new();
+        while e.has_work() {
+            completions.extend(e.step());
+        }
+        assert_eq!(completions.len(), 1);
+        let r = &e.records()[0];
+        assert_eq!(r.arrival_s, 1.0, "the record keeps the original arrival for TTFT");
+        assert!(r.admitted_s >= 5.0, "admission waits for the migration");
+        assert!(r.first_token_s > r.admitted_s);
+        assert!(r.completed());
+        let t = e.kv_transfers();
+        assert_eq!(t.imported_sequences, 1);
+        assert_eq!(t.imported_tokens, 256);
+        assert_eq!(e.stats().recomputed_tokens, 0, "imported KV is not recomputed");
+    }
+
+    #[test]
+    fn imported_sequence_starts_decoding_faster_than_full_service() {
+        let run = |imported: bool| -> f64 {
+            let mut e = engine(8);
+            if imported {
+                e.submit_imported(Request::new(0, 512, 8), 0.0, 0.0, 0, 0);
+            } else {
+                e.submit(Request::new(0, 512, 8), 0.0, 0, 0);
+            }
+            while e.has_work() {
+                e.step();
+            }
+            e.records()[0].first_token_s
+        };
+        assert!(run(true) < run(false), "imported KV must skip the prefill pass");
+    }
+
+    #[test]
+    fn landed_migration_is_not_blocked_by_a_slower_one_ahead() {
+        // Submitted first but lands late vs. submitted second and lands
+        // almost immediately: admission order must follow readiness, not
+        // submission order, or the early migration idles for ~1 s.
+        let mut e = engine(8);
+        e.submit_imported(Request::new(0, 256, 4), 0.0, 1.0, 0, 0);
+        e.submit_imported(Request::new(1, 64, 4), 0.0, 0.001, 1, 0);
+        let mut guard = 0;
+        while e.records()[1].admitted_s.is_nan() && guard < 10_000 {
+            e.step();
+            guard += 1;
+        }
+        let early = &e.records()[1];
+        assert!(
+            early.admitted_s < 1.0,
+            "the landed migration must not wait behind the unready head: admitted at {}",
+            early.admitted_s
+        );
+        while e.has_work() {
+            e.step();
+        }
+        assert!(e.records()[0].completed() && e.records()[1].completed());
+        assert!(e.records()[0].admitted_s >= 1.0, "the slow migration still waits for its landing");
+    }
+
+    #[test]
+    fn export_then_import_conserves_tokens_across_engines() {
+        let mut prefill = engine(8);
+        let mut decode = engine(8);
+        prefill.submit_prefill_only(Request::new(0, 300, 20), 0.0, 0, 0);
+        let mut done = Vec::new();
+        while prefill.has_work() {
+            done.extend(prefill.step());
+        }
+        let (rec, t_done) = done[0];
+        let tokens = prefill.kv_transfers().exported_tokens;
+        assert_eq!(tokens, 300);
+        decode.submit_imported(
+            Request::new(0, prefill.records()[rec].prompt_len, 20),
+            0.0,
+            t_done + 0.001,
+            0,
+            1,
+        );
+        while decode.has_work() {
+            decode.step();
+        }
+        assert_eq!(decode.kv_transfers().imported_tokens, tokens, "exported == imported");
+        assert!(decode.records()[0].completed());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod engine;
 pub mod metrics;
 pub mod sweep;
 
-pub use cluster::{Cluster, RoutePolicy};
+pub use cluster::{pick_min_index, release_gated, Cluster, RoutePolicy};
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};
 pub use sweep::{capacity_rps_estimate, format_sweep, ideal_latencies, LoadSweep, SweepPoint};

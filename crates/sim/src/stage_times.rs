@@ -8,7 +8,7 @@
 
 use ouro_hw::CimCore;
 use ouro_model::{ModelConfig, StageKind};
-use ouro_noc::{CommCost, Transfer};
+use ouro_noc::{CommCost, InterWaferLink, Transfer};
 use ouro_pipeline::StageTimeModel;
 
 /// Per-stage service-time model derived from the hardware and the mapping.
@@ -53,7 +53,22 @@ impl HwStageTimes {
             die_crossings: if self.mean_hops > 4.0 { 1 } else { 0 },
             wafer_crossings: 0,
         };
-        self.comm.latency_s(&t) + self.inter_wafer_crossings_per_token * 1e-7
+        // Ganged multi-wafer deployments stream each token's activation
+        // across the optical fabric once per pipeline pass; the charge comes
+        // from the same link model that prices disaggregated KV migrations.
+        let crossing = if self.inter_wafer_crossings_per_token > 0.0 {
+            self.inter_wafer_crossings_per_token * self.inter_wafer_link().token_crossing_s(bytes)
+        } else {
+            0.0
+        };
+        self.comm.latency_s(&t) + crossing
+    }
+
+    /// The aggregated optical fabric between wafers, derived from this
+    /// deployment's NoC parameters (shared with `ouro-disagg` so colocated
+    /// and disaggregated paths price inter-wafer bytes identically).
+    pub fn inter_wafer_link(&self) -> InterWaferLink {
+        InterWaferLink::from_noc(&self.comm.noc)
     }
 }
 
@@ -188,6 +203,23 @@ mod tests {
         let bottleneck = t.bottleneck_stage_s(256);
         assert!(latency > bottleneck);
         assert!(latency >= bottleneck * t.model.blocks as f64);
+    }
+
+    #[test]
+    fn inter_wafer_crossing_slows_every_stage_with_activations() {
+        let single = times();
+        let mut ganged = times();
+        ganged.inter_wafer_crossings_per_token = 1.0;
+        for kind in StageKind::ALL {
+            assert!(
+                ganged.token_time_s(kind, 256) > single.token_time_s(kind, 256),
+                "{kind} must pay the optical crossing in a ganged deployment"
+            );
+        }
+        // The charge equals the shared link model's single-port crossing.
+        let link = single.inter_wafer_link();
+        assert_eq!(link, ouro_noc::InterWaferLink::from_noc(&single.comm.noc));
+        assert!(link.token_crossing_s(1) > 0.0);
     }
 
     #[test]

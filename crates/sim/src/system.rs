@@ -173,6 +173,14 @@ impl OuroborosSystem {
         cfg
     }
 
+    /// Bytes of KV cache that must cross the optical fabric when a sequence
+    /// with `tokens` resident tokens migrates to another wafer: K and V for
+    /// every head of every block, at the deployment's precision. This is the
+    /// payload `ouro-disagg` charges against the [`ouro_noc::InterWaferLink`].
+    pub fn kv_migration_bytes(&self, tokens: usize) -> u64 {
+        tokens as u64 * self.model.kv_bytes_per_token()
+    }
+
     /// KV concurrency and thrashing for this trace: returns
     /// `(resident_sequences, waste_fraction)`.
     fn kv_behaviour(&self, trace: &Trace) -> (f64, f64) {
@@ -357,6 +365,14 @@ mod tests {
         assert!(r.energy_per_token_j() > 0.0 && r.energy_per_token_j().is_finite());
         assert_eq!(r.energy_per_token.off_chip_j, 0.0, "Ouroboros never touches off-chip memory");
         assert!(r.fits_in_memory);
+    }
+
+    #[test]
+    fn kv_migration_bytes_match_model_accounting() {
+        let sys = tiny_system();
+        let m = sys.model();
+        assert_eq!(sys.kv_migration_bytes(0), 0);
+        assert_eq!(sys.kv_migration_bytes(128), 128 * m.kv_bytes_per_token());
     }
 
     #[test]

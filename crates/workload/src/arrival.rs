@@ -332,5 +332,54 @@ mod tests {
                 prop_assert!(r.arrival_s.is_finite() && r.arrival_s > 0.0);
             }
         }
+
+        #[test]
+        fn gamma_cv1_statistically_matches_poisson(seed in 0u64..12) {
+            // Gamma with cv = 1 is Exponential(rate): its gap statistics
+            // must be indistinguishable (in the first two moments and the
+            // upper tail) from the Poisson process at the same rate.
+            let rate = 50.0;
+            let t = trace(4000);
+            let gaps = |timed: &TimedTrace| -> Vec<f64> {
+                let mut g: Vec<f64> =
+                    timed.arrivals.windows(2).map(|w| w[1].arrival_s - w[0].arrival_s).collect();
+                g.push(timed.arrivals[0].arrival_s);
+                g
+            };
+            let moments = |g: &[f64]| -> (f64, f64, f64) {
+                let mean = g.iter().sum::<f64>() / g.len() as f64;
+                let var = g.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / g.len() as f64;
+                let mut sorted = g.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+                let p90 = sorted[(0.9 * sorted.len() as f64) as usize];
+                (mean, var.sqrt() / mean, p90)
+            };
+            let poisson = gaps(&ArrivalConfig::Poisson { rate_rps: rate }.assign(&t, seed));
+            let gamma1 = gaps(&ArrivalConfig::Bursty { rate_rps: rate, cv: 1.0 }.assign(&t, seed.wrapping_add(1 << 32)));
+            let (p_mean, p_cv, p_p90) = moments(&poisson);
+            let (g_mean, g_cv, g_p90) = moments(&gamma1);
+            prop_assert!((g_mean - p_mean).abs() < 0.1 * p_mean,
+                "cv=1 Gamma mean gap {g_mean} vs Poisson {p_mean}");
+            prop_assert!((g_cv - 1.0).abs() < 0.15, "cv=1 Gamma gap cv {g_cv} should be ~1");
+            prop_assert!((p_cv - 1.0).abs() < 0.15, "Poisson gap cv {p_cv} should be ~1");
+            prop_assert!((g_p90 - p_p90).abs() < 0.2 * p_p90,
+                "cv=1 Gamma p90 gap {g_p90} vs Poisson {p_p90}");
+        }
+
+        #[test]
+        fn extreme_burstiness_preserves_the_mean_rate(seed in 0u64..8) {
+            // cv = 8 puts the Gamma shape at 1/64 — deep in the boost
+            // branch — yet the empirical rate must stay within 10% of the
+            // configured rate over a long trace. The gap std is 8× the mean,
+            // so the sample must be long: 100k gaps put 10% at four sigmas.
+            let rate = 25.0;
+            let t = trace(100_000);
+            let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 8.0 }.assign(&t, seed);
+            let realized = timed.realized_rps().expect("long open-loop trace has a rate");
+            prop_assert!(
+                (realized - rate).abs() < 0.1 * rate,
+                "cv=8 realised rate {realized} must stay within 10% of {rate}"
+            );
+        }
     }
 }

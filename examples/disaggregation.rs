@@ -1,0 +1,158 @@
+//! Prefill/decode disaggregation vs colocated continuous batching at equal
+//! wafer count: a 4-wafer LLaMA-13B deployment under bursty, prefill-heavy
+//! traffic.
+//!
+//! The run demonstrates the three invariants of the disaggregated path:
+//!
+//! 1. **KV conservation** — every byte exported by a prefill wafer is
+//!    imported by a decode wafer once the run drains,
+//! 2. **planner optimality** — the pool-ratio planner's chosen split has
+//!    goodput at least as high as every other swept split,
+//! 3. **decode-tail isolation** — at the same offered load, disaggregated
+//!    p99 TPOT beats colocated p99 TPOT, because decode wafers never
+//!    interleave prefill chunks into their steps.
+//!
+//! ```text
+//! cargo run --release --example disaggregation
+//! ```
+
+use ouroboros::disagg::{
+    best_ratio, format_shootout, head_to_head, DecodePlacement, RatioPlanner, ShootoutConfig,
+};
+use ouroboros::model::zoo;
+use ouroboros::serve::{capacity_rps_estimate, ideal_latencies, EngineConfig, RoutePolicy, SloConfig};
+use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+const SEED: u64 = 2026;
+const WAFERS: usize = 4;
+const REQUESTS: usize = 200;
+
+fn main() {
+    let model = zoo::llama_13b();
+    let mut config = OuroborosConfig::single_wafer();
+    config.seed = SEED;
+    let system = OuroborosSystem::new(config, &model).expect("LLaMA-13B fits on one wafer");
+
+    // Prefill-heavy mix: 512-token prompts, 64-token generations. Bursty
+    // Gamma arrivals (cv = 4) cluster the long prompts into flash crowds —
+    // exactly what stalls colocated decode steps.
+    let lengths = LengthConfig::fixed(512, 64);
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ideal_ttft, ideal_tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ideal_ttft, ideal_tpot, 10.0);
+    let rate = capacity * WAFERS as f64;
+
+    println!("model: {} on {WAFERS} wafers, LP=512 LD=64, bursty cv=4", model.name);
+    println!(
+        "per-wafer capacity estimate: {capacity:.1} req/s; SLO: TTFT <= {:.2} ms, TPOT <= {:.4} ms",
+        slo.ttft_s * 1e3,
+        slo.tpot_s * 1e3
+    );
+    let kv_mb = system.kv_migration_bytes(512) as f64 / 1e6;
+    println!("KV migrated per 512-token prompt: {kv_mb:.1} MB over the optical fabric\n");
+
+    // --- 1. Pool-ratio planner at the aggregate capacity point. ---
+    let trace = TraceGenerator::new(SEED).generate(&lengths, REQUESTS);
+    let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, SEED);
+    let planner = RatioPlanner::new(WAFERS);
+    let plans = planner.sweep(&system, &timed, &slo).expect("pools build");
+    println!("=== pool-ratio sweep at {rate:.0} req/s ===");
+    println!("{:<10} {:>11} {:>11} {:>11} {:>12}", "split", "ttft-p99", "tpot-p99", "goodput/s", "migr (MB)");
+    for p in &plans {
+        let s = &p.report.serving;
+        println!(
+            "{:<10} {:>9.1}ms {:>9.3}ms {:>11.1} {:>12.1}",
+            format!("{}p:{}d", p.prefill_wafers, p.decode_wafers),
+            s.ttft.p99_s * 1e3,
+            s.tpot.p99_s * 1e3,
+            s.goodput_rps,
+            p.report.exported_kv_bytes as f64 / 1e6,
+        );
+
+        // Invariant 1: KV-migration bytes are conserved at every split.
+        assert!(p.report.serving.is_conserved(), "request conservation must hold");
+        assert!(
+            p.report.kv_bytes_conserved(),
+            "migration bytes must be conserved: exported {} != imported {} + in-flight {} + dropped {}",
+            p.report.exported_kv_bytes,
+            p.report.imported_kv_bytes,
+            p.report.in_flight_kv_bytes,
+            p.report.dropped_kv_bytes
+        );
+        assert_eq!(
+            p.report.exported_kv_bytes, p.report.imported_kv_bytes,
+            "a drained run imports every exported byte"
+        );
+    }
+
+    // Invariant 2: the planner's ratio dominates every swept ratio.
+    let best = best_ratio(&plans);
+    for p in &plans {
+        assert!(
+            best.goodput_rps() >= p.goodput_rps(),
+            "planner picked {}p:{}d ({:.1} req/s) but {}p:{}d achieves {:.1}",
+            best.prefill_wafers,
+            best.decode_wafers,
+            best.goodput_rps(),
+            p.prefill_wafers,
+            p.decode_wafers,
+            p.goodput_rps()
+        );
+    }
+    println!(
+        "\ngoodput-optimal split: {}p:{}d at {:.1} req/s goodput\n",
+        best.prefill_wafers,
+        best.decode_wafers,
+        best.goodput_rps()
+    );
+
+    // --- 2. Colocated vs disaggregated at equal wafer count. ---
+    let shootout = ShootoutConfig {
+        wafers: WAFERS,
+        prefill_wafers: best.prefill_wafers,
+        rates_rps: vec![0.5 * rate, rate, 1.5 * rate],
+        cv: 4.0,
+        requests: REQUESTS,
+        lengths,
+        seed: SEED,
+        slo,
+        colocated_policy: RoutePolicy::LeastKvLoad,
+        placement: DecodePlacement::LeastKvLoad,
+        engine: EngineConfig::default(),
+        horizon_s: f64::INFINITY,
+    };
+    let points = head_to_head(&system, &shootout).expect("clusters build");
+    println!(
+        "=== colocated vs disaggregated ({}p:{}d), equal {WAFERS}-wafer budget ===",
+        best.prefill_wafers, best.decode_wafers
+    );
+    print!("{}", format_shootout(&points));
+
+    for p in &points {
+        assert!(p.colocated.is_conserved() && p.disagg.serving.is_conserved());
+        assert!(p.disagg.kv_bytes_conserved());
+
+        // Invariant 3: the decode tail is isolated from prefill bursts.
+        assert!(
+            p.disagg.serving.tpot.p99_s < p.colocated.tpot.p99_s,
+            "at {:.0} req/s disaggregated p99 TPOT ({:.3} ms) must beat colocated ({:.3} ms)",
+            p.rate_rps,
+            p.disagg.serving.tpot.p99_s * 1e3,
+            p.colocated.tpot.p99_s * 1e3
+        );
+    }
+
+    let mid = &points[1];
+    println!(
+        "\nat {:.0} req/s: disaggregated p99 TPOT is {:.1}% of colocated's \
+         ({} migrations, {:.1} MB KV moved, mean migration {:.2} ms, link energy {:.2} J)",
+        mid.rate_rps,
+        100.0 * mid.disagg.serving.tpot.p99_s / mid.colocated.tpot.p99_s,
+        mid.disagg.migrations,
+        mid.disagg.exported_kv_bytes as f64 / 1e6,
+        mid.disagg.mean_migration_s * 1e3,
+        mid.disagg.link_energy_j
+    );
+}

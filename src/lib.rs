@@ -16,7 +16,10 @@
 //! * [`baselines`] — analytical models of DGX A100, TPUv4, AttAcc, Cerebras,
 //! * [`sim`] — the end-to-end Ouroboros simulator tying everything together,
 //! * [`serve`] — the online serving simulator: open-loop arrivals,
-//!   continuous batching, multi-wafer load balancing and SLO metrics.
+//!   continuous batching, multi-wafer load balancing and SLO metrics,
+//! * [`disagg`] — prefill/decode disaggregation: phase-specialised wafer
+//!   pools, KV migration over the inter-wafer optical links, decode
+//!   placement policies and the pool-ratio planner.
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@
 //! ```
 
 pub use ouro_baselines as baselines;
+pub use ouro_disagg as disagg;
 pub use ouro_hw as hw;
 pub use ouro_kvcache as kvcache;
 pub use ouro_mapping as mapping;
