@@ -1,0 +1,72 @@
+//! Cost of the resilience machinery itself: how fast a replacement-chain
+//! remap heals a failure on the paper wafer (the paper claims the repair is
+//! sub-millisecond *on hardware*; here we time the simulator's remap), and
+//! what fault injection adds to a discrete-event serving run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::SEED;
+use ouro_hw::{CoreId, DefectMap, WaferGeometry, YieldModel};
+use ouro_mapping::{remap_with_chain, MappingProblem, Strategy};
+use ouro_model::zoo;
+use ouro_serve::{Cluster, EngineConfig, FaultConfig, FaultInjector, RoutePolicy, SloConfig};
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_injection");
+
+    // Replacement-chain remap on the full paper wafer.
+    let geometry = WaferGeometry::paper();
+    let defects = DefectMap::generate(&geometry, &YieldModel::paper(), SEED);
+    let model = zoo::llama_13b();
+    let candidates: Vec<CoreId> = defects.functional_cores().collect();
+    let problem = MappingProblem::for_block(
+        &model,
+        geometry.clone(),
+        defects.clone(),
+        candidates,
+        4 * 1024 * 1024,
+        4.0,
+    );
+    let solution = ouro_mapping::solve(&problem, Strategy::WaferLlm, SEED);
+    let kv_cores: Vec<CoreId> =
+        defects.functional_cores().filter(|c| !solution.assignment.core.contains(c)).take(128).collect();
+    let failed = solution.assignment.core[problem.num_tiles() / 2];
+    group.bench_function("remap_with_chain_paper_wafer", |b| {
+        b.iter(|| remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed).unwrap())
+    });
+
+    // Fault-injected serving run vs. the clean run on the same traffic.
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let trace = TraceGenerator::new(SEED).generate(&LengthConfig::wikitext2_like(), 100);
+    let timed = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, SEED);
+    let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
+    let span = timed.last_arrival_s();
+    group.bench_function("serving_4_wafers_clean", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
+                    .expect("cluster builds");
+            cluster.run(&timed, &slo, f64::INFINITY)
+        })
+    });
+    group.bench_function("serving_4_wafers_faulty", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
+                    .expect("cluster builds");
+            let mut injector = FaultInjector::new(&system, 4, FaultConfig::new(span / 4.0, SEED), span * 2.0);
+            cluster.run_with_faults(&timed, &slo, f64::INFINITY, &mut injector)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_faults
+}
+criterion_main!(benches);

@@ -9,20 +9,25 @@
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
-//! `serving`, `disagg`, `all`.
+//! `serving`, `disagg`, `faults`, `all`.
 //!
 //! `serving` goes beyond the paper: an online load sweep (open-loop Poisson
 //! and bursty arrivals) against a multi-wafer cluster, reporting TTFT/TPOT
 //! percentiles and SLO goodput per routing policy. `disagg` compares that
 //! colocated cluster against prefill/decode disaggregation at equal wafer
-//! count, including the pool-ratio sweep.
+//! count, including the pool-ratio sweep. `faults` injects a seeded
+//! MTBF-driven runtime fault process (replacement-chain remaps under live
+//! traffic, §4.3.3) and reports availability and tail-latency inflation
+//! versus the identical fault-free run, plus a fault-enabled
+//! disagg-vs-colocated shootout.
 //!
-//! Both serving-style subcommands accept `--json <path>` to dump their
+//! The serving-style subcommands accept `--json <path>` to dump their
 //! points as a JSON array for perf-trajectory capture in CI:
 //!
 //! ```text
 //! cargo run -p ouro-bench --release --bin experiments -- serving --json BENCH_serving.json
 //! cargo run -p ouro-bench --release --bin experiments -- disagg --json BENCH_disagg.json
+//! cargo run -p ouro-bench --release --bin experiments -- faults --json BENCH_faults.json
 //! ```
 
 use ouro_baselines::SystemReport;
@@ -89,8 +94,11 @@ fn main() {
     if run("disagg") {
         rows.extend(disagg(requests));
     }
+    if run("faults") {
+        rows.extend(faults(requests));
+    }
     if let Some(path) = json_path.as_deref() {
-        if run("serving") || run("disagg") {
+        if run("serving") || run("disagg") || run("faults") {
             match ouro_bench::json::write_array(path, &rows) {
                 Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
                 Err(e) => eprintln!("\nfailed to write {path}: {e}"),
@@ -98,7 +106,7 @@ fn main() {
         } else {
             // Writing an empty [] here would let a misconfigured CI capture
             // "succeed" with no data.
-            eprintln!("\n--json is only produced by the serving/disagg subcommands; nothing written");
+            eprintln!("\n--json is only produced by the serving/disagg/faults subcommands; nothing written");
         }
     }
 }
@@ -530,6 +538,7 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         placement: DecodePlacement::LeastKvLoad,
         engine: EngineConfig::default(),
         horizon_s: f64::INFINITY,
+        fault: None,
     };
     let points = head_to_head(&system, &shootout).expect("clusters build");
     print!("{}", format_shootout(&points));
@@ -542,6 +551,138 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
                 .num("mean_migration_s", p.disagg.mean_migration_s)
                 .num("link_energy_j", p.disagg.link_energy_j),
         );
+    }
+    rows
+}
+
+/// Runtime fault injection — availability and tail-latency inflation under
+/// a seeded MTBF process, plus a fault-enabled disagg-vs-colocated
+/// shootout. Returns the JSON rows of every printed point.
+fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+    use ouro_disagg::{format_shootout, head_to_head, DecodePlacement, ShootoutConfig};
+    use ouro_serve::{
+        capacity_rps_estimate, ideal_latencies, EngineConfig, FaultComparison, FaultConfig, RoutePolicy,
+        SloConfig,
+    };
+    use ouro_workload::{ArrivalConfig, TraceGenerator};
+
+    header("Faults: replacement-chain remaps under live traffic (4-wafer LLaMA-13B)");
+    let model = zoo::llama_13b();
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let wafers = 4;
+    let lengths = LengthConfig::wikitext2_like();
+    let requests = requests.min(300);
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+    let rate = 0.7 * capacity * wafers as f64;
+    let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
+    let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, SEED);
+    // MTBF chosen so several faults strike within the arrival span — far
+    // above real hardware rates, as resilience studies accelerate ageing.
+    let span = timed.last_arrival_s();
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
+
+    println!("\n--- MTBF sweep at {rate:.0} req/s (Poisson, WikiText-2-like) ---");
+    println!(
+        "{:<12} {:>7} {:>7} {:>9} {:>12} {:>13} {:>11} {:>11}",
+        "mtbf", "faults", "chains", "recomp", "kv-evict", "availability", "ttft-p99", "tpot-p99"
+    );
+    // The fault-free baseline runs once and is shared by every swept MTBF
+    // (FaultComparison::measure would re-simulate it per point).
+    let mut clean_cluster =
+        ouro_serve::Cluster::replicate(&system, wafers, RoutePolicy::LeastKvLoad, EngineConfig::default())
+            .expect("cluster builds");
+    let clean = clean_cluster.run(&timed, &slo, f64::INFINITY);
+    let fault_window = ouro_serve::FaultInjector::run_window_s(f64::INFINITY, &timed);
+    for (label, divisor) in [("none", 0.0), ("span/2", 2.0), ("span/6", 6.0)] {
+        let fault_cfg = FaultConfig::new(if divisor > 0.0 { span / divisor } else { 1e18 }, SEED);
+        let cmp = if divisor > 0.0 {
+            let mut cluster = ouro_serve::Cluster::replicate(
+                &system,
+                wafers,
+                RoutePolicy::LeastKvLoad,
+                EngineConfig::default(),
+            )
+            .expect("cluster builds");
+            let mut injector = ouro_serve::FaultInjector::new(&system, wafers, fault_cfg, fault_window);
+            let (faulty, fault) = cluster.run_with_faults(&timed, &slo, f64::INFINITY, &mut injector);
+            FaultComparison { clean: clean.clone(), faulty, fault }
+        } else {
+            // Zero fault rate: the faulty run is the clean run by
+            // definition; only the (empty) fault report is fresh.
+            let injector = ouro_serve::FaultInjector::new(&system, wafers, fault_cfg, fault_window);
+            FaultComparison {
+                clean: clean.clone(),
+                faulty: clean.clone(),
+                fault: injector.report(clean.duration_s),
+            }
+        };
+        let f = &cmp.fault;
+        println!(
+            "{:<12} {:>7} {:>7} {:>9} {:>10.2}MB {:>12.4}% {:>9.1}ms {:>9.3}ms",
+            label,
+            f.faults_injected,
+            f.chains_built,
+            f.sequences_recomputed,
+            f.kv_bytes_evicted as f64 / 1e6,
+            f.availability * 100.0,
+            cmp.faulty.ttft.p99_s * 1e3,
+            cmp.faulty.tpot.p99_s * 1e3,
+        );
+        rows.push(
+            serving_row("faults", &format!("mtbf-{label}"), rate, &cmp.faulty)
+                .int("faults_injected", f.faults_injected)
+                .int("chains_built", f.chains_built)
+                .int("sequences_recomputed", f.sequences_recomputed)
+                .int("kv_bytes_evicted", f.kv_bytes_evicted)
+                .num("availability", f.availability)
+                .num("mean_chain_len", f.mean_chain_len())
+                .num("ttft_p99_inflation", cmp.ttft_p99_inflation())
+                .num("tpot_p99_inflation", cmp.tpot_p99_inflation()),
+        );
+    }
+
+    println!("\n--- colocated vs disaggregated with faults enabled (MTBF = span/4) ---");
+    let shootout = ShootoutConfig {
+        wafers,
+        prefill_wafers: 1,
+        rates_rps: vec![rate],
+        cv: 4.0,
+        requests,
+        lengths,
+        seed: SEED,
+        slo,
+        colocated_policy: RoutePolicy::LeastKvLoad,
+        placement: DecodePlacement::LeastKvLoad,
+        engine: EngineConfig::default(),
+        horizon_s: f64::INFINITY,
+        fault: Some(FaultConfig::new(span / 4.0, SEED)),
+    };
+    let points = head_to_head(&system, &shootout).expect("clusters build");
+    print!("{}", format_shootout(&points));
+    for p in &points {
+        for (label, report, fr) in [
+            ("colocated-faulty", &p.colocated, p.colocated_faults.as_ref()),
+            ("disaggregated-faulty", &p.disagg.serving, p.disagg_faults.as_ref()),
+        ] {
+            let f = fr.expect("faults were enabled");
+            println!(
+                "{label:<22} availability {:.4}% ({} faults, {} recomputed sequences)",
+                f.availability * 100.0,
+                f.faults_injected,
+                f.sequences_recomputed
+            );
+            rows.push(
+                serving_row("faults", label, p.rate_rps, report)
+                    .int("faults_injected", f.faults_injected)
+                    .int("sequences_recomputed", f.sequences_recomputed)
+                    .num("availability", f.availability),
+            );
+        }
     }
     rows
 }

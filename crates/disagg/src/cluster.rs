@@ -22,7 +22,8 @@ use crate::report::{DisaggReport, Migration};
 use ouro_kvcache::KvError;
 use ouro_noc::InterWaferLink;
 use ouro_serve::{
-    pick_min_index, release_gated, Engine, EngineConfig, RequestRecord, RunTotals, ServingReport, SloConfig,
+    pick_min_index, pick_serviceable_min_index, release_gated, Engine, EngineConfig, FaultInjector,
+    FaultReport, RequestRecord, RunTotals, ServingReport, SloConfig,
 };
 use ouro_sim::OuroborosSystem;
 use ouro_workload::TimedTrace;
@@ -158,26 +159,32 @@ impl DisaggCluster {
         (self.config.prefill_wafers - prefill_idx) + decode_idx
     }
 
-    /// Routes an arrival to the prefill pool: join-shortest-queue, ties
-    /// toward the lowest wafer index.
+    /// Routes an arrival to the prefill pool: join-shortest-queue over the
+    /// serviceable wafers (faults can kill a wafer; traffic routes around
+    /// it), ties toward the lowest wafer index.
     fn route_prefill(&self) -> usize {
-        pick_min_index(&self.prefill, |e| (e.queue_len() + e.resident()) as f64)
+        pick_serviceable_min_index(&self.prefill, |e| (e.queue_len() + e.resident()) as f64)
     }
 
     /// Picks the decode wafer for KV prefilled on wafer `from` under the
-    /// configured placement policy (ties toward the lowest index).
+    /// configured placement policy (ties toward the lowest index); wafers
+    /// faults have killed are skipped while any healthy one remains.
     fn place_decode(&self, from: usize) -> usize {
         match self.config.placement {
-            DecodePlacement::LeastKvLoad => pick_min_index(&self.decode, Engine::kv_load),
-            DecodePlacement::MostFreeBlocks => pick_min_index(&self.decode, |e| -(e.kv_free_tokens() as f64)),
+            DecodePlacement::LeastKvLoad => pick_serviceable_min_index(&self.decode, Engine::kv_load),
+            DecodePlacement::MostFreeBlocks => {
+                pick_serviceable_min_index(&self.decode, |e| -(e.kv_free_tokens() as f64))
+            }
             DecodePlacement::LocalityAware => {
-                let scores: Vec<f64> = self
-                    .decode
-                    .iter()
-                    .enumerate()
-                    .map(|(j, e)| e.kv_load() + 0.1 * self.wafer_hops(from, j) as f64)
+                // Same filter-then-pick shape as `pick_serviceable_min_index`,
+                // with the locality term needing the wafer index.
+                let any_alive = self.decode.iter().any(Engine::is_serviceable);
+                let candidates: Vec<usize> = (0..self.decode.len())
+                    .filter(|&j| !any_alive || self.decode[j].is_serviceable())
                     .collect();
-                pick_min_index(&scores, |&s| s)
+                candidates[pick_min_index(&candidates, |&j| {
+                    self.decode[j].kv_load() + 0.1 * self.wafer_hops(from, j) as f64
+                })]
             }
         }
     }
@@ -187,6 +194,38 @@ impl DisaggCluster {
     /// spawning KV migrations instead of retiring requests, and closed-loop
     /// releases fed by *decode* completions.
     pub fn run(&mut self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> DisaggReport {
+        self.run_inner(timed, slo, horizon_s, None)
+    }
+
+    /// Serves a timed trace with runtime faults interleaved on the shared
+    /// timeline. The injector's wafer index space is *global*: wafers
+    /// `0..prefill_wafers` are the prefill pool, the rest decode — a fault
+    /// can therefore strike either side of the disaggregation split.
+    /// Returns the disaggregated report plus the fault accounting.
+    pub fn run_with_faults(
+        &mut self,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+        horizon_s: f64,
+        injector: &mut FaultInjector,
+    ) -> (DisaggReport, FaultReport) {
+        assert_eq!(
+            injector.wafer_count(),
+            self.config.total_wafers(),
+            "the fault injector must cover exactly this deployment's wafers (prefill + decode)"
+        );
+        let report = self.run_inner(timed, slo, horizon_s, Some(injector));
+        let faults = injector.report(report.serving.duration_s);
+        (report, faults)
+    }
+
+    fn run_inner(
+        &mut self,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+        horizon_s: f64,
+        mut injector: Option<&mut FaultInjector>,
+    ) -> DisaggReport {
         let mut arrivals: VecDeque<(f64, usize)> = timed
             .arrivals
             .iter()
@@ -205,6 +244,26 @@ impl DisaggCluster {
         loop {
             let next_arrival = arrivals.front().map(|&(t, _)| t);
             let next_engine = self.min_event_engine(horizon_s);
+
+            // Faults share the timeline with arrivals; the arbitration
+            // protocol is the shared [`FaultInjector::poll`], so both
+            // deployment shapes order the same fault schedule identically.
+            if let Some(inj) = injector.as_deref_mut() {
+                let next_event = next_engine.map(|(_, _, event_s)| event_s);
+                match inj.poll(next_arrival, next_event, horizon_s) {
+                    ouro_serve::fault::FaultPoll::Fire(wafer) => {
+                        let engine = if wafer < self.config.prefill_wafers {
+                            &mut self.prefill[wafer]
+                        } else {
+                            &mut self.decode[wafer - self.config.prefill_wafers]
+                        };
+                        inj.inject(engine);
+                        continue;
+                    }
+                    ouro_serve::fault::FaultPoll::Drained => break,
+                    ouro_serve::fault::FaultPoll::Wait => {}
+                }
+            }
 
             match (next_arrival, next_engine) {
                 (None, None) => break,
@@ -603,6 +662,33 @@ mod tests {
             bulk.arrive_s,
             b.admitted_s
         );
+    }
+
+    #[test]
+    fn faults_on_either_pool_conserve_requests_and_bytes() {
+        use ouro_serve::{FaultConfig, FaultInjector};
+        let sys = tiny_system();
+        let t = timed(50, 400.0, 8);
+        let run = || {
+            let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(2, 2)).unwrap();
+            let mut inj = FaultInjector::new(&sys, 4, FaultConfig::new(0.02, 8), t.last_arrival_s() + 0.5);
+            cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj)
+        };
+        let (report, faults) = run();
+        assert!(faults.faults_injected > 0, "a 20ms MTBF must fire during this run");
+        assert!(faults.availability < 1.0);
+        assert!(
+            report.serving.is_conserved(),
+            "faults must not lose requests: injected {} completed {} queued {} in-flight {} dropped {}",
+            report.serving.injected,
+            report.serving.completed,
+            report.serving.queued_at_horizon,
+            report.serving.in_flight_at_horizon,
+            report.serving.dropped
+        );
+        assert!(report.kv_bytes_conserved(), "migration bytes stay conserved under faults");
+        // Identical seeds reproduce the whole degraded run.
+        assert_eq!(run(), (report, faults));
     }
 
     #[test]

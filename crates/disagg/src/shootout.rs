@@ -14,7 +14,9 @@
 use crate::cluster::{DecodePlacement, DisaggCluster, DisaggConfig};
 use crate::report::DisaggReport;
 use ouro_kvcache::KvError;
-use ouro_serve::{Cluster, EngineConfig, RoutePolicy, ServingReport, SloConfig};
+use ouro_serve::{
+    Cluster, EngineConfig, FaultConfig, FaultInjector, FaultReport, RoutePolicy, ServingReport, SloConfig,
+};
 use ouro_sim::OuroborosSystem;
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -46,6 +48,11 @@ pub struct ShootoutConfig {
     pub engine: EngineConfig,
     /// Simulation horizon per point.
     pub horizon_s: f64,
+    /// Optional runtime fault process, applied identically (same MTBF,
+    /// same seed, same wafer streams) to both deployments so the
+    /// comparison also answers "which organisation degrades more
+    /// gracefully when cores die".
+    pub fault: Option<FaultConfig>,
 }
 
 /// One swept load with both deployments' outcomes.
@@ -57,6 +64,10 @@ pub struct ShootoutPoint {
     pub colocated: ServingReport,
     /// The disaggregated cluster's metrics.
     pub disagg: DisaggReport,
+    /// Fault accounting of the colocated run (when faults are enabled).
+    pub colocated_faults: Option<FaultReport>,
+    /// Fault accounting of the disaggregated run (when faults are enabled).
+    pub disagg_faults: Option<FaultReport>,
 }
 
 /// Runs the comparison over every configured load.
@@ -78,15 +89,40 @@ pub fn head_to_head(
         .iter()
         .map(|&rate| {
             let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: config.cv }.assign(&trace, config.seed);
+            // Both sides draw the identical fault realisation over the
+            // shared fault window.
+            let fault_horizon = FaultInjector::run_window_s(config.horizon_s, &timed);
+            let mk_injector =
+                |cfg: FaultConfig| FaultInjector::new(system, config.wafers, cfg, fault_horizon);
             let mut colocated =
                 Cluster::replicate(system, config.wafers, config.colocated_policy, config.engine)?;
-            let colocated_report = colocated.run(&timed, &config.slo, config.horizon_s);
+            let (colocated_report, colocated_faults) = match config.fault {
+                Some(fcfg) => {
+                    let mut inj = mk_injector(fcfg);
+                    let (r, f) = colocated.run_with_faults(&timed, &config.slo, config.horizon_s, &mut inj);
+                    (r, Some(f))
+                }
+                None => (colocated.run(&timed, &config.slo, config.horizon_s), None),
+            };
             let mut dcfg = DisaggConfig::new(config.prefill_wafers, config.wafers - config.prefill_wafers);
             dcfg.placement = config.placement;
             dcfg.engine = config.engine;
             let mut disagg = DisaggCluster::new(system, dcfg)?;
-            let disagg_report = disagg.run(&timed, &config.slo, config.horizon_s);
-            Ok(ShootoutPoint { rate_rps: rate, colocated: colocated_report, disagg: disagg_report })
+            let (disagg_report, disagg_faults) = match config.fault {
+                Some(fcfg) => {
+                    let mut inj = mk_injector(fcfg);
+                    let (r, f) = disagg.run_with_faults(&timed, &config.slo, config.horizon_s, &mut inj);
+                    (r, Some(f))
+                }
+                None => (disagg.run(&timed, &config.slo, config.horizon_s), None),
+            };
+            Ok(ShootoutPoint {
+                rate_rps: rate,
+                colocated: colocated_report,
+                disagg: disagg_report,
+                colocated_faults,
+                disagg_faults,
+            })
         })
         .collect()
 }
@@ -141,6 +177,7 @@ mod tests {
             placement: DecodePlacement::LeastKvLoad,
             engine: EngineConfig::default(),
             horizon_s: f64::INFINITY,
+            fault: None,
         }
     }
 
@@ -157,6 +194,30 @@ mod tests {
         }
         let table = format_shootout(&points);
         assert!(table.contains("colocated") && table.contains("disaggregated"));
+    }
+
+    #[test]
+    fn the_shootout_runs_cleanly_with_faults_enabled() {
+        let sys = tiny_system();
+        let mut cfg = config(vec![200.0]);
+        cfg.fault = Some(FaultConfig::new(0.05, 21));
+        let points = head_to_head(&sys, &cfg).unwrap();
+        let p = &points[0];
+        // Both sides stay conserved and both report the fault process.
+        assert!(p.colocated.is_conserved());
+        assert!(p.disagg.serving.is_conserved());
+        assert!(p.disagg.kv_bytes_conserved());
+        let cf = p.colocated_faults.as_ref().expect("faults were enabled");
+        let df = p.disagg_faults.as_ref().expect("faults were enabled");
+        // Both deployments draw from the identical fault schedule, though
+        // each only observes the prefix up to its own drain time.
+        assert!(cf.faults_injected > 0, "a 50ms MTBF must fire during the colocated run");
+        assert!(df.faults_injected > 0, "a 50ms MTBF must fire during the disaggregated run");
+        assert_eq!(cf.config, df.config);
+        assert!(cf.availability < 1.0 && df.availability < 1.0);
+        // And the comparison is reproducible.
+        let again = head_to_head(&sys, &cfg).unwrap();
+        assert_eq!(points, again);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct CrossbarBlocks {
     /// `None` for a free block, `Some(owner)` for a block allocated to a
     /// sequence, together with how many token slots are already used.
     blocks: Vec<Option<(u64, usize)>>,
+    /// A crossbar absorbed by a runtime replacement chain: it accepts no
+    /// new allocations and contributes no capacity. Blocks still resident
+    /// at failure time stay visible to the audit until released.
+    failed: bool,
 }
 
 impl CrossbarBlocks {
@@ -36,6 +40,7 @@ impl CrossbarBlocks {
         CrossbarBlocks {
             tokens_per_block: config.tokens_per_logical_block(head_dim, bytes_per_elem),
             blocks: vec![None; config.logical_blocks],
+            failed: false,
         }
     }
 
@@ -49,9 +54,30 @@ impl CrossbarBlocks {
         self.tokens_per_block
     }
 
-    /// Number of currently free logical blocks.
+    /// Number of logical blocks available for allocation (0 once failed, so
+    /// every allocation path skips the crossbar without a special case).
     pub fn free_blocks(&self) -> usize {
+        if self.failed {
+            return 0;
+        }
+        self.raw_free_blocks()
+    }
+
+    /// Unallocated blocks regardless of the failed flag — the audit's view,
+    /// which must keep counting blocks awaiting post-fault eviction.
+    pub fn raw_free_blocks(&self) -> usize {
         self.blocks.iter().filter(|b| b.is_none()).count()
+    }
+
+    /// Whether a runtime fault has taken this crossbar.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Marks the crossbar failed (runtime fault injection): no further
+    /// allocations land here and its capacity drops to zero.
+    pub fn fail(&mut self) {
+        self.failed = true;
     }
 
     /// Whether a specific sequence owns any block in this crossbar.
@@ -59,8 +85,12 @@ impl CrossbarBlocks {
         self.blocks.iter().flatten().any(|(owner, _)| *owner == seq)
     }
 
-    /// Allocates one free block to `seq`, returning its index.
+    /// Allocates one free block to `seq`, returning its index (`None` on a
+    /// full or failed crossbar).
     pub fn allocate(&mut self, seq: u64) -> Option<usize> {
+        if self.failed {
+            return None;
+        }
         let idx = self.blocks.iter().position(|b| b.is_none())?;
         self.blocks[idx] = Some((seq, 0));
         Some(idx)
@@ -109,8 +139,11 @@ impl CrossbarBlocks {
         self.blocks.iter().flatten().map(|(_, used)| *used).sum()
     }
 
-    /// Total token capacity of the crossbar.
+    /// Total token capacity of the crossbar (0 once failed).
     pub fn capacity_tokens(&self) -> usize {
+        if self.failed {
+            return 0;
+        }
         self.tokens_per_block * self.blocks.len()
     }
 
@@ -190,6 +223,23 @@ mod tests {
         let mut b = blocks();
         let idx = b.allocate(1).unwrap();
         b.append(idx, 2, 10);
+    }
+
+    #[test]
+    fn a_failed_crossbar_accepts_nothing_but_keeps_resident_blocks_visible() {
+        let mut b = blocks();
+        let idx = b.allocate(4).unwrap();
+        b.append(idx, 4, 50);
+        b.fail();
+        assert!(b.is_failed());
+        assert_eq!(b.free_blocks(), 0, "a failed crossbar advertises no capacity");
+        assert_eq!(b.capacity_tokens(), 0);
+        assert_eq!(b.allocate(5), None, "no new allocation lands on a failed crossbar");
+        // The audit view still sees the resident block and the raw frees.
+        assert_eq!(b.raw_free_blocks(), 7);
+        assert_eq!(b.used_tokens(), 50);
+        assert_eq!(b.release(4), 1);
+        assert_eq!(b.raw_free_blocks(), 8);
     }
 
     #[test]

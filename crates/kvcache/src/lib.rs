@@ -27,7 +27,7 @@ pub mod static_alloc;
 pub mod translate;
 
 pub use block::{BlockAddress, CrossbarBlocks};
-pub use manager::{KvError, KvManager, KvManagerConfig, KvTransferStats};
+pub use manager::{BlockAudit, KvCoreFailure, KvError, KvManager, KvManagerConfig, KvTransferStats};
 pub use scheduler::{KvScheduler, SchedulerOutcome, SchedulerStats};
 pub use static_alloc::StaticKvAllocator;
 pub use translate::{CoreBitmap, PageTable};

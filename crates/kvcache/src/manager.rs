@@ -105,6 +105,17 @@ impl CoreState {
     fn used_tokens(&self) -> usize {
         self.crossbars.iter().map(CrossbarBlocks::used_tokens).sum()
     }
+
+    /// Logical blocks currently allocated on this core, counted raw — the
+    /// audit must see blocks awaiting post-fault eviction on failed
+    /// crossbars too.
+    fn live_blocks(&self) -> u64 {
+        self.crossbars.iter().map(|c| (c.num_blocks() - c.raw_free_blocks()) as u64).sum()
+    }
+
+    fn healthy_crossbars(&self) -> usize {
+        self.crossbars.iter().filter(|c| !c.is_failed()).count()
+    }
 }
 
 /// Cursor of the block a (sequence, head, role) tuple is currently appending
@@ -132,6 +143,49 @@ pub struct KvTransferStats {
     pub imported_tokens: u64,
 }
 
+/// Lifetime block accounting of one manager, the basis of the workspace's
+/// conservation invariant: every block ever allocated is either freed or
+/// still live, so `allocated − freed == live` at every observation instant.
+/// A double-free would drive `freed` past `allocated` (and `live` negative
+/// in the identity), which the audit makes immediately visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockAudit {
+    /// Logical blocks allocated since construction.
+    pub allocated: u64,
+    /// Logical blocks freed since construction.
+    pub freed: u64,
+    /// Logical blocks currently allocated somewhere in the cache.
+    pub live: u64,
+}
+
+impl BlockAudit {
+    /// The conservation identity `allocated − freed == live`.
+    pub fn is_conserved(&self) -> bool {
+        self.freed <= self.allocated && self.allocated - self.freed == self.live
+    }
+}
+
+/// Outcome of one runtime KV failure. The failure quantum is a single
+/// attention-mode *crossbar*: the serving managers are per-head-scaled
+/// (one scaled core stands for `heads` physical cores), so one crossbar of
+/// a scaled core is the nearest allocation unit to one physical KV core's
+/// worth of cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvCoreFailure {
+    /// Flat index of the struck core (key side first, then value side).
+    pub index: usize,
+    /// The struck core's id.
+    pub core: CoreId,
+    /// The failed crossbar within the core.
+    pub crossbar: usize,
+    /// Resident sequences that held at least one block on the failed
+    /// crossbar, in ascending order. The caller must evict (release) them —
+    /// their KV is partially gone and must be recomputed.
+    pub evicted_sequences: Vec<u64>,
+    /// Token slots resident on the failed crossbar at failure time.
+    pub evicted_tokens: usize,
+}
+
 /// The distributed dynamic KV cache manager.
 #[derive(Debug, Clone)]
 pub struct KvManager {
@@ -144,6 +198,10 @@ pub struct KvManager {
     cursors: HashMap<(u64, usize, u8), Cursor>,
     resident_tokens: HashMap<u64, usize>,
     transfers: KvTransferStats,
+    /// Lifetime logical-block allocations (audit counter).
+    allocated_blocks: u64,
+    /// Lifetime logical-block frees (audit counter).
+    freed_blocks: u64,
 }
 
 impl KvManager {
@@ -178,6 +236,8 @@ impl KvManager {
             cursors: HashMap::new(),
             resident_tokens: HashMap::new(),
             transfers: KvTransferStats::default(),
+            allocated_blocks: 0,
+            freed_blocks: 0,
         })
     }
 
@@ -311,6 +371,7 @@ impl KvManager {
         if let Some(slot) = core.bitmap.slot_for(seq) {
             core.bitmap.set(slot, (xb * core.crossbars[xb].num_blocks() + block) % 256);
         }
+        self.allocated_blocks += 1;
         self.cursors.insert((seq, head, role as u8), Cursor { core_index, crossbar: xb, block });
         Ok(())
     }
@@ -369,6 +430,7 @@ impl KvManager {
                 }
                 match found {
                     Some(c) => {
+                        self.allocated_blocks += 1;
                         self.cursors.insert(key, c);
                     }
                     None => return Err(KvError::OutOfCapacity),
@@ -384,13 +446,91 @@ impl KvManager {
         let tokens = self.resident_tokens.remove(&seq).unwrap_or(0);
         for core in self.key_cores.iter_mut().chain(self.value_cores.iter_mut()) {
             for xb in &mut core.crossbars {
-                xb.release(seq);
+                self.freed_blocks += xb.release(seq) as u64;
             }
             core.bitmap.clear_sequence(seq);
         }
         self.cursors.retain(|(s, _, _), _| *s != seq);
         self.page_table.remove(seq);
         tokens
+    }
+
+    /// The lifetime block audit (`allocated − freed == live`).
+    pub fn block_audit(&self) -> BlockAudit {
+        let live: u64 =
+            self.key_cores.iter().chain(self.value_cores.iter()).map(CoreState::live_blocks).sum();
+        BlockAudit { allocated: self.allocated_blocks, freed: self.freed_blocks, live }
+    }
+
+    /// Total KV cores across both roles (key side first, then value side) —
+    /// the core-index space of [`KvManager::fail_kv_core`].
+    pub fn num_kv_cores(&self) -> usize {
+        self.key_cores.len() + self.value_cores.len()
+    }
+
+    /// Total failure quanta: attention-mode crossbars across every core of
+    /// both roles. A wafer dies after this many faults at the latest.
+    pub fn num_kv_units(&self) -> usize {
+        self.key_cores.iter().chain(self.value_cores.iter()).map(|c| c.crossbars.len()).sum()
+    }
+
+    /// Crossbars absorbed by runtime failures so far.
+    pub fn failed_kv_units(&self) -> usize {
+        self.key_cores
+            .iter()
+            .chain(self.value_cores.iter())
+            .flat_map(|c| c.crossbars.iter())
+            .filter(|xb| xb.is_failed())
+            .count()
+    }
+
+    /// Fraction of KV crossbars still healthy, in `[0, 1]`.
+    pub fn healthy_kv_fraction(&self) -> f64 {
+        let n = self.num_kv_units();
+        if n == 0 {
+            0.0
+        } else {
+            (n - self.failed_kv_units()) as f64 / n as f64
+        }
+    }
+
+    /// Whether the cache can still hold sequences: both attention roles need
+    /// at least one healthy crossbar (K and V of every head must land
+    /// somewhere).
+    pub fn is_serviceable(&self) -> bool {
+        self.key_cores.iter().any(|c| c.healthy_crossbars() > 0)
+            && self.value_cores.iter().any(|c| c.healthy_crossbars() > 0)
+    }
+
+    /// Fails one attention-mode crossbar — the physical-KV-core equivalent
+    /// in the scaled manager — scanning cores from `preferred` (modulo the
+    /// core count, key side first) to the first core with a healthy
+    /// crossbar, then failing that core's lowest-indexed healthy crossbar.
+    /// The crossbar stops contributing capacity immediately; the returned
+    /// failure lists the resident sequences that held blocks on it, which
+    /// the caller must release (evict) — their KV is partially lost and
+    /// must be recomputed.
+    ///
+    /// Returns `None` when every crossbar has already failed.
+    pub fn fail_kv_core(&mut self, preferred: usize) -> Option<KvCoreFailure> {
+        let n = self.num_kv_cores();
+        let k = self.key_cores.len();
+        let index = (0..n).map(|o| (preferred + o) % n).find(|&i| {
+            let core = if i < k { &self.key_cores[i] } else { &self.value_cores[i - k] };
+            core.healthy_crossbars() > 0
+        })?;
+        let core = if index < k { &mut self.key_cores[index] } else { &mut self.value_cores[index - k] };
+        let xb_idx =
+            core.crossbars.iter().position(|xb| !xb.is_failed()).expect("scan found a healthy crossbar");
+        let id = core.id;
+        let xb = &mut core.crossbars[xb_idx];
+        let evicted_tokens = xb.used_tokens();
+        xb.fail();
+        let xb = &core.crossbars[xb_idx];
+        let mut evicted: Vec<u64> =
+            self.resident_tokens.keys().copied().filter(|&seq| xb.owns_any(seq)).collect();
+        evicted.sort_unstable();
+        Some(KvCoreFailure { index, core: id, crossbar: xb_idx, evicted_sequences: evicted, evicted_tokens })
     }
 
     /// Exports a resident sequence's KV for migration to another wafer:
@@ -609,6 +749,135 @@ mod tests {
         decode.import_sequence(1, tokens).unwrap();
         assert_eq!(prefill.transfer_stats().exported_tokens, decode.transfer_stats().imported_tokens);
         assert_eq!(decode.sequence_tokens(1), Some(500));
+    }
+
+    #[test]
+    fn failing_a_crossbar_removes_capacity_and_reports_its_sequences() {
+        let mut m = manager(8, 4);
+        m.admit(1, 200).unwrap();
+        m.admit(2, 200).unwrap();
+        let cap_before = m.capacity_tokens();
+        // 4 heads over 4 K-side cores, first-fit crossbars: both sequences
+        // hold blocks in crossbar 0 of key core 0.
+        let failure = m.fail_kv_core(0).expect("healthy crossbars exist");
+        assert_eq!(failure.index, 0);
+        assert_eq!(failure.crossbar, 0);
+        assert_eq!(failure.evicted_sequences, vec![1, 2]);
+        assert!(failure.evicted_tokens > 0);
+        assert!(m.capacity_tokens() < cap_before, "a failed crossbar stops contributing capacity");
+        assert_eq!(m.failed_kv_units(), 1);
+        let units = m.num_kv_units() as f64;
+        assert!((m.healthy_kv_fraction() - (units - 1.0) / units).abs() < 1e-12);
+        assert!(m.is_serviceable());
+        // Releasing the evicted sequences restores a conserved, empty audit.
+        for seq in failure.evicted_sequences {
+            m.release(seq);
+        }
+        let audit = m.block_audit();
+        assert!(audit.is_conserved());
+        assert_eq!(audit.live, 0);
+    }
+
+    #[test]
+    fn a_fully_failed_core_is_skipped_for_new_admissions() {
+        let mut m = manager(8, 1);
+        // Fail every crossbar of key core 0; the scan stays on the
+        // preferred core while it has healthy crossbars.
+        let per_core = m.num_kv_units() / m.num_kv_cores();
+        let mut failed_core = None;
+        for _ in 0..per_core {
+            let f = m.fail_kv_core(0).unwrap();
+            assert_eq!(f.index, 0, "the scan must drain the preferred core first");
+            assert!(f.evicted_sequences.is_empty(), "nothing resident yet");
+            failed_core = Some(f.core);
+        }
+        // New sequences still admit — the ring walks past the failed core.
+        for seq in 0..6 {
+            m.admit(seq, 64).unwrap();
+            assert_ne!(m.core_of(seq, 0), failed_core, "no new head may land on a failed core");
+        }
+    }
+
+    #[test]
+    fn exhausting_every_crossbar_makes_the_manager_unserviceable() {
+        let mut m = manager(4, 1);
+        let total = m.num_kv_units();
+        for i in 0..total {
+            assert!(m.fail_kv_core(i).is_some());
+        }
+        assert!(!m.is_serviceable());
+        assert_eq!(m.healthy_kv_fraction(), 0.0);
+        assert!(m.fail_kv_core(0).is_none(), "no healthy crossbar left to absorb another fault");
+        assert_eq!(m.admit(1, 16), Err(KvError::OutOfCapacity));
+    }
+
+    #[test]
+    fn audit_tracks_alloc_and_free_across_a_lifecycle() {
+        let mut m = manager(8, 2);
+        assert_eq!(m.block_audit(), BlockAudit::default());
+        m.admit(1, 300).unwrap();
+        let mid = m.block_audit();
+        assert!(mid.is_conserved());
+        assert!(mid.allocated > 0 && mid.live > 0);
+        m.append_tokens(1, 500).unwrap();
+        m.admit(2, 100).unwrap();
+        m.release(1);
+        m.release(2);
+        let end = m.block_audit();
+        assert!(end.is_conserved());
+        assert_eq!(end.live, 0);
+        assert_eq!(end.allocated, end.freed);
+        // Releasing an absent sequence frees nothing (no double-free).
+        m.release(1);
+        assert_eq!(m.block_audit(), end);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// No block is ever double-freed (or leaked) under random
+            /// admit / append / release / evict / core-failure
+            /// interleavings: the lifetime audit identity
+            /// `allocated − freed == live` holds after every operation
+            /// (a double-free would push `freed` past `allocated`).
+            #[test]
+            fn no_double_free_under_random_interleavings(
+                ops in proptest::collection::vec((0u8..5, 0u64..6, 1usize..400), 1..60),
+            ) {
+                let mut m = manager(4, 2);
+                for (op, seq, tokens) in ops {
+                    match op {
+                        0 => { let _ = m.admit(seq, tokens); }
+                        1 => { let _ = m.append_tokens(seq, tokens.min(64)); }
+                        2 => { m.release(seq); }
+                        3 => { m.release(seq); m.release(seq); } // deliberate re-release
+                        _ => {
+                            if let Some(f) = m.fail_kv_core(tokens) {
+                                for s in f.evicted_sequences {
+                                    m.release(s);
+                                }
+                            }
+                        }
+                    }
+                    let audit = m.block_audit();
+                    prop_assert!(
+                        audit.is_conserved(),
+                        "allocated {} − freed {} != live {}",
+                        audit.allocated, audit.freed, audit.live
+                    );
+                }
+                // Draining everything returns the audit to zero live blocks.
+                let resident: Vec<u64> = (0..6).collect();
+                for seq in resident {
+                    m.release(seq);
+                }
+                let audit = m.block_audit();
+                prop_assert!(audit.is_conserved());
+                prop_assert_eq!(audit.live, 0);
+            }
+        }
     }
 
     #[test]

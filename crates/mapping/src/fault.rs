@@ -30,12 +30,18 @@ pub struct RemapOutcome {
 pub enum RemapError {
     /// There are no KV cores to absorb the displaced weights.
     NoKvCores,
+    /// The reported faulty core (or a listed KV core) does not exist on the
+    /// wafer at all — a stale or corrupted fault report. Previously this
+    /// panicked deep inside the geometry lookup; callers driving remaps from
+    /// runtime fault streams need a recoverable error instead.
+    CoreNotOnWafer(CoreId),
 }
 
 impl std::fmt::Display for RemapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RemapError::NoKvCores => write!(f, "no kv cores available to absorb displaced weights"),
+            RemapError::CoreNotOnWafer(c) => write!(f, "{c} is outside the wafer's core grid"),
         }
     }
 }
@@ -51,13 +57,22 @@ impl std::error::Error for RemapError {}
 /// # Errors
 ///
 /// Returns [`RemapError::NoKvCores`] when `kv_cores` is empty but the failed
-/// core holds weights.
+/// core holds weights, and [`RemapError::CoreNotOnWafer`] when the failed
+/// core (or any listed KV core) is not a core of `geometry` — a fault
+/// report that cannot refer to real hardware must not panic mid-remap.
 pub fn remap_with_chain(
     geometry: &WaferGeometry,
     assignment: &Assignment,
     kv_cores: &[CoreId],
     failed: CoreId,
 ) -> Result<RemapOutcome, RemapError> {
+    let total = geometry.total_cores();
+    if failed.0 >= total {
+        return Err(RemapError::CoreNotOnWafer(failed));
+    }
+    if let Some(bad) = kv_cores.iter().find(|c| c.0 >= total) {
+        return Err(RemapError::CoreNotOnWafer(*bad));
+    }
     let holds_weights = assignment.core.contains(&failed);
     if !holds_weights {
         return Ok(RemapOutcome {
@@ -184,6 +199,24 @@ mod tests {
     }
 
     #[test]
+    fn a_faulty_core_outside_the_wafer_is_an_error_not_a_panic() {
+        let (g, a, kv) = setup();
+        // The tiny wafer has 16 cores; core 99 cannot exist on it.
+        assert_eq!(
+            remap_with_chain(&g, &a, &kv, CoreId(99)).unwrap_err(),
+            RemapError::CoreNotOnWafer(CoreId(99))
+        );
+    }
+
+    #[test]
+    fn a_kv_core_outside_the_wafer_is_an_error_not_a_panic() {
+        let (g, a, _) = setup();
+        let err = remap_with_chain(&g, &a, &[CoreId(12), CoreId(400)], CoreId(5)).unwrap_err();
+        assert_eq!(err, RemapError::CoreNotOnWafer(CoreId(400)));
+        assert!(err.to_string().contains("core400"));
+    }
+
+    #[test]
     fn repeated_failures_keep_the_assignment_consistent() {
         let (g, mut a, kv) = setup();
         let mut kv = kv;
@@ -196,6 +229,94 @@ mod tests {
             assert!(!a.core.contains(&failed));
             let unique: std::collections::HashSet<_> = a.core.iter().collect();
             assert_eq!(unique.len(), a.core.len());
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Builds a random but *valid* remap instance on an `rows × cols`
+        /// wafer: a duplicate-free weight assignment, a disjoint KV core
+        /// set, and the index of the weight core to fail.
+        fn instance(
+            rows: usize,
+            cols: usize,
+            pick: u64,
+            weights: usize,
+            kv: usize,
+        ) -> (WaferGeometry, Assignment, Vec<CoreId>, CoreId) {
+            let g = WaferGeometry::tiny(1, 1, rows, cols);
+            let total = g.total_cores();
+            // A seeded permutation of the core ids spreads weight and KV
+            // cores over the wafer without clustering artefacts.
+            let mut ids: Vec<usize> = (0..total).collect();
+            let mut state = pick;
+            for i in (1..total).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ids.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            let weights = weights.min(total.saturating_sub(kv)).max(1);
+            let assignment = Assignment { core: ids[..weights].iter().map(|&i| CoreId(i)).collect() };
+            let kv_cores: Vec<CoreId> =
+                ids[weights..(weights + kv).min(total)].iter().map(|&i| CoreId(i)).collect();
+            let failed = assignment.core[(state % weights as u64) as usize];
+            (g, assignment, kv_cores, failed)
+        }
+
+        proptest! {
+            #[test]
+            fn remap_preserves_the_tile_multiset(
+                rows in 3usize..8, cols in 3usize..8, pick in 0u64..500,
+                weights in 2usize..20, kv in 1usize..8,
+            ) {
+                let (g, a, kv_cores, failed) = instance(rows, cols, pick, weights, kv);
+                prop_assume!(!kv_cores.is_empty());
+                let out = remap_with_chain(&g, &a, &kv_cores, failed).unwrap();
+                // Same number of tiles, each still on exactly one core, no
+                // core hosting two tiles, and the failed core vacated.
+                prop_assert_eq!(out.new_assignment.core.len(), a.core.len());
+                let unique: std::collections::HashSet<_> = out.new_assignment.core.iter().collect();
+                prop_assert_eq!(unique.len(), out.new_assignment.core.len(), "a remap must not stack tiles");
+                prop_assert!(!out.new_assignment.core.contains(&failed));
+            }
+
+            #[test]
+            fn the_chain_is_geometrically_contiguous(
+                rows in 3usize..8, cols in 3usize..8, pick in 0u64..500,
+                weights in 2usize..20, kv in 1usize..8,
+            ) {
+                let (g, a, kv_cores, failed) = instance(rows, cols, pick, weights, kv);
+                prop_assume!(!kv_cores.is_empty());
+                let out = remap_with_chain(&g, &a, &kv_cores, failed).unwrap();
+                // The chain walks a monotone XY path from the failure to the
+                // absorbed KV core, so link distances are additive: the sum
+                // of consecutive Manhattan hops equals the end-to-end
+                // distance (any detour or backtrack would exceed it).
+                let first = *out.chain.first().unwrap();
+                let last = *out.chain.last().unwrap();
+                let link_sum: usize =
+                    out.chain.windows(2).map(|w| g.manhattan(w[0], w[1])).sum();
+                prop_assert_eq!(link_sum, g.manhattan(first, last));
+                prop_assert_eq!(first, failed);
+                for w in out.chain.windows(2) {
+                    prop_assert!(g.manhattan(w[0], w[1]) >= 1, "chain links must be distinct cores");
+                }
+            }
+
+            #[test]
+            fn moved_tiles_equals_chain_length_minus_one(
+                rows in 3usize..8, cols in 3usize..8, pick in 0u64..500,
+                weights in 2usize..20, kv in 1usize..8,
+            ) {
+                let (g, a, kv_cores, failed) = instance(rows, cols, pick, weights, kv);
+                prop_assume!(!kv_cores.is_empty());
+                let out = remap_with_chain(&g, &a, &kv_cores, failed).unwrap();
+                // Every link hands exactly one tile forward (the terminal KV
+                // core holds none), so the number of moved tiles is the
+                // number of links.
+                prop_assert_eq!(out.moved_tiles, out.chain.len() - 1);
+            }
         }
     }
 }

@@ -29,7 +29,7 @@ pub mod objective;
 pub mod problem;
 pub mod solvers;
 
-pub use fault::{remap_with_chain, RemapOutcome};
+pub use fault::{remap_with_chain, RemapError, RemapOutcome};
 pub use htree_dp::{htree_plan, HtreePlan};
 pub use objective::{CommSummary, ObjectiveEvaluator};
 pub use problem::{Assignment, LayerSpec, MappingProblem, Tile};

@@ -9,6 +9,7 @@
 //! state at the arrival instant.
 
 use crate::engine::{Engine, EngineConfig};
+use crate::fault::{FaultInjector, FaultReport};
 use crate::metrics::{RequestRecord, ServingReport, SloConfig};
 use ouro_kvcache::KvError;
 use ouro_sim::OuroborosSystem;
@@ -80,17 +81,27 @@ impl Cluster {
     }
 
     /// Picks the wafer for the next request under the configured policy.
+    /// Wafers that faults have rendered unserviceable are skipped so live
+    /// traffic routes around the outage; when the whole fleet is dead,
+    /// routing falls back to all wafers (the requests drop deterministically
+    /// at admission).
     fn route(&mut self) -> usize {
         let n = self.engines.len();
+        let any_alive = self.engines.iter().any(Engine::is_serviceable);
         match self.policy {
             RoutePolicy::RoundRobin => {
-                let w = self.rr_next % n;
-                self.rr_next = (self.rr_next + 1) % n;
-                w
+                for _ in 0..n {
+                    let w = self.rr_next % n;
+                    self.rr_next = (self.rr_next + 1) % n;
+                    if !any_alive || self.engines[w].is_serviceable() {
+                        return w;
+                    }
+                }
+                unreachable!("a serviceable wafer exists but the scan missed it");
             }
-            RoutePolicy::LeastKvLoad => pick_min_index(&self.engines, Engine::kv_load),
+            RoutePolicy::LeastKvLoad => pick_routable(&self.engines, any_alive, Engine::kv_load),
             RoutePolicy::JoinShortestQueue => {
-                pick_min_index(&self.engines, |e| (e.queue_len() + e.resident()) as f64)
+                pick_routable(&self.engines, any_alive, |e| (e.queue_len() + e.resident()) as f64)
             }
         }
     }
@@ -99,6 +110,38 @@ impl Cluster {
     /// metrics. Closed-loop traces release one gated request per completion
     /// after an exponential think time.
     pub fn run(&mut self, timed: &TimedTrace, slo: &SloConfig, horizon_s: f64) -> ServingReport {
+        self.run_inner(timed, slo, horizon_s, None)
+    }
+
+    /// Serves a timed trace with runtime faults from `injector` interleaved
+    /// on the same simulated timeline: a pending fault fires once every busy
+    /// engine has simulated past it and no earlier arrival is due, exactly
+    /// like arrival routing — so the whole realisation stays a pure function
+    /// of the seeds. Returns the serving report plus the fault accounting.
+    pub fn run_with_faults(
+        &mut self,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+        horizon_s: f64,
+        injector: &mut FaultInjector,
+    ) -> (ServingReport, FaultReport) {
+        assert_eq!(
+            injector.wafer_count(),
+            self.engines.len(),
+            "the fault injector must cover exactly this cluster's wafers"
+        );
+        let report = self.run_inner(timed, slo, horizon_s, Some(injector));
+        let faults = injector.report(report.duration_s);
+        (report, faults)
+    }
+
+    fn run_inner(
+        &mut self,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+        horizon_s: f64,
+        mut injector: Option<&mut FaultInjector>,
+    ) -> ServingReport {
         // Open arrivals, sorted ascending; gated (closed-loop) requests wait
         // in submission order.
         let mut arrivals: VecDeque<(f64, usize)> = timed
@@ -129,6 +172,21 @@ impl Cluster {
                 .filter(|(_, e)| e.has_work() && e.next_event_s() < horizon_s)
                 .min_by(|(_, a), (_, b)| a.next_event_s().total_cmp(&b.next_event_s()))
                 .map(|(i, _)| i);
+
+            // Faults share the timeline with arrivals (the arbitration
+            // protocol lives in [`FaultInjector::poll`], shared with
+            // `ouro-disagg`'s event loop).
+            if let Some(inj) = injector.as_deref_mut() {
+                let next_event = next_engine.map(|i| self.engines[i].next_event_s());
+                match inj.poll(next_arrival, next_event, horizon_s) {
+                    crate::fault::FaultPoll::Fire(wafer) => {
+                        inj.inject(&mut self.engines[wafer]);
+                        continue;
+                    }
+                    crate::fault::FaultPoll::Drained => break,
+                    crate::fault::FaultPoll::Wait => {}
+                }
+            }
 
             match (next_arrival, next_engine) {
                 (None, None) => break,
@@ -271,6 +329,25 @@ pub fn pick_min_index<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
         }
     }
     best
+}
+
+/// [`pick_min_index`] over the serviceable engines only (all engines when
+/// the fleet is entirely dead), returning the winner's index in `engines`.
+/// Shared by the colocated router and `ouro-disagg`'s placement policies so
+/// both route around fault-degraded wafers identically.
+pub fn pick_serviceable_min_index(engines: &[Engine], score: impl Fn(&Engine) -> f64) -> usize {
+    let any_alive = engines.iter().any(Engine::is_serviceable);
+    pick_routable(engines, any_alive, score)
+}
+
+/// Index of the lowest-scored engine among the serviceable ones (or all of
+/// them when `any_alive` is false), ties toward the lowest index.
+fn pick_routable(engines: &[Engine], any_alive: bool, score: impl Fn(&Engine) -> f64) -> usize {
+    if !any_alive {
+        return pick_min_index(engines, score);
+    }
+    let candidates: Vec<usize> = (0..engines.len()).filter(|&i| engines[i].is_serviceable()).collect();
+    candidates[pick_min_index(&candidates, |&i| score(&engines[i]))]
 }
 
 #[cfg(test)]

@@ -65,6 +65,30 @@ pub struct EngineStats {
     pub steps: u64,
     /// Peak resident sequences.
     pub peak_resident: usize,
+    /// Runtime core faults absorbed by this wafer.
+    pub faults: u64,
+    /// Sequences evicted because a fault took their KV core (a subset of
+    /// `evictions`).
+    pub fault_evicted_seqs: u64,
+    /// Token slots of KV lost to faulted cores (recomputed on re-admission).
+    pub fault_evicted_tokens: u64,
+    /// Wall-clock spent stalled in replacement-chain remaps, charged to
+    /// every in-flight request on the wafer.
+    pub stall_s: f64,
+}
+
+/// What one runtime fault did to this wafer's engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineFaultImpact {
+    /// Flat index of the KV core the manager marked failed.
+    pub kv_core_index: usize,
+    /// Sequences evicted (and re-enqueued for recompute) because their KV
+    /// lived on the failed core.
+    pub evicted_sequences: usize,
+    /// Token slots of KV lost on the failed core.
+    pub evicted_tokens: u64,
+    /// Whether the wafer can still serve traffic afterwards.
+    pub serviceable: bool,
 }
 
 /// A sequence resident in the KV cache.
@@ -224,6 +248,112 @@ impl Engine {
     /// KV exported to / imported from other wafers by this engine's manager.
     pub fn kv_transfers(&self) -> &KvTransferStats {
         self.manager.transfer_stats()
+    }
+
+    /// The manager's lifetime block audit (`allocated − freed == live`),
+    /// exposed so fault-injection tests can assert conservation after every
+    /// remap without reaching into the manager.
+    pub fn kv_audit(&self) -> ouro_kvcache::BlockAudit {
+        self.manager.block_audit()
+    }
+
+    /// Whether the wafer can still hold sequences (both attention roles
+    /// have a healthy KV core left). Routers skip unserviceable wafers.
+    pub fn is_serviceable(&self) -> bool {
+        self.manager.is_serviceable()
+    }
+
+    /// Fraction of this wafer's KV cores still healthy, in `[0, 1]`.
+    pub fn healthy_kv_fraction(&self) -> f64 {
+        self.manager.healthy_kv_fraction()
+    }
+
+    /// Applies a runtime core fault to this wafer at `at_s` (§4.3.3): the
+    /// replacement chain absorbs one KV core (the one nearest `preferred_kv_core`
+    /// in the manager's flat index space), every sequence whose KV lived on
+    /// it is evicted and re-enqueued for recompute at real prefill cost, a
+    /// remap stall of `stall_s` is charged to every in-flight request (the
+    /// wafer pauses while weights shift along the chain), and the pipeline's
+    /// mean hop distance grows by `mean_hops_penalty` — the displaced tiles
+    /// sit one hop further from their neighbours, which permanently slows
+    /// every stage via [`HwStageTimes`].
+    ///
+    /// Returns `None` — and changes nothing — when every KV core has
+    /// already failed (the wafer is dead; the router must steer around it).
+    pub fn apply_fault(
+        &mut self,
+        at_s: f64,
+        stall_s: f64,
+        preferred_kv_core: usize,
+        mean_hops_penalty: f64,
+    ) -> Option<EngineFaultImpact> {
+        assert!(stall_s >= 0.0 && mean_hops_penalty >= 0.0, "fault charges cannot be negative");
+        let failure = self.manager.fail_kv_core(preferred_kv_core)?;
+        // The fault strikes at `at_s` but the engine only observes it at a
+        // step boundary; the stall extends whichever is later.
+        self.clock_s = self.clock_s.max(at_s) + stall_s;
+        self.times.mean_hops += mean_hops_penalty;
+        self.stats.faults += 1;
+        self.stats.stall_s += stall_s;
+        self.stats.fault_evicted_seqs += failure.evicted_sequences.len() as u64;
+        self.stats.fault_evicted_tokens += failure.evicted_tokens as u64;
+        let evicted = failure.evicted_sequences.len();
+        for seq in failure.evicted_sequences {
+            let Some(pos) = self.active.iter().position(|a| a.rec as u64 == seq) else {
+                // The manager can only name resident sequences, and every
+                // resident sequence is active.
+                unreachable!("sequence {seq} is resident but not active");
+            };
+            let victim = self.active.swap_remove(pos);
+            self.requeue_evicted(victim);
+        }
+        // A fault that evicted sequences freed capacity, so a pre-fault
+        // admission suspension no longer reflects reality. A fault that
+        // evicted nothing only *shrank* the cache — lifting the suspension
+        // then would make the retry protocol evict a healthy resident
+        // sequence and misattribute the recompute to the fault.
+        if evicted > 0 {
+            self.admission_suspended = false;
+        }
+        Some(EngineFaultImpact {
+            kv_core_index: failure.index,
+            evicted_sequences: evicted,
+            evicted_tokens: failure.evicted_tokens as u64,
+            serviceable: self.manager.is_serviceable(),
+        })
+    }
+
+    /// Takes the wafer out of service at `at_s` — the path for a fault the
+    /// replacement chain cannot heal (no KV core left to absorb the
+    /// weights). Every remaining healthy KV crossbar fails at once, the
+    /// affected sequences are evicted for recompute, and the whole outage
+    /// counts as a *single* fault in [`EngineStats`] (it is one fault
+    /// event, however many crossbars it takes down). Returns how many
+    /// sequences and token slots of KV the outage evicted.
+    pub fn decommission(&mut self, at_s: f64) -> (usize, u64) {
+        self.clock_s = self.clock_s.max(at_s);
+        let mut evicted_seqs = 0usize;
+        let mut evicted_tokens = 0u64;
+        while let Some(failure) = self.manager.fail_kv_core(0) {
+            evicted_tokens += failure.evicted_tokens as u64;
+            for seq in failure.evicted_sequences {
+                let pos = self
+                    .active
+                    .iter()
+                    .position(|a| a.rec as u64 == seq)
+                    .expect("a resident sequence is always active");
+                let victim = self.active.swap_remove(pos);
+                self.requeue_evicted(victim);
+                evicted_seqs += 1;
+            }
+        }
+        self.stats.faults += 1;
+        self.stats.fault_evicted_seqs += evicted_seqs as u64;
+        self.stats.fault_evicted_tokens += evicted_tokens;
+        if evicted_seqs > 0 {
+            self.admission_suspended = false;
+        }
+        (evicted_seqs, evicted_tokens)
     }
 
     /// Raw counters.
@@ -826,6 +956,73 @@ mod tests {
         }
         assert_eq!(decode.kv_transfers().imported_tokens, tokens, "exported == imported");
         assert!(decode.records()[0].completed());
+    }
+
+    #[test]
+    fn a_fault_evicts_resident_kv_and_recomputes_it() {
+        let mut e = engine(8);
+        e.submit(Request::new(0, 256, 512), 0.0, 0, 0);
+        // Run until decode is underway, then fail the core holding the KV.
+        while e.records()[0].first_token_s.is_nan() {
+            e.step();
+        }
+        let clock_before = e.clock_s();
+        let audit_before = e.kv_audit();
+        assert!(audit_before.live > 0);
+        let impact = e.apply_fault(clock_before, 0.5e-3, 0, 0.5).expect("healthy cores remain");
+        assert_eq!(impact.evicted_sequences, 1, "the lone resident sequence loses its KV");
+        assert!(impact.evicted_tokens > 0);
+        assert!(impact.serviceable);
+        assert!(e.kv_audit().is_conserved(), "fault eviction must not double-free blocks");
+        assert!(e.clock_s() >= clock_before + 0.5e-3, "the remap stall pauses the wafer");
+        assert_eq!(e.stats().faults, 1);
+        assert_eq!(e.stats().fault_evicted_seqs, 1);
+        assert!(e.stats().recomputed_tokens > 0, "lost KV is recomputed");
+        // The request still completes after recompute.
+        while e.has_work() {
+            e.step();
+        }
+        assert!(e.records()[0].completed());
+        assert_eq!(e.records()[0].evictions, 1);
+    }
+
+    #[test]
+    fn faults_degrade_the_pipeline_permanently() {
+        // Two identical engines, one fault apart: the faulted one finishes
+        // the same work strictly later (stall + mean-hops penalty).
+        let run = |fault: bool| -> f64 {
+            let mut e = engine(8);
+            e.submit(Request::new(0, 128, 256), 0.0, 0, 0);
+            e.step();
+            if fault {
+                let t = e.clock_s();
+                e.apply_fault(t, 1e-3, 0, 1.0).unwrap();
+            }
+            while e.has_work() {
+                e.step();
+            }
+            e.records()[0].completed_s
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    fn a_wafer_with_every_kv_unit_failed_is_dead_but_conserves_requests() {
+        let mut e = engine(2); // 1 key + 1 value core, 32 crossbars each
+        let mut faults = 0;
+        while e.apply_fault(0.0, 0.0, faults, 0.0).is_some() {
+            faults += 1;
+        }
+        assert_eq!(faults, 64, "one fault per crossbar kills the wafer");
+        assert!(!e.is_serviceable());
+        assert_eq!(e.healthy_kv_fraction(), 0.0);
+        assert!(e.apply_fault(0.0, 0.0, 0, 0.0).is_none(), "a dead wafer absorbs no more faults");
+        // Requests routed here anyway are dropped, not spun on.
+        e.submit(Request::new(0, 64, 8), 0.0, 0, 0);
+        while e.has_work() {
+            e.step();
+        }
+        assert_eq!(e.stats().dropped, 1);
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Runtime fault injection for the online serving stack (§4.3.3, Fig. 9).
+//!
+//! The paper's resilience claim is that a core failure is healed *locally*:
+//! the cores from the failure to the nearest KV core form a replacement
+//! chain, weights shift one hop along it, the terminal KV core's cache is
+//! evicted, and the affected sequences are recomputed — all in
+//! sub-millisecond time. The offline story ends there; this module measures
+//! what that costs a deployment under live traffic.
+//!
+//! A [`FaultInjector`] expands a seeded MTBF process
+//! ([`ouro_workload::FaultProcess`]) into per-wafer fault events and, when
+//! the serving event loop reaches one, drives the full healing pipeline:
+//!
+//! 1. pick a victim core (weight or KV) on the struck wafer from the
+//!    event's random draw,
+//! 2. run [`ouro_mapping::remap_with_chain`] over the wafer's live
+//!    assignment to build the replacement chain,
+//! 3. fail the absorbed KV core in the engine's cache manager
+//!    ([`Engine::apply_fault`]): resident sequences that lost KV are
+//!    evicted and re-enqueued for recompute at real prefill cost, the
+//!    remap stall is charged to every in-flight request, and the mean hop
+//!    distance of the pipeline grows with the displaced tiles,
+//! 4. account everything in a [`FaultReport`] — availability, chains,
+//!    evicted KV bytes, recomputed sequences.
+//!
+//! The engine's KV manager is the *per-head-scaled* model
+//! ([`ouro_sim::OuroborosSystem::serve_kv_config`]): one scaled manager
+//! core stands for `heads` physical cores, so a physical KV-core loss is
+//! quantised to one scaled core — a deliberately pessimistic rounding that
+//! keeps capacity loss visible at serving scale.
+
+use crate::engine::Engine;
+use crate::metrics::ServingReport;
+use ouro_hw::{CoreId, WaferGeometry};
+use ouro_mapping::{remap_with_chain, Assignment, RemapError};
+use ouro_sim::OuroborosSystem;
+use ouro_workload::{FaultEvent, FaultProcess};
+use std::collections::VecDeque;
+
+/// Tuning of the runtime fault process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-wafer mean time between failures, in simulated seconds.
+    pub mtbf_s: f64,
+    /// Wafer pause per replacement-chain remap, charged to every in-flight
+    /// request on the struck wafer (the paper's repair is sub-millisecond).
+    pub remap_stall_s: f64,
+    /// Seed of the fault realisation (independent of the arrival seed).
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A configuration with the paper's sub-millisecond remap stall.
+    pub fn new(mtbf_s: f64, seed: u64) -> FaultConfig {
+        FaultConfig { mtbf_s, remap_stall_s: 0.5e-3, seed }
+    }
+}
+
+/// Per-wafer remap state: the live weight assignment and the KV cores still
+/// available to absorb replacement chains.
+#[derive(Debug, Clone)]
+struct WaferFaultState {
+    assignment: Assignment,
+    kv_cores: Vec<CoreId>,
+    /// Cores failed on this wafer so far.
+    failed: Vec<CoreId>,
+    /// Instant the wafer stopped being serviceable (`NaN` while alive).
+    death_s: f64,
+    /// Stall time charged to this wafer.
+    stall_s: f64,
+}
+
+impl WaferFaultState {
+    fn is_dead(&self) -> bool {
+        self.death_s.is_finite()
+    }
+}
+
+/// Aggregate outcome of one fault-injected serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The fault process the run was driven by.
+    pub config: FaultConfig,
+    /// Wafers exposed to the process.
+    pub wafers: usize,
+    /// Faults injected before the run ended.
+    pub faults_injected: u64,
+    /// Replacement chains built (successful remaps).
+    pub chains_built: u64,
+    /// Weight tiles shifted along chains.
+    pub tiles_moved: u64,
+    /// Sum of chain lengths, for the mean below.
+    pub chain_cores: u64,
+    /// Physical KV cores absorbed by chains (mapping-level).
+    pub kv_cores_lost: u64,
+    /// Sequences evicted because a fault took their KV, re-enqueued for
+    /// recompute.
+    pub sequences_recomputed: u64,
+    /// Token slots of KV lost to faulted cores.
+    pub kv_tokens_evicted: u64,
+    /// The same loss in bytes, at the model's full per-token KV footprint.
+    pub kv_bytes_evicted: u64,
+    /// Faults that could not be healed (no KV core left to absorb the
+    /// chain); the wafer is dead from that instant.
+    pub unrepaired_faults: u64,
+    /// Wafers unserviceable at the end of the run.
+    pub dead_wafers: usize,
+    /// Total remap stall across wafers (healing pauses only; outage time
+    /// of dead wafers is in `dead_time_s`).
+    pub total_stall_s: f64,
+    /// Wafer-time lost to dead wafers: from each death to the end of the
+    /// run.
+    pub dead_time_s: f64,
+    /// Wall-clock span the availability is measured over.
+    pub duration_s: f64,
+    /// Served wafer-time over offered wafer-time: `1 −` (stall + dead
+    /// time) / (wafers × duration). Exactly 1.0 only with zero faults.
+    pub availability: f64,
+}
+
+impl FaultReport {
+    /// Mean replacement-chain length over successful remaps (0 with none).
+    pub fn mean_chain_len(&self) -> f64 {
+        if self.chains_built == 0 {
+            0.0
+        } else {
+            self.chain_cores as f64 / self.chains_built as f64
+        }
+    }
+}
+
+/// What the serving event loop should do about the pending fault, from
+/// [`FaultInjector::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoll {
+    /// No fault is due before the next arrival or engine event.
+    Wait,
+    /// Inject the next fault into this wafer's engine now.
+    Fire(usize),
+    /// Faults remain but all serving work has drained; the loop should
+    /// stop.
+    Drained,
+}
+
+/// Expands a fault process over a cluster's wafers and drives replacement
+/// chains + KV eviction when the serving event loop hands it an engine.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    geometry: WaferGeometry,
+    events: VecDeque<FaultEvent>,
+    wafers: Vec<WaferFaultState>,
+    kv_bytes_per_token: u64,
+    faults_injected: u64,
+    chains_built: u64,
+    tiles_moved: u64,
+    chain_cores: u64,
+    kv_cores_lost: u64,
+    sequences_recomputed: u64,
+    kv_tokens_evicted: u64,
+    unrepaired_faults: u64,
+}
+
+impl FaultInjector {
+    /// Builds the injector for `wafers` replicas of `system`'s deployment:
+    /// every wafer starts from the system's block mapping, with the
+    /// functional cores left over from weight mapping as its KV cores, and
+    /// draws faults from its own stream over `[0, fault_horizon_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fault_horizon_s` is not finite and positive, or when
+    /// `wafers` is zero.
+    pub fn new(
+        system: &OuroborosSystem,
+        wafers: usize,
+        config: FaultConfig,
+        fault_horizon_s: f64,
+    ) -> FaultInjector {
+        assert!(wafers > 0, "fault injection needs at least one wafer");
+        let events: VecDeque<FaultEvent> =
+            FaultProcess::new(config.mtbf_s).schedule(wafers, fault_horizon_s, config.seed).into();
+        let assignment = system.mapping().assignment.clone();
+        let kv_cores: Vec<CoreId> = system
+            .defects()
+            .functional_cores()
+            .filter(|c| !assignment.core.contains(c))
+            .take(system.kv_cores_per_block())
+            .collect();
+        let state =
+            WaferFaultState { assignment, kv_cores, failed: Vec::new(), death_s: f64::NAN, stall_s: 0.0 };
+        FaultInjector {
+            config,
+            geometry: system.config().geometry.clone(),
+            events,
+            wafers: vec![state; wafers],
+            kv_bytes_per_token: system.kv_migration_bytes(1),
+            faults_injected: 0,
+            chains_built: 0,
+            tiles_moved: 0,
+            chain_cores: 0,
+            kv_cores_lost: 0,
+            sequences_recomputed: 0,
+            kv_tokens_evicted: 0,
+            unrepaired_faults: 0,
+        }
+    }
+
+    /// The configured fault process.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Number of wafers this injector was built for — must match the
+    /// cluster it is handed to.
+    pub fn wafer_count(&self) -> usize {
+        self.wafers.len()
+    }
+
+    /// Time and wafer of the next pending fault, if any.
+    pub fn next_fault(&self) -> Option<(f64, usize)> {
+        self.events.front().map(|e| (e.at_s, e.wafer))
+    }
+
+    /// Drops the next pending fault without injecting it (events beyond the
+    /// serving horizon).
+    pub fn discard_next(&mut self) {
+        self.events.pop_front();
+    }
+
+    /// Event-loop arbitration shared by the colocated and disaggregated
+    /// clusters: faults share the discrete-event timeline with arrivals,
+    /// so a pending fault fires only once no earlier arrival or engine
+    /// event is due. Events at or beyond the horizon are discarded, and a
+    /// cluster with no work left gets [`FaultPoll::Drained`] — an empty
+    /// cluster has nothing for a fault to degrade, and injecting it would
+    /// stretch the measured duration past the workload.
+    pub fn poll(
+        &mut self,
+        next_arrival_s: Option<f64>,
+        next_engine_event_s: Option<f64>,
+        horizon_s: f64,
+    ) -> FaultPoll {
+        loop {
+            let Some((t_fault, wafer)) = self.next_fault() else {
+                return FaultPoll::Wait;
+            };
+            if next_arrival_s.is_none() && next_engine_event_s.is_none() {
+                return FaultPoll::Drained;
+            }
+            if t_fault >= horizon_s {
+                self.discard_next();
+                continue;
+            }
+            let before_arrival = next_arrival_s.is_none_or(|t| t_fault <= t);
+            let before_engines = next_engine_event_s.is_none_or(|t| t_fault <= t);
+            return if before_arrival && before_engines { FaultPoll::Fire(wafer) } else { FaultPoll::Wait };
+        }
+    }
+
+    /// The fault window of one serving run: the horizon when it is finite,
+    /// otherwise twice the trace's arrival span (bounded below by one
+    /// second). Shared by [`FaultComparison::measure`] and `ouro-disagg`'s
+    /// shootout so every driver bounds the same schedule the same way.
+    pub fn run_window_s(horizon_s: f64, timed: &ouro_workload::TimedTrace) -> f64 {
+        if horizon_s.is_finite() {
+            horizon_s
+        } else {
+            (timed.last_arrival_s() * 2.0).max(1.0)
+        }
+    }
+
+    /// Injects the next pending fault into `engine` (which must be the
+    /// wafer named by [`FaultInjector::next_fault`]): picks the victim
+    /// core, builds the replacement chain, and applies KV eviction, stall,
+    /// and pipeline degradation to the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no fault is pending.
+    pub fn inject(&mut self, engine: &mut Engine) {
+        let event = self.events.pop_front().expect("inject requires a pending fault");
+        self.faults_injected += 1;
+        let state = &mut self.wafers[event.wafer];
+        if state.is_dead() {
+            // Dead wafers hold no weights worth healing; the fault only
+            // deepens the outage already accounted from `death_s`.
+            return;
+        }
+        // Victim: any core still doing useful work — weight cores (the
+        // assignment) plus the remaining KV cores.
+        let candidates = state.assignment.core.len() + state.kv_cores.len();
+        if candidates == 0 {
+            self.unrepaired_faults += 1;
+            state.death_s = event.at_s;
+            return;
+        }
+        let pick = (event.draw % candidates as u64) as usize;
+        let victim = if pick < state.assignment.core.len() {
+            state.assignment.core[pick]
+        } else {
+            state.kv_cores[pick - state.assignment.core.len()]
+        };
+
+        match remap_with_chain(&self.geometry, &state.assignment, &state.kv_cores, victim) {
+            Ok(outcome) => {
+                state.assignment = outcome.new_assignment;
+                state.failed.push(victim);
+                self.chains_built += 1;
+                self.chain_cores += outcome.chain.len() as u64;
+                self.tiles_moved += outcome.moved_tiles as u64;
+                let Some(absorbed) = outcome.evicted_kv_core else {
+                    return; // the victim held neither weights nor KV
+                };
+                state.kv_cores.retain(|c| *c != absorbed);
+                self.kv_cores_lost += 1;
+                // Displaced tiles sit one hop further from their pipeline
+                // neighbours: a permanent mean-hop penalty proportional to
+                // the moved fraction of the block.
+                let tiles = state.assignment.core.len().max(1);
+                let penalty = outcome.moved_tiles as f64 / tiles as f64;
+                match engine.apply_fault(event.at_s, self.config.remap_stall_s, absorbed.0, penalty) {
+                    Some(impact) => {
+                        state.stall_s += self.config.remap_stall_s;
+                        self.sequences_recomputed += impact.evicted_sequences as u64;
+                        self.kv_tokens_evicted += impact.evicted_tokens;
+                        if !impact.serviceable {
+                            state.death_s = event.at_s;
+                        }
+                    }
+                    None => {
+                        // The scaled cache already lost every core: the
+                        // wafer cannot hold KV any more.
+                        state.death_s = event.at_s;
+                    }
+                }
+            }
+            Err(RemapError::NoKvCores) => {
+                // A weight core failed with no KV core left to absorb the
+                // chain: the block mapping cannot be healed locally. Kill
+                // the engine's remaining cache so routers (and drops) see
+                // the outage immediately; the KV evicted by the outage
+                // still counts as recompute work.
+                self.unrepaired_faults += 1;
+                state.failed.push(victim);
+                state.death_s = event.at_s;
+                let (seqs, tokens) = engine.decommission(event.at_s);
+                self.sequences_recomputed += seqs as u64;
+                self.kv_tokens_evicted += tokens;
+            }
+            Err(e @ RemapError::CoreNotOnWafer(_)) => {
+                unreachable!("victims are drawn from live on-wafer cores: {e}");
+            }
+        }
+    }
+
+    /// Assembles the fault report after a run spanning `duration_s`.
+    pub fn report(&self, duration_s: f64) -> FaultReport {
+        let wafers = self.wafers.len();
+        let span = duration_s.max(0.0);
+        let mut stall_s = 0.0;
+        let mut dead_time_s = 0.0;
+        let mut dead = 0;
+        for w in &self.wafers {
+            stall_s += w.stall_s;
+            if w.is_dead() {
+                dead += 1;
+                dead_time_s += (span - w.death_s.min(span)).max(0.0);
+            }
+        }
+        let offered = (wafers as f64 * span).max(f64::MIN_POSITIVE);
+        FaultReport {
+            config: self.config,
+            wafers,
+            faults_injected: self.faults_injected,
+            chains_built: self.chains_built,
+            tiles_moved: self.tiles_moved,
+            chain_cores: self.chain_cores,
+            kv_cores_lost: self.kv_cores_lost,
+            sequences_recomputed: self.sequences_recomputed,
+            kv_tokens_evicted: self.kv_tokens_evicted,
+            kv_bytes_evicted: self.kv_tokens_evicted * self.kv_bytes_per_token,
+            unrepaired_faults: self.unrepaired_faults,
+            dead_wafers: dead,
+            total_stall_s: stall_s,
+            dead_time_s,
+            duration_s: span,
+            availability: (1.0 - (stall_s + dead_time_s) / offered).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One clean-vs-faulty comparison on identical traffic: the same trace,
+/// arrival timestamps, cluster and seed, with and without the fault
+/// process — the availability / goodput-under-faults lens DistServe-style
+/// serving papers report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultComparison {
+    /// The run without faults.
+    pub clean: ServingReport,
+    /// The run with the fault process active.
+    pub faulty: ServingReport,
+    /// Fault accounting of the faulty run.
+    pub fault: FaultReport,
+}
+
+impl FaultComparison {
+    /// Runs the same timed trace twice on fresh `wafers`-wide colocated
+    /// clusters — once clean, once under `fault` — and pairs the reports.
+    /// The fault window follows the serving horizon, or twice the arrival
+    /// span when the horizon is open-ended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ouro_kvcache::KvError::NoKvCores`] from cluster
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure(
+        system: &OuroborosSystem,
+        wafers: usize,
+        policy: crate::cluster::RoutePolicy,
+        engine: crate::engine::EngineConfig,
+        timed: &ouro_workload::TimedTrace,
+        slo: &crate::metrics::SloConfig,
+        horizon_s: f64,
+        fault: FaultConfig,
+    ) -> Result<FaultComparison, ouro_kvcache::KvError> {
+        let mut clean_cluster = crate::cluster::Cluster::replicate(system, wafers, policy, engine)?;
+        let clean = clean_cluster.run(timed, slo, horizon_s);
+        let fault_horizon = FaultInjector::run_window_s(horizon_s, timed);
+        let mut injector = FaultInjector::new(system, wafers, fault, fault_horizon);
+        let mut faulty_cluster = crate::cluster::Cluster::replicate(system, wafers, policy, engine)?;
+        let (faulty, report) = faulty_cluster.run_with_faults(timed, slo, horizon_s, &mut injector);
+        Ok(FaultComparison { clean, faulty, fault: report })
+    }
+
+    /// p99 TTFT inflation caused by the faults (1.0 = unchanged).
+    pub fn ttft_p99_inflation(&self) -> f64 {
+        ratio(self.faulty.ttft.p99_s, self.clean.ttft.p99_s)
+    }
+
+    /// p99 TPOT inflation caused by the faults (1.0 = unchanged).
+    pub fn tpot_p99_inflation(&self) -> f64 {
+        ratio(self.faulty.tpot.p99_s, self.clean.tpot.p99_s)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        if num <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, RoutePolicy};
+    use crate::engine::EngineConfig;
+    use crate::metrics::SloConfig;
+    use ouro_model::zoo;
+    use ouro_sim::{OuroborosConfig, OuroborosSystem};
+    use ouro_workload::{ArrivalConfig, LengthConfig, TimedTrace, TraceGenerator};
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    fn slo() -> SloConfig {
+        SloConfig { ttft_s: 0.5, tpot_s: 0.05 }
+    }
+
+    fn timed(n: usize, rate: f64, seed: u64) -> TimedTrace {
+        let trace = TraceGenerator::new(seed).generate(&LengthConfig::fixed(64, 32), n);
+        ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+    }
+
+    #[test]
+    fn injector_state_starts_from_the_system_mapping() {
+        let sys = tiny_system();
+        let inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.01, 3), 1.0);
+        assert!(inj.next_fault().is_some(), "a 10ms MTBF must fire within 1s");
+        let r = inj.report(1.0);
+        assert_eq!(r.faults_injected, 0);
+        assert_eq!(r.availability, 1.0, "nothing injected yet");
+    }
+
+    #[test]
+    fn faults_reduce_availability_and_force_recompute() {
+        let sys = tiny_system();
+        let t = timed(60, 400.0, 5);
+        let mut cluster =
+            Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.02, 5), t.last_arrival_s() + 0.5);
+        let (report, faults) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
+        assert!(report.is_conserved());
+        assert!(faults.faults_injected > 0);
+        assert!(faults.chains_built > 0);
+        assert!(faults.availability < 1.0, "stalls must dent availability");
+        assert!(faults.total_stall_s > 0.0);
+        assert!(faults.duration_s > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_report() {
+        let sys = tiny_system();
+        let t = timed(50, 300.0, 7);
+        let run = || {
+            let mut cluster =
+                Cluster::replicate(&sys, 2, RoutePolicy::JoinShortestQueue, EngineConfig::default()).unwrap();
+            let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.05, 7), 2.0);
+            cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj)
+        };
+        let (ra, fa) = run();
+        let (rb, fb) = run();
+        assert_eq!(ra, rb, "serving reports must be identical under a fixed seed");
+        assert_eq!(fa, fb, "fault reports must be identical under a fixed seed");
+    }
+
+    #[test]
+    fn zero_fault_rate_equals_the_plain_run() {
+        // An MTBF far beyond the horizon injects nothing; the faulty path
+        // must then reproduce `Cluster::run` exactly.
+        let sys = tiny_system();
+        let t = timed(30, 200.0, 9);
+        let mut plain =
+            Cluster::replicate(&sys, 2, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
+        let base = plain.run(&t, &slo(), f64::INFINITY);
+        let mut faulty =
+            Cluster::replicate(&sys, 2, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
+        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(1e12, 9), 1.0);
+        let (report, faults) = faulty.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
+        assert_eq!(report, base);
+        assert_eq!(faults.faults_injected, 0);
+        assert_eq!(faults.availability, 1.0);
+    }
+
+    #[test]
+    fn block_conservation_holds_after_every_remap() {
+        let sys = tiny_system();
+        let t = timed(40, 500.0, 11);
+        let mut cluster =
+            Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.01, 11), 1.0);
+        // Drive the run manually so the audit can be checked at every
+        // injection boundary, not just at the end.
+        let (report, _) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
+        assert!(report.is_conserved());
+        for e in cluster.engines() {
+            let audit = e.kv_audit();
+            assert!(
+                audit.is_conserved(),
+                "allocated {} freed {} live {}",
+                audit.allocated,
+                audit.freed,
+                audit.live
+            );
+            assert_eq!(audit.live, 0, "a drained engine holds no blocks");
+        }
+    }
+}

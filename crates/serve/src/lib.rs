@@ -19,7 +19,12 @@
 //!   join-shortest-queue),
 //! * **SLO metrics and load sweeps** ([`metrics`], [`sweep`]): TTFT / TPOT /
 //!   E2E p50/p95/p99, goodput under an SLO, utilization, and
-//!   throughput-vs-latency curves over offered load.
+//!   throughput-vs-latency curves over offered load,
+//! * **runtime fault injection** ([`fault`]): a seeded MTBF process fires
+//!   mid-run, each fault is healed by a replacement-chain remap
+//!   (`ouro_mapping::fault`), the absorbed KV is evicted and recomputed,
+//!   routers steer around degraded wafers, and a [`FaultReport`] accounts
+//!   availability and tail-latency inflation against the fault-free run.
 //!
 //! # Example
 //!
@@ -42,10 +47,12 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod sweep;
 
-pub use cluster::{pick_min_index, release_gated, Cluster, RoutePolicy};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use cluster::{pick_min_index, pick_serviceable_min_index, release_gated, Cluster, RoutePolicy};
+pub use engine::{Engine, EngineConfig, EngineFaultImpact, EngineStats};
+pub use fault::{FaultComparison, FaultConfig, FaultInjector, FaultPoll, FaultReport};
 pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};
 pub use sweep::{capacity_rps_estimate, format_sweep, ideal_latencies, LoadSweep, SweepPoint};

@@ -1,0 +1,157 @@
+//! Seeded MTBF-driven runtime fault arrivals for online serving.
+//!
+//! The paper's resilience story (§4.3.3, Fig. 9) heals a runtime core
+//! failure locally with a replacement chain; measuring what that costs a
+//! *live* deployment needs faults that arrive while traffic is in flight.
+//! This module turns a per-wafer MTBF into a deterministic fault schedule:
+//! each wafer gets its own seeded exponential inter-failure stream (the
+//! memoryless model standard for hardware failure processes), and every
+//! event carries an extra random draw the injector uses to pick the victim
+//! core — so the *entire* fault realisation is a pure function of
+//! `(seed, mtbf, wafers, horizon)` and a run can be replayed byte for byte.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A per-wafer memoryless failure process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProcess {
+    /// Mean time between failures of one wafer, in seconds of simulated
+    /// time.
+    pub mtbf_s: f64,
+}
+
+/// One scheduled runtime fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Global wafer index the fault strikes.
+    pub wafer: usize,
+    /// Simulated instant of the failure.
+    pub at_s: f64,
+    /// Uniform random draw for victim-core selection, so the consumer does
+    /// not need its own RNG stream to stay deterministic.
+    pub draw: u64,
+}
+
+impl FaultProcess {
+    /// A process with the given per-wafer MTBF.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mtbf_s` is positive and finite.
+    pub fn new(mtbf_s: f64) -> FaultProcess {
+        assert!(mtbf_s > 0.0 && mtbf_s.is_finite(), "MTBF must be positive and finite, got {mtbf_s}");
+        FaultProcess { mtbf_s }
+    }
+
+    /// Expands the process into the merged, time-sorted fault schedule for
+    /// `wafers` wafers over `[0, horizon_s)`. Each wafer draws from an
+    /// independent stream derived from `seed`, so adding a wafer never
+    /// perturbs the faults of the others.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon_s` is positive and finite (an open-ended
+    /// schedule would be infinite).
+    pub fn schedule(&self, wafers: usize, horizon_s: f64, seed: u64) -> Vec<FaultEvent> {
+        assert!(
+            horizon_s > 0.0 && horizon_s.is_finite(),
+            "fault schedules need a finite positive horizon, got {horizon_s}"
+        );
+        let rate = 1.0 / self.mtbf_s;
+        let mut events = Vec::new();
+        for wafer in 0..wafers {
+            // Offset the stream per wafer (and from the arrival/think-time
+            // streams, which use different xor constants on a shared seed).
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ 0xfa17_0000_0000_0003u64.wrapping_add(wafer as u64 * 0x9e37_79b9),
+            );
+            let mut clock = 0.0;
+            loop {
+                clock += crate::arrival::exponential(&mut rng, rate);
+                if clock >= horizon_s {
+                    break;
+                }
+                events.push(FaultEvent { wafer, at_s: clock, draw: rand::Rng::gen(&mut rng) });
+            }
+        }
+        // Merge the per-wafer streams into one nondecreasing timeline; ties
+        // (measure-zero, but possible with identical seeds) break by wafer.
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.wafer.cmp(&b.wafer)));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let p = FaultProcess::new(0.5);
+        let a = p.schedule(3, 20.0, 11);
+        let b = p.schedule(3, 20.0, 11);
+        let c = p.schedule(3, 20.0, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_horizon() {
+        let events = FaultProcess::new(0.2).schedule(4, 10.0, 7);
+        let mut prev = 0.0;
+        for e in &events {
+            assert!(e.at_s > 0.0 && e.at_s < 10.0);
+            assert!(e.at_s >= prev, "schedule must be time-sorted");
+            assert!(e.wafer < 4);
+            prev = e.at_s;
+        }
+    }
+
+    #[test]
+    fn mean_inter_fault_time_tracks_the_mtbf() {
+        let mtbf = 0.25;
+        let events = FaultProcess::new(mtbf).schedule(1, 2_000.0, 3);
+        let mean = 2_000.0 / events.len() as f64;
+        assert!(
+            (mean - mtbf).abs() < 0.1 * mtbf,
+            "mean inter-fault gap {mean:.4}s should be within 10% of the {mtbf}s MTBF"
+        );
+    }
+
+    #[test]
+    fn wafer_streams_are_independent() {
+        let p = FaultProcess::new(0.5);
+        let one = p.schedule(1, 50.0, 9);
+        let two = p.schedule(2, 50.0, 9);
+        // Wafer 0's events are identical whether or not wafer 1 exists.
+        let w0: Vec<&FaultEvent> = two.iter().filter(|e| e.wafer == 0).collect();
+        assert_eq!(w0.len(), one.len());
+        for (a, b) in one.iter().zip(w0) {
+            assert_eq!(a, b);
+        }
+        // And wafer 1's stream differs from wafer 0's.
+        let t0: Vec<f64> = two.iter().filter(|e| e.wafer == 0).map(|e| e.at_s).collect();
+        let t1: Vec<f64> = two.iter().filter(|e| e.wafer == 1).map(|e| e.at_s).collect();
+        assert_ne!(t0, t1);
+    }
+
+    #[test]
+    fn a_long_mtbf_yields_no_faults_in_a_short_window() {
+        let events = FaultProcess::new(1e9).schedule(2, 1.0, 5);
+        assert!(events.is_empty(), "an MTBF of 1e9 s should not fire within 1 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_is_rejected() {
+        FaultProcess::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive horizon")]
+    fn infinite_horizon_is_rejected() {
+        FaultProcess::new(1.0).schedule(1, f64::INFINITY, 0);
+    }
+}

@@ -18,11 +18,13 @@
 //! Poisson, bursty-Gamma, or closed-loop process.
 
 pub mod arrival;
+pub mod fault;
 pub mod length;
 pub mod request;
 pub mod trace;
 
 pub use arrival::{ArrivalConfig, TimedRequest, TimedTrace};
+pub use fault::{FaultEvent, FaultProcess};
 pub use length::LengthConfig;
 pub use request::Request;
 pub use trace::{Trace, TraceGenerator};

@@ -122,6 +122,7 @@ fn main() {
         placement: DecodePlacement::LeastKvLoad,
         engine: EngineConfig::default(),
         horizon_s: f64::INFINITY,
+        fault: None,
     };
     let points = head_to_head(&system, &shootout).expect("clusters build");
     println!(

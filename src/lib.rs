@@ -16,7 +16,8 @@
 //! * [`baselines`] — analytical models of DGX A100, TPUv4, AttAcc, Cerebras,
 //! * [`sim`] — the end-to-end Ouroboros simulator tying everything together,
 //! * [`serve`] — the online serving simulator: open-loop arrivals,
-//!   continuous batching, multi-wafer load balancing and SLO metrics,
+//!   continuous batching, multi-wafer load balancing, SLO metrics, and
+//!   runtime fault injection with replacement-chain healing,
 //! * [`disagg`] — prefill/decode disaggregation: phase-specialised wafer
 //!   pools, KV migration over the inter-wafer optical links, decode
 //!   placement policies and the pool-ratio planner.

@@ -1,0 +1,131 @@
+//! Workspace-wide invariants of runtime fault injection: determinism of the
+//! whole fault realisation, and KV block conservation across every
+//! replacement-chain remap (§4.3.3).
+
+use ouroboros::model::zoo;
+use ouroboros::serve::{
+    Cluster, EngineConfig, FaultComparison, FaultConfig, FaultInjector, RoutePolicy, SloConfig,
+};
+use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
+use ouroboros::workload::{ArrivalConfig, LengthConfig, TimedTrace, TraceGenerator};
+
+fn tiny_system() -> OuroborosSystem {
+    OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+}
+
+fn slo() -> SloConfig {
+    SloConfig { ttft_s: 0.5, tpot_s: 0.05 }
+}
+
+fn timed(n: usize, rate: f64, seed: u64) -> TimedTrace {
+    let trace = TraceGenerator::new(seed).generate(&LengthConfig::fixed(96, 48), n);
+    ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+}
+
+/// Same seed ⇒ byte-identical `FaultReport` (and serving report) across two
+/// independent runs: the entire fault realisation — arrival interleaving,
+/// victim cores, chains, evictions, stalls — is a pure function of the
+/// seeds.
+#[test]
+fn same_seed_produces_a_byte_identical_fault_report() {
+    let sys = tiny_system();
+    let t = timed(60, 400.0, 42);
+    let run = || {
+        let mut cluster =
+            Cluster::replicate(&sys, 3, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+        let mut inj = FaultInjector::new(&sys, 3, FaultConfig::new(0.02, 42), 2.0);
+        cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj)
+    };
+    let (report_a, faults_a) = run();
+    let (report_b, faults_b) = run();
+    assert!(faults_a.faults_injected > 0, "the 20ms MTBF must fire during this run");
+    // Byte-identical: the Debug rendering captures every field, including
+    // the exact f64 bit patterns of stalls and availability.
+    assert_eq!(format!("{faults_a:?}"), format!("{faults_b:?}"));
+    assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
+    // Different fault seeds produce a different realisation.
+    let mut cluster = Cluster::replicate(&sys, 3, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
+    let mut inj = FaultInjector::new(&sys, 3, FaultConfig::new(0.02, 43), 2.0);
+    let (_, faults_c) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
+    assert_ne!(format!("{faults_a:?}"), format!("{faults_c:?}"));
+}
+
+/// KV block conservation after every remap: the manager's lifetime audit
+/// (`allocated − freed == live`, i.e. allocated − freed − evicted ≡ live
+/// with evictions counted inside `freed`) holds at every fault boundary,
+/// not just at the end of the run.
+#[test]
+fn kv_blocks_are_conserved_after_every_remap() {
+    let sys = tiny_system();
+    let mut engine = ouroboros::serve::Engine::new(
+        sys.stage_times().clone(),
+        sys.serve_kv_config(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    for i in 0..24 {
+        engine.submit(ouroboros::workload::Request::new(i, 96, 64), 0.0, i, 0);
+    }
+    let mut faults_applied = 0;
+    let mut step = 0u64;
+    while engine.has_work() {
+        engine.step();
+        step += 1;
+        if step.is_multiple_of(7) {
+            // A fault every few iterations, walking the preferred core.
+            if engine.apply_fault(engine.clock_s(), 0.5e-3, faults_applied, 0.01).is_some() {
+                faults_applied += 1;
+            }
+            let audit = engine.kv_audit();
+            assert!(
+                audit.is_conserved(),
+                "after remap {faults_applied}: allocated {} − freed {} != live {}",
+                audit.allocated,
+                audit.freed,
+                audit.live
+            );
+        }
+    }
+    assert!(faults_applied > 0, "the loop must inject at least one fault");
+    assert!(engine.stats().fault_evicted_seqs > 0, "faults under load must evict resident KV");
+    let audit = engine.kv_audit();
+    assert!(audit.is_conserved());
+    assert_eq!(audit.live, 0, "a drained engine holds no live blocks");
+    // Every request still completed or was dropped — faults lose no work.
+    let done = engine.records().iter().filter(|r| r.completed()).count();
+    assert_eq!(done + engine.stats().dropped as usize, 24);
+}
+
+/// The cluster-level composite: under a fault process the serving report
+/// stays request-conserving, availability drops below 1, recompute happens,
+/// and the clean run is strictly unaffected by constructing (but never
+/// firing) the injector.
+#[test]
+fn fault_comparison_degrades_the_faulty_side_only() {
+    let sys = tiny_system();
+    let t = timed(50, 300.0, 7);
+    let cmp = FaultComparison::measure(
+        &sys,
+        2,
+        RoutePolicy::JoinShortestQueue,
+        EngineConfig::default(),
+        &t,
+        &slo(),
+        f64::INFINITY,
+        FaultConfig::new(0.02, 7),
+    )
+    .unwrap();
+    assert!(cmp.clean.is_conserved());
+    assert!(cmp.faulty.is_conserved());
+    assert!(cmp.fault.faults_injected > 0);
+    assert!(cmp.fault.availability < 1.0);
+    assert!(cmp.fault.chains_built > 0);
+    assert!(cmp.fault.mean_chain_len() >= 1.0);
+    assert!(cmp.fault.kv_bytes_evicted >= cmp.fault.kv_tokens_evicted);
+    assert!(
+        cmp.ttft_p99_inflation() >= 1.0 || cmp.faulty.ttft.p99_s >= cmp.clean.ttft.p99_s * 0.99,
+        "faults cannot make the tail faster: clean {} vs faulty {}",
+        cmp.clean.ttft.p99_s,
+        cmp.faulty.ttft.p99_s
+    );
+}

@@ -1,0 +1,95 @@
+//! The `examples/fault_tolerance.rs` walkthrough promoted into tier-1
+//! assertions: defect-map generation, mapping around defects, replacement-
+//! chain repair, and rerouting — the example only *prints* these steps in
+//! CI, so regressions in any of them were previously invisible to
+//! `cargo test`.
+
+use ouroboros::hw::{CoreId, DefectMap, WaferGeometry, YieldModel};
+use ouroboros::mapping::{remap_with_chain, MappingProblem, Strategy};
+use ouroboros::model::zoo;
+use ouroboros::noc::route_xy_avoiding;
+
+/// One shared setup mirroring the example, at a reduced annealing budget:
+/// the paper wafer, the Murphy defect map at seed 2026, and a LLaMA-13B
+/// block mapped around the defects.
+fn mapped_block() -> (WaferGeometry, DefectMap, ouroboros::mapping::MappingSolution, MappingProblem) {
+    let geometry = WaferGeometry::paper();
+    let defects = DefectMap::generate(&geometry, &YieldModel::paper(), 2026);
+    let model = zoo::llama_13b();
+    let candidates: Vec<CoreId> = defects.functional_cores().collect();
+    let problem = MappingProblem::for_block(
+        &model,
+        geometry.clone(),
+        defects.clone(),
+        candidates,
+        4 * 1024 * 1024,
+        4.0,
+    );
+    let solution = ouroboros::mapping::solve(&problem, Strategy::Anneal { iterations: 500 }, 7);
+    (geometry, defects, solution, problem)
+}
+
+#[test]
+fn defect_map_density_matches_the_murphy_model() {
+    let geometry = WaferGeometry::paper();
+    let defects = DefectMap::generate(&geometry, &YieldModel::paper(), 2026);
+    assert!(defects.defective_count() > 0, "a paper wafer at 0.09/cm² has defects");
+    let expected = YieldModel::paper().expected_defective_cores(&geometry);
+    let got = defects.defective_count() as f64;
+    assert!(
+        got < 3.0 * expected + 10.0 && got > expected / 3.0 - 10.0,
+        "defect count {got} should be near the Murphy expectation {expected:.1}"
+    );
+    // Mapping never places tiles on defective cores.
+    let (_, defects, solution, _) = mapped_block();
+    for core in &solution.assignment.core {
+        assert!(!defects.is_defective(*core), "{core} is defective but holds weights");
+    }
+}
+
+#[test]
+fn replacement_chain_repairs_a_runtime_failure_on_the_paper_wafer() {
+    let (geometry, defects, solution, problem) = mapped_block();
+    assert!(problem.num_tiles() > 0);
+    let kv_cores: Vec<CoreId> =
+        defects.functional_cores().filter(|c| !solution.assignment.core.contains(c)).take(64).collect();
+    assert!(kv_cores.len() >= 8, "the example's 64 spare KV cores must exist");
+    let failed = solution.assignment.core[problem.num_tiles() / 2];
+    let outcome = remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed)
+        .expect("kv cores are available to absorb the displaced weights");
+    // The example's printed claims, asserted.
+    assert!(!outcome.new_assignment.core.contains(&failed), "the failed core is vacated");
+    assert!(outcome.chain.len() >= 2, "a weight-core failure builds a real chain");
+    assert_eq!(outcome.moved_tiles, outcome.chain.len() - 1);
+    let evicted = outcome.evicted_kv_core.expect("a weight-core failure must absorb a KV core");
+    assert!(kv_cores.contains(&evicted));
+    assert!(outcome.new_assignment.core.contains(&evicted), "the KV core now holds weights");
+    let unique: std::collections::HashSet<_> = outcome.new_assignment.core.iter().collect();
+    assert_eq!(unique.len(), outcome.new_assignment.core.len(), "no tile stacking after repair");
+}
+
+#[test]
+fn routing_steers_around_the_injected_fault() {
+    let (geometry, defects, solution, problem) = mapped_block();
+    let kv_cores: Vec<CoreId> =
+        defects.functional_cores().filter(|c| !solution.assignment.core.contains(c)).take(64).collect();
+    let failed = solution.assignment.core[problem.num_tiles() / 2];
+    let outcome = remap_with_chain(&geometry, &solution.assignment, &kv_cores, failed).unwrap();
+
+    let mut with_fault = defects.clone();
+    with_fault.inject_fault(failed);
+    let from = *outcome.chain.last().unwrap();
+    let start = geometry.coord(outcome.chain[0]);
+    let target = geometry.id(ouroboros::hw::CoreCoord {
+        row: (start.row + 5).min(geometry.global_rows() - 1),
+        col: (start.col + 5).min(geometry.global_cols() - 1),
+    });
+    let path = route_xy_avoiding(&geometry, &with_fault, from, target)
+        .expect("the mesh must route around a single dead core");
+    assert!(path.len() >= 2, "a real route has at least source and destination");
+    assert_eq!(*path.first().unwrap(), from);
+    assert_eq!(*path.last().unwrap(), target);
+    for hop in &path {
+        assert!(!with_fault.is_defective(*hop), "{hop} on the route is defective");
+    }
+}
