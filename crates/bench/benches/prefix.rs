@@ -1,0 +1,42 @@
+//! Timing of shared-prefix KV caching: how fast the serving simulator
+//! drains a session workload with the radix-style prefix cache on vs off,
+//! and with prefix-affinity vs load-based routing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ouro_bench::SEED;
+use ouro_model::zoo;
+use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, SessionConfig};
+
+fn bench_prefix(c: &mut Criterion) {
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &zoo::llama_13b()).expect("LLaMA-13B fits on one wafer");
+    let trace = SessionConfig::chat(4, 0.7).generate(100, SEED);
+    let timed = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, SEED);
+    let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
+
+    let mut group = c.benchmark_group("prefix_caching");
+    for (label, caching, policy) in [
+        ("off_least-kv-load", false, RoutePolicy::LeastKvLoad),
+        ("on_least-kv-load", true, RoutePolicy::LeastKvLoad),
+        ("on_prefix-affinity", true, RoutePolicy::PrefixAffinity),
+    ] {
+        let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
+        group.bench_function(format!("sessions_4_wafers_{label}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::replicate(&system, 4, policy, engine).expect("cluster builds");
+                cluster.run(&timed, &slo, f64::INFINITY)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prefix
+}
+criterion_main!(benches);

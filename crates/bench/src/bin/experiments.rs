@@ -9,7 +9,7 @@
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
-//! `serving`, `disagg`, `faults`, `all`.
+//! `serving`, `disagg`, `faults`, `prefix`, `all`.
 //!
 //! `serving` goes beyond the paper: an online load sweep (open-loop Poisson
 //! and bursty arrivals) against a multi-wafer cluster, reporting TTFT/TPOT
@@ -19,7 +19,10 @@
 //! MTBF-driven runtime fault process (replacement-chain remaps under live
 //! traffic, §4.3.3) and reports availability and tail-latency inflation
 //! versus the identical fault-free run, plus a fault-enabled
-//! disagg-vs-colocated shootout.
+//! disagg-vs-colocated shootout. `prefix` sweeps the shared-system-prompt
+//! ratio of a session workload and compares the radix-style prefix cache
+//! (with prefix-affinity routing) against cold prompts on identical
+//! traffic.
 //!
 //! The serving-style subcommands accept `--json <path>` to dump their
 //! points as a JSON array for perf-trajectory capture in CI:
@@ -97,8 +100,11 @@ fn main() {
     if run("faults") {
         rows.extend(faults(requests));
     }
+    if run("prefix") {
+        rows.extend(prefix(requests));
+    }
     if let Some(path) = json_path.as_deref() {
-        if run("serving") || run("disagg") || run("faults") {
+        if run("serving") || run("disagg") || run("faults") || run("prefix") {
             match ouro_bench::json::write_array(path, &rows) {
                 Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
                 Err(e) => eprintln!("\nfailed to write {path}: {e}"),
@@ -106,7 +112,9 @@ fn main() {
         } else {
             // Writing an empty [] here would let a misconfigured CI capture
             // "succeed" with no data.
-            eprintln!("\n--json is only produced by the serving/disagg/faults subcommands; nothing written");
+            eprintln!(
+                "\n--json is only produced by the serving/disagg/faults/prefix subcommands; nothing written"
+            );
         }
     }
 }
@@ -681,6 +689,70 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
                     .int("faults_injected", f.faults_injected)
                     .int("sequences_recomputed", f.sequences_recomputed)
                     .num("availability", f.availability),
+            );
+        }
+    }
+    rows
+}
+
+/// Shared-prefix KV caching — a share-ratio sweep of the session workload,
+/// comparing the radix-style prefix cache (prefix-affinity routing) against
+/// cold prompts on identical traffic. Returns the JSON rows of every
+/// printed point.
+fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, Cluster, EngineConfig, RoutePolicy, SloConfig};
+    use ouro_workload::{ArrivalConfig, SessionConfig};
+
+    header("Prefix caching: shared system prompts and session traffic (4-wafer LLaMA-13B)");
+    let model = zoo::llama_13b();
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let wafers = 4;
+    let requests = requests.min(300);
+    // SLO anchored on the session workload's typical request shape.
+    let session = SessionConfig::chat(4, 0.7);
+    let typical = session.shared_prefix_tokens + session.user_turn_tokens + session.decode_tokens;
+    let lengths = ouro_workload::LengthConfig::fixed(
+        session.shared_prefix_tokens + session.user_turn_tokens,
+        session.decode_tokens,
+    );
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+    let rate = 0.8 * capacity * wafers as f64;
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
+
+    println!("\n--- share-ratio sweep at {rate:.0} req/s (Poisson, {requests} requests/point) ---");
+    println!(
+        "{:<14} {:>7} {:>11} {:>11} {:>11} {:>12} {:>12}",
+        "cache", "share", "ttft-mean", "ttft-p99", "goodput/s", "prefilled", "cached"
+    );
+    for share in [0.0, 0.25, 0.5, 0.75, 0.9] {
+        let trace = SessionConfig::chat(4, share).generate(requests, SEED);
+        let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, SEED);
+        for (label, caching, policy) in
+            [("off", false, RoutePolicy::LeastKvLoad), ("on", true, RoutePolicy::PrefixAffinity)]
+        {
+            let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
+            let mut cluster = Cluster::replicate(&system, wafers, policy, engine).expect("cluster builds");
+            let r = cluster.run(&timed, &slo, f64::INFINITY);
+            println!(
+                "{:<14} {:>7.2} {:>9.2}ms {:>9.2}ms {:>11.1} {:>12} {:>12}",
+                label,
+                share,
+                r.ttft.mean_s * 1e3,
+                r.ttft.p99_s * 1e3,
+                r.goodput_rps,
+                r.prefilled_tokens,
+                r.cached_prefix_tokens,
+            );
+            rows.push(
+                serving_row("prefix", &format!("share-{share:.2}-{label}"), rate, &r)
+                    .num("share_ratio", share)
+                    .num("ttft_mean_s", r.ttft.mean_s)
+                    .int("prefilled_tokens", r.prefilled_tokens)
+                    .int("cached_prefix_tokens", r.cached_prefix_tokens),
             );
         }
     }

@@ -22,8 +22,8 @@ use crate::report::{DisaggReport, Migration};
 use ouro_kvcache::KvError;
 use ouro_noc::InterWaferLink;
 use ouro_serve::{
-    pick_min_index, pick_serviceable_min_index, release_gated, Engine, EngineConfig, FaultInjector,
-    FaultReport, RequestRecord, RunTotals, ServingReport, SloConfig,
+    pick_min_index, pick_prefix_affine_index, pick_serviceable_min_index, release_gated, Engine,
+    EngineConfig, FaultInjector, FaultReport, RequestRecord, RunTotals, ServingReport, SloConfig,
 };
 use ouro_sim::OuroborosSystem;
 use ouro_workload::TimedTrace;
@@ -44,6 +44,11 @@ pub enum DecodePlacement {
     /// yields to load: the score is `kv_load + 0.1 · wafer_hops`, so a hop
     /// of distance is worth 10% of a cache of load.
     LocalityAware,
+    /// Prefers the decode wafer already holding the longest cached run of
+    /// the sequence's shared prefix — the migration then ships only the
+    /// uncached bytes. Ties (and untagged sequences) fall back to least KV
+    /// load.
+    PrefixAffinity,
 }
 
 impl std::fmt::Display for DecodePlacement {
@@ -52,6 +57,7 @@ impl std::fmt::Display for DecodePlacement {
             DecodePlacement::LeastKvLoad => write!(f, "least-kv-load"),
             DecodePlacement::MostFreeBlocks => write!(f, "most-free-blocks"),
             DecodePlacement::LocalityAware => write!(f, "locality-aware"),
+            DecodePlacement::PrefixAffinity => write!(f, "prefix-affinity"),
         }
     }
 }
@@ -169,7 +175,7 @@ impl DisaggCluster {
     /// Picks the decode wafer for KV prefilled on wafer `from` under the
     /// configured placement policy (ties toward the lowest index); wafers
     /// faults have killed are skipped while any healthy one remains.
-    fn place_decode(&self, from: usize) -> usize {
+    fn place_decode(&self, from: usize, request: &ouro_workload::Request) -> usize {
         match self.config.placement {
             DecodePlacement::LeastKvLoad => pick_serviceable_min_index(&self.decode, Engine::kv_load),
             DecodePlacement::MostFreeBlocks => {
@@ -186,6 +192,7 @@ impl DisaggCluster {
                     self.decode[j].kv_load() + 0.1 * self.wafer_hops(from, j) as f64
                 })]
             }
+            DecodePlacement::PrefixAffinity => pick_prefix_affine_index(&self.decode, request),
         }
     }
 
@@ -357,16 +364,25 @@ impl DisaggCluster {
     }
 
     /// Ships one finished prefill's KV to a decode wafer: places the
-    /// sequence, charges the transfer from the link model, and submits it
-    /// for imported-KV decode gated on the migration's landing time.
+    /// sequence (prefix-aware policies steer toward resident prefixes),
+    /// deduplicates the bytes already cached on the target, charges the
+    /// remaining transfer from the link model, and submits it for
+    /// imported-KV decode gated on the migration's landing time.
     fn migrate(&mut self, from: usize, rec: usize, t_done: f64) {
         let record = self.prefill[from].records()[rec];
-        let tokens = record.prompt_len;
-        let bytes = tokens as u64 * self.kv_bytes_per_token;
-        let to = self.place_decode(from);
+        let mut request = ouro_workload::Request::new(record.id, record.prompt_len, record.decode_len);
+        if let Some(p) = record.shared_prefix {
+            request = request.with_shared_prefix(p.group, p.tokens);
+        }
+        let to = self.place_decode(from, &request);
+        // Bytes already resident on the target's prefix cache never touch
+        // the wire; `Engine::submit_imported` performs the identical lookup
+        // at this same instant, so the wire accounting matches.
+        let deduped = self.decode[to].prefix_cached_tokens(&request).min(record.prompt_len);
+        let wire_tokens = record.prompt_len - deduped;
+        let bytes = wire_tokens as u64 * self.kv_bytes_per_token;
         let hops = self.wafer_hops(from, to);
         let arrive_s = t_done + self.link.transfer_time_s(bytes, hops);
-        let request = ouro_workload::Request::new(record.id, record.prompt_len, record.decode_len);
         self.decode[to].submit_imported(
             request,
             record.arrival_s,
@@ -378,7 +394,8 @@ impl DisaggCluster {
             id: record.id,
             from_wafer: from,
             to_wafer: self.config.prefill_wafers + to,
-            tokens: tokens as u64,
+            tokens: wire_tokens as u64,
+            deduped_tokens: deduped as u64,
             bytes,
             start_s: t_done,
             arrive_s,
@@ -418,6 +435,8 @@ impl DisaggCluster {
         let in_flight: usize = all.clone().map(Engine::resident).sum();
         let dropped: usize = all.clone().map(|e| e.stats().dropped as usize).sum();
         let evictions: u64 = all.clone().map(|e| e.stats().evictions).sum();
+        let prefilled_tokens: u64 = all.clone().map(|e| e.stats().prefilled_tokens).sum();
+        let cached_prefix_tokens: u64 = all.clone().map(|e| e.stats().cached_prefix_tokens).sum();
         let end_s = all.clone().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
         let util = |engines: &[Engine]| -> f64 {
             if end_s > 0.0 {
@@ -442,6 +461,8 @@ impl DisaggCluster {
                 in_flight_at_horizon: in_flight,
                 dropped,
                 evictions,
+                prefilled_tokens,
+                cached_prefix_tokens,
                 duration_s: end_s,
                 utilization,
             },
@@ -451,6 +472,7 @@ impl DisaggCluster {
         let imported_tokens: u64 = self.decode.iter().map(|e| e.kv_transfers().imported_tokens).sum();
         let in_flight_tokens: u64 = self.decode.iter().map(|e| e.pending_imported_tokens() as u64).sum();
         let dropped_tokens: u64 = self.decode.iter().map(|e| e.stats().dropped_imported_tokens).sum();
+        let deduped_tokens: u64 = self.migrations.iter().map(|m| m.deduped_tokens).sum();
         let migration_times: Vec<f64> = self.migrations.iter().map(|m| m.arrive_s - m.start_s).collect();
         DisaggReport {
             serving,
@@ -463,6 +485,7 @@ impl DisaggCluster {
             imported_kv_bytes: imported_tokens * self.kv_bytes_per_token,
             in_flight_kv_bytes: in_flight_tokens * self.kv_bytes_per_token,
             dropped_kv_bytes: dropped_tokens * self.kv_bytes_per_token,
+            deduped_kv_bytes: deduped_tokens * self.kv_bytes_per_token,
             mean_migration_s: if migration_times.is_empty() {
                 0.0
             } else {
@@ -532,11 +555,57 @@ mod tests {
     }
 
     #[test]
+    fn prefix_affinity_placement_dedupes_migration_bytes() {
+        use ouro_workload::SessionConfig;
+        let sys = tiny_system();
+        let cfg_trace = SessionConfig {
+            groups: 1,
+            shared_prefix_tokens: 256,
+            share_ratio: 1.0,
+            max_turns: 1,
+            user_turn_tokens: 32,
+            decode_tokens: 16,
+        };
+        let trace = cfg_trace.generate(20, 31);
+        let t = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, 31);
+        let run = |placement| {
+            let mut cfg = DisaggConfig::new(1, 2);
+            cfg.placement = placement;
+            let mut cluster = DisaggCluster::new(&sys, cfg).unwrap();
+            cluster.run(&t, &slo(), f64::INFINITY)
+        };
+        let affinity = run(DecodePlacement::PrefixAffinity);
+        let spread = run(DecodePlacement::LeastKvLoad);
+        assert!(affinity.serving.is_conserved() && spread.serving.is_conserved());
+        assert!(affinity.kv_bytes_conserved(), "dedup must keep the byte identity closed");
+        assert!(spread.kv_bytes_conserved());
+        assert!(
+            affinity.deduped_kv_bytes > 0,
+            "overlapping sharers placed on one wafer must skip resident prefix bytes"
+        );
+        assert!(
+            affinity.imported_kv_bytes < affinity.exported_kv_bytes,
+            "deduplicated migrations ship fewer bytes than were exported"
+        );
+        assert!(
+            affinity.deduped_kv_bytes >= spread.deduped_kv_bytes,
+            "prefix-affinity placement cannot dedup less than load-based placement: {} vs {}",
+            affinity.deduped_kv_bytes,
+            spread.deduped_kv_bytes
+        );
+        // Determinism of the prefix-aware run.
+        assert_eq!(run(DecodePlacement::PrefixAffinity), affinity);
+    }
+
+    #[test]
     fn same_seed_same_disagg_report() {
         let sys = tiny_system();
-        for placement in
-            [DecodePlacement::LeastKvLoad, DecodePlacement::MostFreeBlocks, DecodePlacement::LocalityAware]
-        {
+        for placement in [
+            DecodePlacement::LeastKvLoad,
+            DecodePlacement::MostFreeBlocks,
+            DecodePlacement::LocalityAware,
+            DecodePlacement::PrefixAffinity,
+        ] {
             let run = || {
                 let mut cfg = DisaggConfig::new(2, 2);
                 cfg.placement = placement;

@@ -3,11 +3,13 @@
 //!
 //! Byte conservation is the core invariant: every byte of KV a prefill
 //! wafer exports is either imported into a decode wafer's cache, still on
-//! the wire (announced but not admitted) at the horizon, or discarded
-//! because the sequence could not fit even an empty decode cache. The
-//! identity `exported = imported + in_flight + dropped` must hold at any
-//! observation instant; after a run drains completely the last two terms
-//! are zero and exported equals imported exactly.
+//! the wire (announced but not admitted) at the horizon, discarded because
+//! the sequence could not fit even an empty decode cache, or deduplicated
+//! against the target's shared-prefix cache at announce time (it never
+//! touched the wire). The identity
+//! `exported = imported + in_flight + dropped + deduped` must hold at any
+//! observation instant; after a run drains completely the in-flight and
+//! dropped terms are zero.
 
 use crate::cluster::DecodePlacement;
 use ouro_serve::ServingReport;
@@ -21,9 +23,14 @@ pub struct Migration {
     pub from_wafer: usize,
     /// Global index of the destination (decode) wafer.
     pub to_wafer: usize,
-    /// Whole-sequence tokens migrated (the prompt at prefill completion).
+    /// Tokens that actually travelled the wire (the prompt at prefill
+    /// completion minus the prefix tokens already resident on the target).
     pub tokens: u64,
-    /// Bytes on the wire: tokens × the model's full per-token KV footprint.
+    /// Prompt tokens deduplicated against the target's shared-prefix cache
+    /// at announce time (skipped on the wire).
+    pub deduped_tokens: u64,
+    /// Bytes on the wire: wire tokens × the model's full per-token KV
+    /// footprint.
     pub bytes: u64,
     /// Prefill-completion instant (migration start).
     pub start_s: f64,
@@ -60,6 +67,9 @@ pub struct DisaggReport {
     /// KV bytes discarded because the sequence could not fit an empty
     /// decode cache.
     pub dropped_kv_bytes: u64,
+    /// KV bytes that never touched the wire because the target decode wafer
+    /// already held the sequence's shared prefix at announce time.
+    pub deduped_kv_bytes: u64,
     /// Mean migration wall-clock (setup + head latency + serialisation).
     pub mean_migration_s: f64,
     /// Slowest migration of the run.
@@ -74,9 +84,14 @@ pub struct DisaggReport {
 
 impl DisaggReport {
     /// The migration-byte conservation identity: every exported byte is
-    /// imported, in flight, or accounted as dropped.
+    /// imported, in flight, accounted as dropped, or deduplicated against
+    /// the target's prefix cache.
     pub fn kv_bytes_conserved(&self) -> bool {
-        self.exported_kv_bytes == self.imported_kv_bytes + self.in_flight_kv_bytes + self.dropped_kv_bytes
+        self.exported_kv_bytes
+            == self.imported_kv_bytes
+                + self.in_flight_kv_bytes
+                + self.dropped_kv_bytes
+                + self.deduped_kv_bytes
     }
 
     /// Mean migrated KV per request, in bytes (0 with no migrations).
@@ -111,6 +126,7 @@ mod tests {
             imported_kv_bytes: imported,
             in_flight_kv_bytes: in_flight,
             dropped_kv_bytes: dropped,
+            deduped_kv_bytes: 0,
             mean_migration_s: 0.001,
             max_migration_s: 0.002,
             link_energy_j: 0.1,
@@ -124,6 +140,14 @@ mod tests {
         assert!(report(100, 100, 0, 0).kv_bytes_conserved());
         assert!(report(100, 60, 30, 10).kv_bytes_conserved());
         assert!(!report(100, 60, 30, 0).kv_bytes_conserved());
+    }
+
+    #[test]
+    fn deduped_bytes_close_the_conservation_identity() {
+        let mut r = report(100, 60, 10, 0);
+        assert!(!r.kv_bytes_conserved());
+        r.deduped_kv_bytes = 30;
+        assert!(r.kv_bytes_conserved(), "prefix-deduplicated bytes complete the identity");
     }
 
     #[test]

@@ -121,6 +121,14 @@ impl CrossbarBlocks {
         }
     }
 
+    /// Frees block `idx` whoever owns it, returning whether it was
+    /// allocated. The manager uses this for refcounted shared-prefix blocks,
+    /// whose owner is a prefix group rather than a sequence and which must
+    /// therefore not be swept by [`CrossbarBlocks::release`].
+    pub fn free_at(&mut self, idx: usize) -> bool {
+        self.blocks[idx].take().is_some()
+    }
+
     /// Frees every block owned by `seq`, returning how many blocks were
     /// released.
     pub fn release(&mut self, seq: u64) -> usize {
@@ -247,6 +255,17 @@ mod tests {
         let mut b = blocks();
         let idx = b.allocate(5).unwrap();
         assert_eq!(b.remaining(idx, 6), 0);
+    }
+
+    #[test]
+    fn free_at_releases_one_block_regardless_of_owner() {
+        let mut b = blocks();
+        let idx = b.allocate(9).unwrap();
+        b.append(idx, 9, 40);
+        assert!(b.free_at(idx), "an allocated block frees");
+        assert!(!b.free_at(idx), "a second free is a no-op");
+        assert_eq!(b.used_tokens(), 0);
+        assert_eq!(b.free_blocks(), 8);
     }
 
     proptest! {

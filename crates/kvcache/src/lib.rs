@@ -14,6 +14,11 @@
 //!   writes for the next token never collide with in-situ attention for the
 //!   current one, K growth prefers *other* crossbars while V growth prefers
 //!   the *same* crossbar ([`manager`]),
+//! * requests sharing a common prompt prefix (same system prompt,
+//!   conversation history) reference refcounted copy-on-write block chains
+//!   instead of duplicating the prefix KV; a shared block is freed exactly
+//!   when its last sharer releases, and the lifetime block audit counts it
+//!   once ([`manager`]),
 //! * inter-sequence scheduling is FCFS with preemptible autoregressive
 //!   continuations, most-recently-scheduled eviction, and an anti-thrashing
 //!   admission threshold ([`scheduler`]),

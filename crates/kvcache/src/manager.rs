@@ -8,6 +8,17 @@
 //! follows the K/V-specific policies: K prefers a free block in a *different*
 //! crossbar (it grows along the output-channel dimension, which cannot be
 //! accumulated within one crossbar), V prefers the *same* crossbar.
+//!
+//! On top of the per-sequence allocation the manager keeps a radix-style
+//! **shared-prefix index**: requests tagged with a
+//! [`ouro_workload::SharedPrefix`]-like `(group, tokens)` pair share the
+//! whole-block portion of their common prompt prefix. Shared blocks are
+//! refcounted and copy-on-write in the append-only sense — divergence after
+//! the shared prefix (the unique prompt tail and all decode growth) lands in
+//! private per-sequence blocks, so a shared block is never mutated once
+//! full. A shared block is freed exactly when its last sharer releases; the
+//! [`BlockAudit`] counts shared blocks once, so `allocated − freed == live`
+//! holds under sharing too.
 
 use crate::block::CrossbarBlocks;
 use crate::translate::{CoreBitmap, PageTable};
@@ -127,6 +138,42 @@ struct Cursor {
     block: usize,
 }
 
+/// Owner tag of shared-prefix blocks in the per-crossbar block tables:
+/// `SHARED_OWNER_TAG | group` lives in a namespace disjoint from sequence
+/// ids, so [`CrossbarBlocks::release`] sweeps for a sequence never touch
+/// shared blocks.
+const SHARED_OWNER_TAG: u64 = 1 << 63;
+
+/// Physical location of one shared block (within the role-side core list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SharedSlot {
+    core_index: usize,
+    crossbar: usize,
+    block: usize,
+}
+
+/// One whole-block link of a shared prefix chain: the per-head K and V
+/// blocks holding `tokens_per_block` tokens of the prefix, plus how many
+/// resident sequences currently reference it.
+#[derive(Debug, Clone)]
+struct SharedNode {
+    refs: usize,
+    k_slots: Vec<SharedSlot>,
+    v_slots: Vec<SharedSlot>,
+}
+
+/// The shared block chain of one prefix group. Sequences always reference a
+/// *leading* run of nodes, so refcounts are non-increasing along the chain
+/// and zero-ref nodes form a suffix (freed as soon as they appear).
+#[derive(Debug, Clone)]
+struct SharedChain {
+    /// Per-head core picks on the key side (chains grow on fixed cores).
+    k_cores: Vec<usize>,
+    /// Per-head core picks on the value side.
+    v_cores: Vec<usize>,
+    nodes: Vec<SharedNode>,
+}
+
 /// Counters of KV state handed across wafer boundaries (prefill/decode
 /// disaggregation). Token counts are whole-sequence tokens; byte accounting
 /// is the caller's job because the manager does not know the model's head
@@ -156,12 +203,18 @@ pub struct BlockAudit {
     pub freed: u64,
     /// Logical blocks currently allocated somewhere in the cache.
     pub live: u64,
+    /// Of `live`, the blocks held by shared prefix chains — each counted
+    /// once, however many sequences currently reference it.
+    pub shared_live: u64,
 }
 
 impl BlockAudit {
-    /// The conservation identity `allocated − freed == live`.
+    /// The conservation identity `allocated − freed == live`, with every
+    /// shared block accounted inside `live` exactly once.
     pub fn is_conserved(&self) -> bool {
-        self.freed <= self.allocated && self.allocated - self.freed == self.live
+        self.freed <= self.allocated
+            && self.allocated - self.freed == self.live
+            && self.shared_live <= self.live
     }
 }
 
@@ -178,11 +231,16 @@ pub struct KvCoreFailure {
     pub core: CoreId,
     /// The failed crossbar within the core.
     pub crossbar: usize,
-    /// Resident sequences that held at least one block on the failed
-    /// crossbar, in ascending order. The caller must evict (release) them —
-    /// their KV is partially gone and must be recomputed.
+    /// Resident sequences that lost KV to the failure, in ascending order:
+    /// those holding a private block on the failed crossbar, plus every
+    /// sharer of a prefix chain with a node there (a sharer loses its
+    /// prefix even when its own blocks sit on healthy crossbars). The
+    /// caller must evict (release) them — their KV is partially gone and
+    /// must be recomputed.
     pub evicted_sequences: Vec<u64>,
-    /// Token slots resident on the failed crossbar at failure time.
+    /// Token slots lost to the failure: everything resident on the failed
+    /// crossbar, plus the slots of struck prefix chains freed on healthy
+    /// crossbars (the whole chain dies with any of its nodes).
     pub evicted_tokens: usize,
 }
 
@@ -198,6 +256,10 @@ pub struct KvManager {
     cursors: HashMap<(u64, usize, u8), Cursor>,
     resident_tokens: HashMap<u64, usize>,
     transfers: KvTransferStats,
+    /// Shared prefix chains by group id.
+    shared: HashMap<u64, SharedChain>,
+    /// How many leading chain nodes each resident sequence references.
+    seq_shared: HashMap<u64, (u64, usize)>,
     /// Lifetime logical-block allocations (audit counter).
     allocated_blocks: u64,
     /// Lifetime logical-block frees (audit counter).
@@ -236,6 +298,8 @@ impl KvManager {
             cursors: HashMap::new(),
             resident_tokens: HashMap::new(),
             transfers: KvTransferStats::default(),
+            shared: HashMap::new(),
+            seq_shared: HashMap::new(),
             allocated_blocks: 0,
             freed_blocks: 0,
         })
@@ -286,8 +350,8 @@ impl KvManager {
     }
 
     /// Upper bound on how many sequences of `tokens` tokens each could be
-    /// resident simultaneously (per-head blocks are not shared between
-    /// sequences, so allocation is quantised to logical blocks).
+    /// resident simultaneously with fully unique prompts (prefix sharing
+    /// only raises this; allocation is quantised to logical blocks).
     pub fn max_resident_sequences(&self, tokens: usize) -> usize {
         let per_block =
             self.config.crossbar.tokens_per_logical_block(self.config.head_dim, self.config.bytes_per_elem);
@@ -310,54 +374,264 @@ impl KvManager {
     /// # Errors
     ///
     /// Returns [`KvError::OutOfCapacity`] (without partial allocation being
-    /// rolled back eagerly — the caller is expected to evict and retry with
-    /// the same sequence id, which reuses the partially allocated blocks) if
-    /// the cache cannot hold the sequence.
+    /// rolled back eagerly — the caller is expected to release, evict, and
+    /// retry with the same sequence id) if the cache cannot hold the
+    /// sequence.
     pub fn admit(&mut self, seq: u64, initial_tokens: usize) -> Result<(), KvError> {
+        self.admit_with_prefix(seq, initial_tokens, None).map(|_| ())
+    }
+
+    /// Prefix-aware admission: like [`KvManager::admit`], but when `prefix`
+    /// names a shared group, the whole-block portion of the common prefix is
+    /// served from the shared chain (allocated on first use, referenced
+    /// thereafter) and only the remainder is allocated privately. Returns
+    /// how many tokens were satisfied from the shared cache — the caller
+    /// skips recomputing exactly those.
+    ///
+    /// Sharing degrades gracefully: if the chain cannot grow (capacity,
+    /// threshold), the sequence simply caches fewer tokens — prefix reuse
+    /// never turns an admissible sequence away by itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfCapacity`] under the same conditions as
+    /// [`KvManager::admit`]. Shared references taken before the failure are
+    /// undone by the [`KvManager::release`] the retry protocol performs.
+    pub fn admit_with_prefix(
+        &mut self,
+        seq: u64,
+        initial_tokens: usize,
+        prefix: Option<(u64, usize)>,
+    ) -> Result<usize, KvError> {
+        // A stale entry would leak references if the caller re-admits
+        // without releasing; drop it first.
+        self.detach_shared(seq);
+        // `shared` tokens live in shared blocks (reused + newly populated);
+        // only the `cached` portion pre-existed and skips prefill — the
+        // first sharer computes the prefix KV it deposits in the chain.
+        let (shared, cached) = match prefix {
+            Some((group, tokens)) => self.attach_shared(seq, group, tokens.min(initial_tokens)),
+            None => (0, 0),
+        };
         let heads = self.config.heads;
-        // Choose one core per head per role, walking the ring.
-        let mut head_cores_k = Vec::with_capacity(heads);
-        let mut head_cores_v = Vec::with_capacity(heads);
-        for (role_idx, role) in [KvRole::Key, KvRole::Value].into_iter().enumerate() {
-            let n = self.cores(role).len();
-            let threshold = self.config.threshold;
-            let mut assigned = 0;
-            let mut scanned = 0;
-            let mut idx = self.ring_next[role_idx];
-            while assigned < heads && scanned < 2 * n * (heads.div_ceil(n) + 1) {
-                let core = &self.cores(role)[idx % n];
-                let free_frac = core.free_tokens() as f64 / core.capacity_tokens().max(1) as f64;
-                if free_frac > threshold {
-                    if role == KvRole::Key {
-                        head_cores_k.push(idx % n);
-                    } else {
-                        head_cores_v.push(idx % n);
-                    }
-                    assigned += 1;
-                }
-                idx += 1;
-                scanned += 1;
-            }
-            if assigned < heads {
-                return Err(KvError::OutOfCapacity);
-            }
-            self.ring_next[role_idx] = idx % n;
-        }
+        let head_cores_k = self.pick_head_cores(KvRole::Key, 0)?;
+        let head_cores_v = self.pick_head_cores(KvRole::Value, 1)?;
         // Record the page-table entry using the K-side cores (one per head).
         let pt_cores: Vec<CoreId> = head_cores_k.iter().map(|&i| self.key_cores[i].id).collect();
         self.page_table.insert(seq, pt_cores);
-        self.resident_tokens.insert(seq, 0);
-        // Allocate and fill the initial tokens.
+        self.resident_tokens.insert(seq, shared);
+        // Allocate the private cursors and fill the non-shared tokens.
         for head in 0..heads {
             self.bind_cursor(seq, head, KvRole::Key, head_cores_k[head])?;
             self.bind_cursor(seq, head, KvRole::Value, head_cores_v[head])?;
         }
-        if initial_tokens > 0 {
-            self.append_tokens(seq, initial_tokens)?;
-        } else {
-            self.resident_tokens.insert(seq, 0);
+        if initial_tokens > shared {
+            self.append_tokens(seq, initial_tokens - shared)?;
         }
-        Ok(())
+        Ok(cached)
+    }
+
+    /// One core pick per head for `role`, walking the ring from the role's
+    /// pointer and skipping cores below the anti-thrashing threshold. Used
+    /// by both private admission and shared-chain creation, so every
+    /// allocation decision follows the same §4.4.3 walk.
+    fn pick_head_cores(&mut self, role: KvRole, role_idx: usize) -> Result<Vec<usize>, KvError> {
+        let heads = self.config.heads;
+        let n = self.cores(role).len();
+        let threshold = self.config.threshold;
+        let mut picked = Vec::with_capacity(heads);
+        let mut scanned = 0;
+        let mut idx = self.ring_next[role_idx];
+        while picked.len() < heads && scanned < 2 * n * (heads.div_ceil(n) + 1) {
+            let core = &self.cores(role)[idx % n];
+            let free_frac = core.free_tokens() as f64 / core.capacity_tokens().max(1) as f64;
+            if free_frac > threshold {
+                picked.push(idx % n);
+            }
+            idx += 1;
+            scanned += 1;
+        }
+        if picked.len() < heads {
+            return Err(KvError::OutOfCapacity);
+        }
+        self.ring_next[role_idx] = idx % n;
+        Ok(picked)
+    }
+
+    /// Token capacity of one logical block for this configuration — the
+    /// sharing granularity (only whole blocks of a prefix are shared).
+    pub fn tokens_per_block(&self) -> usize {
+        self.config.crossbar.tokens_per_logical_block(self.config.head_dim, self.config.bytes_per_elem)
+    }
+
+    /// Longest cached prefix available to a request of `prefix_tokens`
+    /// shared tokens in `group`, in tokens (whole blocks only, 0 when the
+    /// group is not resident). Routing layers use this to steer requests
+    /// toward the wafer already holding their prefix.
+    pub fn prefix_lookup(&self, group: u64, prefix_tokens: usize) -> usize {
+        let tpb = self.tokens_per_block();
+        if tpb == 0 {
+            return 0;
+        }
+        match self.shared.get(&group) {
+            Some(chain) => chain.nodes.len().min(prefix_tokens / tpb) * tpb,
+            None => 0,
+        }
+    }
+
+    /// Number of prefix groups with a resident shared chain.
+    pub fn prefix_groups(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// References the leading `prefix_tokens / tokens_per_block` nodes of
+    /// `group`'s chain for `seq`, growing the chain as far as capacity
+    /// allows. Returns `(shared_tokens, cached_tokens)`: how many of the
+    /// sequence's tokens live in shared blocks, and how many of those
+    /// pre-existed (the reusable portion — newly populated nodes are this
+    /// sequence's own prefill, stored shared for the next sharer).
+    fn attach_shared(&mut self, seq: u64, group: u64, prefix_tokens: usize) -> (usize, usize) {
+        let tpb = self.tokens_per_block();
+        if tpb == 0 {
+            return (0, 0);
+        }
+        let want = prefix_tokens / tpb;
+        if want == 0 {
+            return (0, 0);
+        }
+        if !self.shared.contains_key(&group) {
+            // First sharer: pick the chain's per-head cores with the same
+            // ring walk as a private admission. Failure here just means no
+            // caching for now.
+            let Ok(k_cores) = self.pick_head_cores(KvRole::Key, 0) else { return (0, 0) };
+            let Ok(v_cores) = self.pick_head_cores(KvRole::Value, 1) else { return (0, 0) };
+            self.shared.insert(group, SharedChain { k_cores, v_cores, nodes: Vec::new() });
+        }
+        let existing = self.shared[&group].nodes.len();
+        while self.shared[&group].nodes.len() < want {
+            if !self.extend_chain(group) {
+                break;
+            }
+        }
+        let chain = self.shared.get_mut(&group).expect("chain ensured above");
+        let use_nodes = chain.nodes.len().min(want);
+        if use_nodes == 0 {
+            if chain.nodes.is_empty() {
+                self.shared.remove(&group);
+            }
+            return (0, 0);
+        }
+        for node in &mut chain.nodes[..use_nodes] {
+            node.refs += 1;
+        }
+        self.seq_shared.insert(seq, (group, use_nodes));
+        (use_nodes * tpb, existing.min(use_nodes) * tpb)
+    }
+
+    /// Appends one full node (per-head K and V blocks) to `group`'s chain,
+    /// rolling back the partial node on allocation failure. Returns whether
+    /// the chain grew.
+    fn extend_chain(&mut self, group: u64) -> bool {
+        let owner = SHARED_OWNER_TAG | group;
+        let tpb = self.tokens_per_block();
+        let (k_cores, v_cores) = {
+            let chain = &self.shared[&group];
+            (chain.k_cores.clone(), chain.v_cores.clone())
+        };
+        let mut k_slots = Vec::with_capacity(k_cores.len());
+        let mut v_slots = Vec::with_capacity(v_cores.len());
+        let mut ok = true;
+        for &core_index in &k_cores {
+            match self.alloc_shared_block(KvRole::Key, core_index, owner, tpb) {
+                Some(slot) => k_slots.push(slot),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            for &core_index in &v_cores {
+                match self.alloc_shared_block(KvRole::Value, core_index, owner, tpb) {
+                    Some(slot) => v_slots.push(slot),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !ok {
+            for slot in k_slots {
+                self.free_shared_slot(KvRole::Key, slot);
+            }
+            for slot in v_slots {
+                self.free_shared_slot(KvRole::Value, slot);
+            }
+            return false;
+        }
+        self.shared.get_mut(&group).expect("chain exists").nodes.push(SharedNode {
+            refs: 0,
+            k_slots,
+            v_slots,
+        });
+        true
+    }
+
+    /// Allocates and fills one shared block on a fixed core (first healthy
+    /// crossbar with a free block).
+    fn alloc_shared_block(
+        &mut self,
+        role: KvRole,
+        core_index: usize,
+        owner: u64,
+        tpb: usize,
+    ) -> Option<SharedSlot> {
+        let core = &mut self.cores_mut(role)[core_index];
+        let xb = core.crossbars.iter().position(|c| c.free_blocks() > 0)?;
+        let block = core.crossbars[xb].allocate(owner).expect("free block just checked");
+        let leftover = core.crossbars[xb].append(block, owner, tpb);
+        debug_assert_eq!(leftover, 0, "a fresh block holds a whole prefix node");
+        self.allocated_blocks += 1;
+        Some(SharedSlot { core_index, crossbar: xb, block })
+    }
+
+    /// Frees one shared block (audit-counted once, whichever path frees it).
+    fn free_shared_slot(&mut self, role: KvRole, slot: SharedSlot) {
+        let core = &mut self.cores_mut(role)[slot.core_index];
+        if core.crossbars[slot.crossbar].free_at(slot.block) {
+            self.freed_blocks += 1;
+        }
+    }
+
+    /// Drops `seq`'s references on its shared chain, freeing every node
+    /// whose refcount reaches zero (sequences reference leading runs, so
+    /// zero-ref nodes always form a chain suffix).
+    fn detach_shared(&mut self, seq: u64) {
+        let Some((group, n)) = self.seq_shared.remove(&seq) else { return };
+        let mut to_free: Vec<SharedNode> = Vec::new();
+        let mut drop_group = false;
+        if let Some(chain) = self.shared.get_mut(&group) {
+            let n = n.min(chain.nodes.len());
+            for node in &mut chain.nodes[..n] {
+                node.refs = node.refs.saturating_sub(1);
+            }
+            while chain.nodes.last().is_some_and(|node| node.refs == 0) {
+                to_free.push(chain.nodes.pop().expect("non-empty checked"));
+            }
+            drop_group = chain.nodes.is_empty();
+        }
+        if drop_group {
+            self.shared.remove(&group);
+        }
+        for node in to_free {
+            for slot in node.k_slots {
+                self.free_shared_slot(KvRole::Key, slot);
+            }
+            for slot in node.v_slots {
+                self.free_shared_slot(KvRole::Value, slot);
+            }
+        }
     }
 
     fn bind_cursor(&mut self, seq: u64, head: usize, role: KvRole, core_index: usize) -> Result<(), KvError> {
@@ -441,7 +715,9 @@ impl KvManager {
     }
 
     /// Releases every block of a sequence (completion or eviction), returning
-    /// how many tokens were resident.
+    /// how many tokens were resident. Shared prefix blocks are dereferenced
+    /// rather than freed; a shared block is freed only when its last sharer
+    /// releases.
     pub fn release(&mut self, seq: u64) -> usize {
         let tokens = self.resident_tokens.remove(&seq).unwrap_or(0);
         for core in self.key_cores.iter_mut().chain(self.value_cores.iter_mut()) {
@@ -452,14 +728,22 @@ impl KvManager {
         }
         self.cursors.retain(|(s, _, _), _| *s != seq);
         self.page_table.remove(seq);
+        self.detach_shared(seq);
         tokens
     }
 
-    /// The lifetime block audit (`allocated − freed == live`).
+    /// The lifetime block audit (`allocated − freed == live`), with shared
+    /// prefix blocks counted once inside both `live` and `shared_live`.
     pub fn block_audit(&self) -> BlockAudit {
         let live: u64 =
             self.key_cores.iter().chain(self.value_cores.iter()).map(CoreState::live_blocks).sum();
-        BlockAudit { allocated: self.allocated_blocks, freed: self.freed_blocks, live }
+        let shared_live: u64 = self
+            .shared
+            .values()
+            .flat_map(|chain| chain.nodes.iter())
+            .map(|node| (node.k_slots.len() + node.v_slots.len()) as u64)
+            .sum();
+        BlockAudit { allocated: self.allocated_blocks, freed: self.freed_blocks, live, shared_live }
     }
 
     /// Total KV cores across both roles (key side first, then value side) —
@@ -519,17 +803,67 @@ impl KvManager {
             let core = if i < k { &self.key_cores[i] } else { &self.value_cores[i - k] };
             core.healthy_crossbars() > 0
         })?;
+        let failed_role = if index < k { KvRole::Key } else { KvRole::Value };
+        let role_core = if index < k { index } else { index - k };
         let core = if index < k { &mut self.key_cores[index] } else { &mut self.value_cores[index - k] };
         let xb_idx =
             core.crossbars.iter().position(|xb| !xb.is_failed()).expect("scan found a healthy crossbar");
         let id = core.id;
         let xb = &mut core.crossbars[xb_idx];
-        let evicted_tokens = xb.used_tokens();
+        let mut evicted_tokens = xb.used_tokens();
         xb.fail();
         let xb = &core.crossbars[xb_idx];
         let mut evicted: Vec<u64> =
             self.resident_tokens.keys().copied().filter(|&seq| xb.owns_any(seq)).collect();
+        // Shared prefix chains with a node on the failed crossbar lose part
+        // of their prefix KV: every sharer must be evicted for recompute,
+        // and the whole chain is freed (each block exactly once — sharers'
+        // later releases find no chain to dereference).
+        let struck_groups: Vec<u64> = self
+            .shared
+            .iter()
+            .filter(|(_, chain)| {
+                chain.nodes.iter().any(|node| {
+                    let slots = match failed_role {
+                        KvRole::Key => &node.k_slots,
+                        KvRole::Value => &node.v_slots,
+                    };
+                    slots.iter().any(|s| s.core_index == role_core && s.crossbar == xb_idx)
+                })
+            })
+            .map(|(&group, _)| group)
+            .collect();
+        let tpb = self.tokens_per_block();
+        for group in struck_groups {
+            let chain = self.shared.remove(&group).expect("group collected above");
+            for node in chain.nodes {
+                // Chain blocks off the failed crossbar are additional
+                // losses; those on it are already inside `xb.used_tokens()`.
+                let off_failed = |role: KvRole, s: &SharedSlot| {
+                    role != failed_role || s.core_index != role_core || s.crossbar != xb_idx
+                };
+                for slot in node.k_slots {
+                    if off_failed(KvRole::Key, &slot) {
+                        evicted_tokens += tpb;
+                    }
+                    self.free_shared_slot(KvRole::Key, slot);
+                }
+                for slot in node.v_slots {
+                    if off_failed(KvRole::Value, &slot) {
+                        evicted_tokens += tpb;
+                    }
+                    self.free_shared_slot(KvRole::Value, slot);
+                }
+            }
+            let sharers: Vec<u64> =
+                self.seq_shared.iter().filter(|(_, &(g, _))| g == group).map(|(&s, _)| s).collect();
+            for s in sharers {
+                self.seq_shared.remove(&s);
+                evicted.push(s);
+            }
+        }
         evicted.sort_unstable();
+        evicted.dedup();
         Some(KvCoreFailure { index, core: id, crossbar: xb_idx, evicted_sequences: evicted, evicted_tokens })
     }
 
@@ -562,10 +896,33 @@ impl KvManager {
     /// Returns [`KvError::OutOfCapacity`] under the same conditions as
     /// [`KvManager::admit`] (the caller should release, evict, and retry).
     pub fn import_sequence(&mut self, seq: u64, tokens: usize) -> Result<(), KvError> {
-        self.admit(seq, tokens)?;
+        self.import_with_prefix(seq, tokens, None, tokens).map(|_| ())
+    }
+
+    /// Prefix-aware import: the sequence's KV arrives over the link, but
+    /// `wire_tokens` of it actually travelled — the rest was deduplicated
+    /// against this wafer's shared prefix cache at announce time. Allocation
+    /// follows [`KvManager::admit_with_prefix`]; only the wire tokens count
+    /// as imported. Returns the tokens served from the local prefix cache at
+    /// admission (which can differ from the announce-time figure if the
+    /// chain changed while the migration was in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::OutOfCapacity`] under the same conditions as
+    /// [`KvManager::admit`] (the caller should release, evict, and retry).
+    pub fn import_with_prefix(
+        &mut self,
+        seq: u64,
+        tokens: usize,
+        prefix: Option<(u64, usize)>,
+        wire_tokens: usize,
+    ) -> Result<usize, KvError> {
+        assert!(wire_tokens <= tokens, "the wire cannot carry more than the sequence holds");
+        let cached = self.admit_with_prefix(seq, tokens, prefix)?;
         self.transfers.imported_sequences += 1;
-        self.transfers.imported_tokens += tokens as u64;
-        Ok(())
+        self.transfers.imported_tokens += wire_tokens as u64;
+        Ok(cached)
     }
 
     /// Counters of exported/imported KV state.
@@ -876,6 +1233,173 @@ mod tests {
                 let audit = m.block_audit();
                 prop_assert!(audit.is_conserved());
                 prop_assert_eq!(audit.live, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_blocks_are_allocated_once_and_refcounted() {
+        let mut m = manager(8, 2);
+        let tpb = m.tokens_per_block();
+        assert_eq!(tpb, 128);
+        // Two sharers of a 256-token prefix (2 whole blocks per head/role)
+        // plus unique 100-token tails.
+        let cached1 = m.admit_with_prefix(1, 356, Some((7, 256))).unwrap();
+        assert_eq!(cached1, 0, "the first sharer computes the prefix it deposits");
+        let used_one = m.used_tokens();
+        let cached2 = m.admit_with_prefix(2, 356, Some((7, 256))).unwrap();
+        assert_eq!(cached2, 256, "the second sharer reuses the deposited prefix");
+        // The second sharer adds only its private tail on the K side, not
+        // another copy of the prefix.
+        assert!(m.used_tokens() < 2 * used_one, "the prefix must be stored once");
+        assert_eq!(m.sequence_tokens(1), Some(356));
+        assert_eq!(m.sequence_tokens(2), Some(356));
+        assert_eq!(m.prefix_lookup(7, 256), 256);
+        assert_eq!(m.prefix_lookup(7, 300), 256, "only whole blocks are shared");
+        assert_eq!(m.prefix_lookup(8, 256), 0, "unknown group has no cache");
+        let audit = m.block_audit();
+        assert!(audit.is_conserved());
+        assert!(audit.shared_live > 0);
+        // First release keeps the chain (one sharer left), second frees it.
+        m.release(1);
+        assert_eq!(m.prefix_lookup(7, 256), 256);
+        assert!(m.block_audit().is_conserved());
+        m.release(2);
+        assert_eq!(m.prefix_lookup(7, 256), 0, "the last sharer frees the chain");
+        assert_eq!(m.prefix_groups(), 0);
+        let end = m.block_audit();
+        assert!(end.is_conserved());
+        assert_eq!(end.live, 0);
+        assert_eq!(end.shared_live, 0);
+    }
+
+    #[test]
+    fn partial_block_prefixes_are_private() {
+        let mut m = manager(8, 2);
+        // 100 tokens < one 128-token block: nothing is shareable.
+        assert_eq!(m.admit_with_prefix(1, 200, Some((3, 100))).unwrap(), 0);
+        assert_eq!(m.prefix_groups(), 0);
+        assert_eq!(m.block_audit().shared_live, 0);
+        m.release(1);
+        assert!(m.block_audit().is_conserved());
+    }
+
+    #[test]
+    fn divergent_sharers_extend_the_chain_for_longer_prefixes() {
+        let mut m = manager(8, 2);
+        // Sharer A deposits 1 block of the prefix; sharer B reuses it and
+        // deposits 2 more.
+        assert_eq!(m.admit_with_prefix(1, 200, Some((9, 128))).unwrap(), 0);
+        assert_eq!(m.admit_with_prefix(2, 500, Some((9, 384))).unwrap(), 128);
+        assert_eq!(m.prefix_lookup(9, 384), 384);
+        // B releases: nodes 2 and 3 drop to zero refs and free; node 1 stays
+        // for A.
+        m.release(2);
+        assert_eq!(m.prefix_lookup(9, 384), 128);
+        assert!(m.block_audit().is_conserved());
+        m.release(1);
+        assert_eq!(m.prefix_groups(), 0);
+        assert_eq!(m.block_audit().live, 0);
+    }
+
+    #[test]
+    fn a_fault_on_a_shared_crossbar_evicts_every_sharer_once() {
+        let mut m = manager(8, 2);
+        m.admit_with_prefix(1, 300, Some((5, 256))).unwrap();
+        m.admit_with_prefix(2, 300, Some((5, 256))).unwrap();
+        // Walk the cores until the failure strikes a crossbar holding the
+        // shared chain (the chain sits on the first ring cores).
+        let mut evicted_all: Vec<u64> = Vec::new();
+        for preferred in 0..m.num_kv_cores() {
+            if let Some(f) = m.fail_kv_core(preferred) {
+                if !f.evicted_sequences.is_empty() {
+                    evicted_all = f.evicted_sequences;
+                    break;
+                }
+            }
+        }
+        assert_eq!(evicted_all, vec![1, 2], "both sharers lose their prefix KV");
+        assert_eq!(m.prefix_groups(), 0, "the struck chain is gone");
+        assert!(m.block_audit().is_conserved());
+        // The engine releases the evicted sequences; no double-free of the
+        // already-freed chain.
+        m.release(1);
+        m.release(2);
+        let audit = m.block_audit();
+        assert!(audit.is_conserved());
+        assert_eq!(audit.live, 0);
+    }
+
+    #[test]
+    fn prefix_aware_import_counts_only_wire_tokens() {
+        let mut m = manager(8, 2);
+        // A resident sharer keeps the 256-token prefix cached.
+        m.admit_with_prefix(1, 300, Some((4, 256))).unwrap();
+        // An import that deduplicated the prefix at announce time ships only
+        // the 44-token tail.
+        let cached = m.import_with_prefix(2, 300, Some((4, 256)), 44).unwrap();
+        assert_eq!(cached, 256);
+        assert_eq!(m.transfer_stats().imported_tokens, 44);
+        assert_eq!(m.sequence_tokens(2), Some(300));
+        m.release(1);
+        m.release(2);
+        assert!(m.block_audit().is_conserved());
+        assert_eq!(m.block_audit().live, 0);
+    }
+
+    mod prefix_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Prefix-cache refcount safety under random share / diverge /
+            /// release / fault interleavings: no double-free (conservation
+            /// would break), every chain node's blocks are freed exactly
+            /// once (when its refcount reaches zero), and the audit stays
+            /// conserved after every operation. Draining every sequence
+            /// returns the cache to zero live and zero shared blocks.
+            #[test]
+            fn refcounts_free_each_block_exactly_once(
+                ops in proptest::collection::vec(
+                    (0u8..5, 0u64..24, 1usize..600), 1..80),
+            ) {
+                let mut m = manager(4, 2);
+                for (op, draw, tokens) in ops {
+                    // One draw encodes both the sequence (0..8) and its
+                    // prefix group (0..3), so sharers collide frequently.
+                    let seq = draw % 8;
+                    let group = draw / 8;
+                    match op {
+                        // Shared admission: prefix length varies with the
+                        // draw so sharers of one group diverge.
+                        0 => { let _ = m.admit_with_prefix(
+                                seq, tokens, Some((group, tokens / 2 + 128))); }
+                        1 => { let _ = m.admit(seq, tokens.min(256)); }
+                        2 => { m.release(seq); }
+                        3 => { m.release(seq); m.release(seq); } // double release
+                        _ => {
+                            if let Some(f) = m.fail_kv_core(tokens) {
+                                for s in f.evicted_sequences {
+                                    m.release(s);
+                                }
+                            }
+                        }
+                    }
+                    let audit = m.block_audit();
+                    prop_assert!(
+                        audit.is_conserved(),
+                        "allocated {} − freed {} != live {} (shared {})",
+                        audit.allocated, audit.freed, audit.live, audit.shared_live
+                    );
+                }
+                for seq in 0..8 {
+                    m.release(seq);
+                }
+                let audit = m.block_audit();
+                prop_assert!(audit.is_conserved());
+                prop_assert_eq!(audit.live, 0);
+                prop_assert_eq!(audit.shared_live, 0);
+                prop_assert_eq!(m.prefix_groups(), 0);
             }
         }
     }

@@ -28,6 +28,12 @@ pub enum RoutePolicy {
     LeastKvLoad,
     /// Send to the wafer with the fewest queued-plus-resident requests.
     JoinShortestQueue,
+    /// Send to the wafer already holding the longest cached run of the
+    /// request's shared prefix (ties toward the least KV load, then the
+    /// lowest index). Requests with no cached prefix anywhere — including
+    /// all untagged requests — fall back to least-KV-load, so cold traffic
+    /// still balances.
+    PrefixAffinity,
 }
 
 impl std::fmt::Display for RoutePolicy {
@@ -36,6 +42,7 @@ impl std::fmt::Display for RoutePolicy {
             RoutePolicy::RoundRobin => write!(f, "round-robin"),
             RoutePolicy::LeastKvLoad => write!(f, "least-kv-load"),
             RoutePolicy::JoinShortestQueue => write!(f, "join-shortest-queue"),
+            RoutePolicy::PrefixAffinity => write!(f, "prefix-affinity"),
         }
     }
 }
@@ -80,12 +87,12 @@ impl Cluster {
         &self.engines
     }
 
-    /// Picks the wafer for the next request under the configured policy.
-    /// Wafers that faults have rendered unserviceable are skipped so live
-    /// traffic routes around the outage; when the whole fleet is dead,
-    /// routing falls back to all wafers (the requests drop deterministically
-    /// at admission).
-    fn route(&mut self) -> usize {
+    /// Picks the wafer for `request` under the configured policy. Wafers
+    /// that faults have rendered unserviceable are skipped so live traffic
+    /// routes around the outage; when the whole fleet is dead, routing
+    /// falls back to all wafers (the requests drop deterministically at
+    /// admission).
+    fn route(&mut self, request: &ouro_workload::Request) -> usize {
         let n = self.engines.len();
         let any_alive = self.engines.iter().any(Engine::is_serviceable);
         match self.policy {
@@ -103,6 +110,7 @@ impl Cluster {
             RoutePolicy::JoinShortestQueue => {
                 pick_routable(&self.engines, any_alive, |e| (e.queue_len() + e.resident()) as f64)
             }
+            RoutePolicy::PrefixAffinity => pick_prefix_affine_index(&self.engines, request),
         }
     }
 
@@ -220,7 +228,7 @@ impl Cluster {
                         }
                         _ => {
                             let (t, idx) = arrivals.pop_front().expect("peeked above");
-                            let wafer = self.route();
+                            let wafer = self.route(&timed.arrivals[idx].request);
                             self.engines[wafer].submit(timed.arrivals[idx].request, t, idx, wafer);
                         }
                     }
@@ -259,6 +267,8 @@ impl Cluster {
         let in_flight: usize = self.engines.iter().map(Engine::resident).sum();
         let dropped: usize = self.engines.iter().map(|e| e.stats().dropped as usize).sum();
         let evictions: u64 = self.engines.iter().map(|e| e.stats().evictions).sum();
+        let prefilled_tokens: u64 = self.engines.iter().map(|e| e.stats().prefilled_tokens).sum();
+        let cached_prefix_tokens: u64 = self.engines.iter().map(|e| e.stats().cached_prefix_tokens).sum();
         let end_s =
             self.engines.iter().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
         let utilization = if end_s > 0.0 {
@@ -276,6 +286,8 @@ impl Cluster {
                 in_flight_at_horizon: in_flight,
                 dropped,
                 evictions,
+                prefilled_tokens,
+                cached_prefix_tokens,
                 duration_s: end_s,
                 utilization,
             },
@@ -338,6 +350,34 @@ pub fn pick_min_index<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
 pub fn pick_serviceable_min_index(engines: &[Engine], score: impl Fn(&Engine) -> f64) -> usize {
     let any_alive = engines.iter().any(Engine::is_serviceable);
     pick_routable(engines, any_alive, score)
+}
+
+/// Index of the engine best placed to serve `request`'s shared prefix:
+/// among the serviceable engines (all when the pool is entirely dead), the
+/// one holding the longest cached run of the prefix — ties toward the
+/// least KV load, then the lowest index — falling back to plain
+/// least-KV-load when nothing is cached anywhere (including every untagged
+/// request). Shared by the colocated [`RoutePolicy::PrefixAffinity`]
+/// router and `ouro-disagg`'s prefix-affine decode placement so routing
+/// and placement steer identically.
+pub fn pick_prefix_affine_index(engines: &[Engine], request: &ouro_workload::Request) -> usize {
+    let any_alive = engines.iter().any(Engine::is_serviceable);
+    let best_cached = engines
+        .iter()
+        .filter(|e| !any_alive || e.is_serviceable())
+        .map(|e| e.prefix_cached_tokens(request))
+        .max()
+        .unwrap_or(0);
+    if best_cached == 0 {
+        return pick_routable(engines, any_alive, Engine::kv_load);
+    }
+    pick_routable(engines, any_alive, |e| {
+        if e.prefix_cached_tokens(request) == best_cached {
+            e.kv_load()
+        } else {
+            f64::INFINITY
+        }
+    })
 }
 
 /// Index of the lowest-scored engine among the serviceable ones (or all of
@@ -413,7 +453,12 @@ mod tests {
         // LeastKvLoad see frequent exact score ties (idle engines), which
         // must resolve identically run over run.
         let sys = tiny_system();
-        for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+        for policy in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::JoinShortestQueue,
+            RoutePolicy::LeastKvLoad,
+            RoutePolicy::PrefixAffinity,
+        ] {
             let run = || {
                 let mut cluster = Cluster::replicate(&sys, 3, policy, EngineConfig::default()).unwrap();
                 cluster.run(&timed(90, 500.0, 17), &slo(), f64::INFINITY)
@@ -425,7 +470,8 @@ mod tests {
     #[test]
     fn score_ties_break_toward_the_lowest_wafer_index() {
         let sys = tiny_system();
-        for policy in [RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
+        for policy in [RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad, RoutePolicy::PrefixAffinity]
+        {
             let mut cluster = Cluster::replicate(&sys, 4, policy, EngineConfig::default()).unwrap();
             // All four engines are idle and identical: a perfect four-way tie.
             let trace = TraceGenerator::new(8).generate(&LengthConfig::fixed(16, 4), 1);
@@ -473,6 +519,49 @@ mod tests {
         // With 4 users the cluster never holds more than 4 requests.
         let peak: usize = cluster.engines().iter().map(|e| e.stats().peak_resident).max().unwrap();
         assert!(peak <= 4, "closed loop caps concurrency, peak {peak}");
+    }
+
+    #[test]
+    fn prefix_affinity_steers_sharers_to_the_wafer_holding_their_prefix() {
+        use ouro_workload::SessionConfig;
+        let sys = tiny_system();
+        // One shared system prompt, every request on it, arrivals dense
+        // enough that sharers overlap in the cache.
+        let cfg = SessionConfig {
+            groups: 1,
+            shared_prefix_tokens: 256,
+            share_ratio: 1.0,
+            max_turns: 1,
+            user_turn_tokens: 32,
+            decode_tokens: 16,
+        };
+        let trace = cfg.generate(24, 21);
+        let t = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, 21);
+        let run = |policy| {
+            let mut cluster = Cluster::replicate(&sys, 2, policy, EngineConfig::default()).unwrap();
+            let r = cluster.run(&t, &slo(), f64::INFINITY);
+            let loads: Vec<usize> = cluster.engines().iter().map(|e| e.records().len()).collect();
+            (r, loads)
+        };
+        let (affinity_report, affinity_loads) = run(RoutePolicy::PrefixAffinity);
+        let (spread_report, _) = run(RoutePolicy::JoinShortestQueue);
+        assert!(affinity_report.is_conserved() && spread_report.is_conserved());
+        assert!(
+            affinity_loads[0] > affinity_loads[1],
+            "prefix affinity must concentrate sharers on the wafer holding the chain: \
+             {affinity_loads:?}"
+        );
+        assert!(
+            affinity_report.cached_prefix_tokens >= spread_report.cached_prefix_tokens,
+            "affinity routing cannot hit the prefix cache less than spreading: {} vs {}",
+            affinity_report.cached_prefix_tokens,
+            spread_report.cached_prefix_tokens
+        );
+        assert!(affinity_report.cached_prefix_tokens > 0, "overlapping sharers must hit the cache");
+        assert!(
+            affinity_report.prefilled_tokens < spread_report.prefilled_tokens,
+            "prefix hits must cut total prefilled tokens"
+        );
     }
 
     #[test]

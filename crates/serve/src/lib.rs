@@ -16,7 +16,13 @@
 //! * **a multi-wafer cluster** ([`cluster::Cluster`]): one model replica per
 //!   wafer behind a router with pluggable policies
 //!   ([`cluster::RoutePolicy`]: round-robin, least-KV-load,
-//!   join-shortest-queue),
+//!   join-shortest-queue, prefix-affinity),
+//! * **shared-prefix KV reuse**: requests tagged with an
+//!   [`ouro_workload::SharedPrefix`] share the whole-block portion of
+//!   their common prompt in the cache ([`ouro_kvcache::KvManager`]'s
+//!   refcounted copy-on-write chains); the engine charges prefill only
+//!   for the uncached suffix and the prefix-affinity router steers
+//!   sharers to the wafer already holding their prefix,
 //! * **SLO metrics and load sweeps** ([`metrics`], [`sweep`]): TTFT / TPOT /
 //!   E2E p50/p95/p99, goodput under an SLO, utilization, and
 //!   throughput-vs-latency curves over offered load,
@@ -51,7 +57,9 @@ pub mod fault;
 pub mod metrics;
 pub mod sweep;
 
-pub use cluster::{pick_min_index, pick_serviceable_min_index, release_gated, Cluster, RoutePolicy};
+pub use cluster::{
+    pick_min_index, pick_prefix_affine_index, pick_serviceable_min_index, release_gated, Cluster, RoutePolicy,
+};
 pub use engine::{Engine, EngineConfig, EngineFaultImpact, EngineStats};
 pub use fault::{FaultComparison, FaultConfig, FaultInjector, FaultPoll, FaultReport};
 pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};

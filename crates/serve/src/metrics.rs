@@ -20,8 +20,18 @@ pub struct RequestRecord {
     pub decode_len: usize,
     /// Arrival time (seconds since experiment start).
     pub arrival_s: f64,
-    /// First admission into the KV cache (NaN if never admitted).
+    /// **First** admission into the KV cache (NaN if never admitted).
+    /// Deliberately not updated on re-admission after an eviction: the
+    /// first-admission stamp keeps `admitted_s − arrival_s` meaning "time
+    /// to first service". Queueing delay accumulated *after* an eviction is
+    /// accounted separately in `queue_wait_s`, so post-eviction waits are
+    /// never misattributed to service time.
     pub admitted_s: f64,
+    /// Total time spent admissible-but-waiting in the engine queue, summed
+    /// over every admission (the initial wait plus each post-eviction
+    /// re-admission wait). Migration transit of imported KV is excluded —
+    /// a request only waits once its KV has landed.
+    pub queue_wait_s: f64,
     /// Emission time of the first decode token (NaN if none emitted).
     pub first_token_s: f64,
     /// Completion time of the last decode token (NaN if unfinished at the
@@ -29,6 +39,12 @@ pub struct RequestRecord {
     pub completed_s: f64,
     /// Times this request was evicted and had its KV recomputed.
     pub evictions: u32,
+    /// Prompt tokens served from the shared-prefix KV cache at the most
+    /// recent admission (their prefill was skipped).
+    pub cached_prefix_tokens: usize,
+    /// The request's shared-prefix tag, carried through the lifecycle so
+    /// re-admissions, routing, and cross-wafer migration stay prefix-aware.
+    pub shared_prefix: Option<ouro_workload::SharedPrefix>,
 }
 
 impl RequestRecord {
@@ -108,12 +124,16 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Summarises a set of samples (empty input yields all zeros).
-    pub fn from_samples(mut samples: Vec<f64>) -> LatencyStats {
+    /// Summarises a set of samples. Total on every input: an empty vector
+    /// yields the all-zero summary, and non-finite samples (NaN/±inf, which
+    /// a partial-comparison sort would panic on) are dropped before
+    /// summarising, so the result is always NaN-free.
+    pub fn from_samples(samples: Vec<f64>) -> LatencyStats {
+        let mut samples: Vec<f64> = samples.into_iter().filter(|s| s.is_finite()).collect();
         if samples.is_empty() {
             return LatencyStats::default();
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
+        samples.sort_by(f64::total_cmp);
         let count = samples.len();
         let mean_s = samples.iter().sum::<f64>() / count as f64;
         LatencyStats {
@@ -127,11 +147,17 @@ impl LatencyStats {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element with at least `pct` percent of the samples at or below it.
+/// Total for every `pct` (clamped into `[0, 100]`) and every length —
+/// `rank = ceil(pct/100 · N)` is clamped into `[1, N]`, so N = 1 returns
+/// the lone sample for every percentile, N = 2 splits at p50, and p → 100
+/// saturates at the maximum rather than indexing past the end.
 fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    let pct = pct.clamp(0.0, 100.0);
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -153,6 +179,11 @@ pub struct ServingReport {
     pub dropped: usize,
     /// Total evictions across the run.
     pub evictions: u64,
+    /// Tokens actually charged as prefill/recompute work across the run.
+    pub prefilled_tokens: u64,
+    /// Prompt tokens served from the shared-prefix KV cache (prefill
+    /// skipped) across the run.
+    pub cached_prefix_tokens: u64,
     /// Wall-clock span of the run (first arrival to last event).
     pub duration_s: f64,
     /// Completed requests per second.
@@ -185,6 +216,10 @@ pub struct RunTotals {
     pub dropped: usize,
     /// Total evictions across the run.
     pub evictions: u64,
+    /// Tokens actually charged as prefill/recompute work across the run.
+    pub prefilled_tokens: u64,
+    /// Prompt tokens served from the shared-prefix KV cache across the run.
+    pub cached_prefix_tokens: u64,
     /// Wall-clock span of the run.
     pub duration_s: f64,
     /// Mean fraction of wafer-time spent with at least one token in flight.
@@ -212,6 +247,8 @@ impl ServingReport {
             in_flight_at_horizon: totals.in_flight_at_horizon,
             dropped: totals.dropped,
             evictions: totals.evictions,
+            prefilled_tokens: totals.prefilled_tokens,
+            cached_prefix_tokens: totals.cached_prefix_tokens,
             duration_s: totals.duration_s,
             achieved_rps: completed.len() as f64 / span,
             output_tokens_per_s: out_tokens as f64 / span,
@@ -243,9 +280,12 @@ mod tests {
             decode_len: decode,
             arrival_s: arrival,
             admitted_s: arrival,
+            queue_wait_s: 0.0,
             first_token_s: first,
             completed_s: done,
             evictions: 0,
+            cached_prefix_tokens: 0,
+            shared_prefix: None,
         }
     }
 
@@ -289,8 +329,50 @@ mod tests {
     #[test]
     fn empty_stats_are_zero() {
         let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s, LatencyStats::default());
         assert_eq!(s.count, 0);
         assert_eq!(s.p99_s, 0.0);
+        assert!(!s.mean_s.is_nan() && !s.max_s.is_nan(), "the empty summary is NaN-free");
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_panicked_on() {
+        let s = LatencyStats::from_samples(vec![f64::NAN, 1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_s, 1.0);
+        assert_eq!(s.max_s, 3.0);
+        assert!((s.mean_s - 2.0).abs() < 1e-12);
+        // All-NaN input degrades to the empty summary.
+        assert_eq!(LatencyStats::from_samples(vec![f64::NAN, f64::NAN]), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_summaries_return_the_sample_at_every_percentile() {
+        let s = LatencyStats::from_samples(vec![4.2]);
+        assert_eq!(s.count, 1);
+        assert_eq!((s.p50_s, s.p95_s, s.p99_s, s.max_s), (4.2, 4.2, 4.2, 4.2));
+        assert_eq!(s.mean_s, 4.2);
+    }
+
+    #[test]
+    fn two_sample_nearest_rank_splits_at_the_median() {
+        let s = LatencyStats::from_samples(vec![10.0, 2.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_s, 2.0, "nearest-rank p50 of two samples is the lower one");
+        assert_eq!(s.p95_s, 10.0);
+        assert_eq!(s.p99_s, 10.0);
+        assert_eq!(s.max_s, 10.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_saturate_instead_of_indexing_out_of_bounds() {
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 3.0);
+        // Out-of-range percentiles clamp rather than panic.
+        assert_eq!(percentile_sorted(&sorted, 150.0), 3.0);
+        assert_eq!(percentile_sorted(&sorted, -5.0), 1.0);
+        assert_eq!(percentile_sorted(&[], 99.0), 0.0);
     }
 
     #[test]
@@ -314,6 +396,8 @@ mod tests {
             in_flight_at_horizon: 1,
             dropped: 0,
             evictions: 3,
+            prefilled_tokens: 96,
+            cached_prefix_tokens: 0,
             duration_s: 2.5,
             utilization: 0.8,
         };

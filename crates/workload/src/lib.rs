@@ -15,16 +15,21 @@
 //!
 //! For online serving (the `ouro-serve` crate), [`arrival::ArrivalConfig`]
 //! additionally stamps each request with an arrival time drawn from a
-//! Poisson, bursty-Gamma, or closed-loop process.
+//! Poisson, bursty-Gamma, or closed-loop process, and
+//! [`session::SessionConfig`] generates shared-system-prompt / multi-turn
+//! session traces whose requests carry [`request::SharedPrefix`] tags for
+//! the prefix-caching KV manager.
 
 pub mod arrival;
 pub mod fault;
 pub mod length;
 pub mod request;
+pub mod session;
 pub mod trace;
 
 pub use arrival::{ArrivalConfig, TimedRequest, TimedTrace};
 pub use fault::{FaultEvent, FaultProcess};
 pub use length::LengthConfig;
-pub use request::Request;
+pub use request::{Request, SharedPrefix};
+pub use session::SessionConfig;
 pub use trace::{Trace, TraceGenerator};
