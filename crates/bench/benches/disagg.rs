@@ -1,12 +1,11 @@
 //! Timing of the disaggregated serving simulator: the discrete-event cost
 //! of running split prefill/decode pools with KV migration, per placement
-//! policy, against the colocated cluster as the reference.
+//! policy, against the colocated deployment as the reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ouro_bench::SEED;
-use ouro_disagg::{DecodePlacement, DisaggCluster, DisaggConfig};
 use ouro_model::zoo;
-use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_serve::{placements, routers, Scenario, SloConfig};
 use ouro_sim::{OuroborosConfig, OuroborosSystem};
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -20,24 +19,17 @@ fn bench_disagg(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("disaggregation");
     for placement in
-        [DecodePlacement::LeastKvLoad, DecodePlacement::MostFreeBlocks, DecodePlacement::LocalityAware]
+        [placements::least_kv_load(), placements::most_free_blocks(), placements::locality_aware()]
     {
-        group.bench_function(format!("disagg_1p3d_{placement}"), |b| {
-            b.iter(|| {
-                let mut dcfg = DisaggConfig::new(1, 3);
-                dcfg.placement = placement;
-                let mut cluster = DisaggCluster::new(&system, dcfg).expect("pools build");
-                cluster.run(&timed, &slo, f64::INFINITY)
-            })
+        let name = placement.name();
+        let scenario = Scenario::disaggregated(1, 3).placement(placement).slo(slo).workload(timed.clone());
+        group.bench_function(format!("disagg_1p3d_{name}"), |b| {
+            b.iter(|| scenario.run(&system).expect("pools build"))
         });
     }
+    let colocated = Scenario::colocated(4).router(routers::least_kv_load()).slo(slo).workload(timed);
     group.bench_function("colocated_4_wafers_reference", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
-                    .expect("cluster builds");
-            cluster.run(&timed, &slo, f64::INFINITY)
-        })
+        b.iter(|| colocated.run(&system).expect("cluster builds"))
     });
     group.finish();
 }

@@ -8,7 +8,7 @@ use ouro_bench::SEED;
 use ouro_hw::{CoreId, DefectMap, WaferGeometry, YieldModel};
 use ouro_mapping::{remap_with_chain, MappingProblem, Strategy};
 use ouro_model::zoo;
-use ouro_serve::{Cluster, EngineConfig, FaultConfig, FaultInjector, RoutePolicy, SloConfig};
+use ouro_serve::{routers, FaultConfig, Scenario, SloConfig};
 use ouro_sim::{OuroborosConfig, OuroborosSystem};
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -44,22 +44,12 @@ fn bench_faults(c: &mut Criterion) {
     let timed = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, SEED);
     let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
     let span = timed.last_arrival_s();
-    group.bench_function("serving_4_wafers_clean", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
-                    .expect("cluster builds");
-            cluster.run(&timed, &slo, f64::INFINITY)
-        })
-    });
+    let clean = Scenario::colocated(4).router(routers::least_kv_load()).slo(slo).workload(timed);
+    group
+        .bench_function("serving_4_wafers_clean", |b| b.iter(|| clean.run(&system).expect("cluster builds")));
+    let faulty = clean.clone().faults(FaultConfig::new(span / 4.0, SEED));
     group.bench_function("serving_4_wafers_faulty", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
-                    .expect("cluster builds");
-            let mut injector = FaultInjector::new(&system, 4, FaultConfig::new(span / 4.0, SEED), span * 2.0);
-            cluster.run_with_faults(&timed, &slo, f64::INFINITY, &mut injector)
-        })
+        b.iter(|| faulty.run(&system).expect("cluster builds"))
     });
     group.finish();
 }

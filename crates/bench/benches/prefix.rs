@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ouro_bench::SEED;
 use ouro_model::zoo;
-use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_serve::{routers, Router, Scenario, SloConfig};
 use ouro_sim::{OuroborosConfig, OuroborosSystem};
 use ouro_workload::{ArrivalConfig, SessionConfig};
 
@@ -18,17 +18,16 @@ fn bench_prefix(c: &mut Criterion) {
     let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
 
     let mut group = c.benchmark_group("prefix_caching");
-    for (label, caching, policy) in [
-        ("off_least-kv-load", false, RoutePolicy::LeastKvLoad),
-        ("on_least-kv-load", true, RoutePolicy::LeastKvLoad),
-        ("on_prefix-affinity", true, RoutePolicy::PrefixAffinity),
-    ] {
-        let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
+    let configs: [(&str, bool, Box<dyn Router>); 3] = [
+        ("off_least-kv-load", false, routers::least_kv_load()),
+        ("on_least-kv-load", true, routers::least_kv_load()),
+        ("on_prefix-affinity", true, routers::prefix_affinity()),
+    ];
+    for (label, caching, router) in configs {
+        let scenario =
+            Scenario::colocated(4).router(router).prefix_caching(caching).slo(slo).workload(timed.clone());
         group.bench_function(format!("sessions_4_wafers_{label}"), |b| {
-            b.iter(|| {
-                let mut cluster = Cluster::replicate(&system, 4, policy, engine).expect("cluster builds");
-                cluster.run(&timed, &slo, f64::INFINITY)
-            })
+            b.iter(|| scenario.run(&system).expect("cluster builds"))
         });
     }
     group.finish();

@@ -1,11 +1,11 @@
 //! Timing of the online serving simulator itself: how fast the
-//! discrete-event engine chews through open-loop traffic, per routing
-//! policy and arrival process.
+//! discrete-event scenario driver chews through open-loop traffic, per
+//! routing policy and arrival process.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ouro_bench::SEED;
 use ouro_model::zoo;
-use ouro_serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+use ouro_serve::{routers, Scenario, SloConfig};
 use ouro_sim::{OuroborosConfig, OuroborosSystem};
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -19,22 +19,16 @@ fn bench_serving(c: &mut Criterion) {
     let slo = SloConfig { ttft_s: 0.02, tpot_s: 0.005 };
 
     let mut group = c.benchmark_group("online_serving");
-    for policy in [RoutePolicy::RoundRobin, RoutePolicy::LeastKvLoad, RoutePolicy::JoinShortestQueue] {
-        group.bench_function(format!("poisson_4_wafers_{policy}"), |b| {
-            b.iter(|| {
-                let mut cluster =
-                    Cluster::replicate(&system, 4, policy, EngineConfig::default()).expect("cluster builds");
-                cluster.run(&timed, &slo, f64::INFINITY)
-            })
+    for router in [routers::round_robin(), routers::least_kv_load(), routers::join_shortest_queue()] {
+        let name = router.name();
+        let scenario = Scenario::colocated(4).router(router).slo(slo).workload(timed.clone());
+        group.bench_function(format!("poisson_4_wafers_{name}"), |b| {
+            b.iter(|| scenario.run(&system).expect("cluster builds"))
         });
     }
+    let scenario = Scenario::colocated(4).router(routers::least_kv_load()).slo(slo).workload(bursty);
     group.bench_function("bursty_4_wafers_least-kv-load", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::replicate(&system, 4, RoutePolicy::LeastKvLoad, EngineConfig::default())
-                    .expect("cluster builds");
-            cluster.run(&bursty, &slo, f64::INFINITY)
-        })
+        b.iter(|| scenario.run(&system).expect("cluster builds"))
     });
     group.finish();
 }

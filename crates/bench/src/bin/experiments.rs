@@ -9,28 +9,31 @@
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
-//! `serving`, `disagg`, `faults`, `prefix`, `all`.
+//! `serving`, `disagg`, `faults`, `prefix`, `scenario`, `all`. Unknown
+//! subcommands and flags are rejected (exit 2) rather than silently
+//! ignored, so a typoed CI invocation cannot "succeed" with nothing run.
 //!
-//! `serving` goes beyond the paper: an online load sweep (open-loop Poisson
-//! and bursty arrivals) against a multi-wafer cluster, reporting TTFT/TPOT
-//! percentiles and SLO goodput per routing policy. `disagg` compares that
-//! colocated cluster against prefill/decode disaggregation at equal wafer
-//! count, including the pool-ratio sweep. `faults` injects a seeded
-//! MTBF-driven runtime fault process (replacement-chain remaps under live
-//! traffic, §4.3.3) and reports availability and tail-latency inflation
-//! versus the identical fault-free run, plus a fault-enabled
-//! disagg-vs-colocated shootout. `prefix` sweeps the shared-system-prompt
-//! ratio of a session workload and compares the radix-style prefix cache
-//! (with prefix-affinity routing) against cold prompts on identical
-//! traffic.
+//! The serving-style experiments all drive `ouro_serve::Scenario`, the one
+//! composable run API: `serving` sweeps open-loop load against a colocated
+//! multi-wafer deployment per routing policy; `disagg` compares colocated
+//! vs prefill/decode disaggregation at equal wafer count, including the
+//! pool-ratio sweep; `faults` injects a seeded MTBF-driven runtime fault
+//! process (replacement-chain remaps under live traffic, §4.3.3) and
+//! reports availability and tail-latency inflation versus the identical
+//! fault-free run, plus a fault-enabled shootout; `prefix` sweeps the
+//! shared-system-prompt ratio of a session workload with the radix-style
+//! prefix cache on vs off; `scenario` is the smoke matrix — one builder
+//! composed four ways (colocated/disaggregated × clean/faulty × prefix
+//! caching) — exercising every axis of the API in one run.
 //!
 //! The serving-style subcommands accept `--json <path>` to dump their
-//! points as a JSON array for perf-trajectory capture in CI:
+//! points as a JSON array for perf-trajectory capture in CI. Every row is
+//! one flattened `ouro_serve::RunReport` (one schema for every experiment,
+//! `schema_version` included) prefixed with `experiment`/`label` tags:
 //!
 //! ```text
 //! cargo run -p ouro-bench --release --bin experiments -- serving --json BENCH_serving.json
-//! cargo run -p ouro-bench --release --bin experiments -- disagg --json BENCH_disagg.json
-//! cargo run -p ouro-bench --release --bin experiments -- faults --json BENCH_faults.json
+//! cargo run -p ouro-bench --release --bin experiments -- scenario --json BENCH_scenario.json
 //! ```
 
 use ouro_baselines::SystemReport;
@@ -44,16 +47,56 @@ use ouro_model::zoo;
 use ouro_sim::{ablation_ladder, OuroborosConfig, OuroborosSystem};
 use ouro_workload::LengthConfig;
 
+const SUBCOMMANDS: &[&str] = &[
+    "all", "fig1", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "table2", "serving", "disagg", "faults", "prefix", "scenario",
+];
+
+/// Rejects a malformed invocation: print the problem and the full usage,
+/// exit non-zero so CI catches it.
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: experiments [<subcommand>] [--requests N] [--json PATH]");
+    eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
-    let requests = args
-        .iter()
-        .position(|a| a == "--requests")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_REQUESTS);
-    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let mut which: Option<String> = None;
+    let mut requests = DEFAULT_REQUESTS;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                let value =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--requests expects a positive integer"));
+                requests = match value.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_error(&format!("--requests expects a positive integer, got {value:?}")),
+                };
+                i += 2;
+            }
+            "--json" => {
+                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--json expects a file path"));
+                json_path = Some(value.clone());
+                i += 2;
+            }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag:?}")),
+            name => {
+                if which.is_some() {
+                    usage_error(&format!("unexpected extra argument {name:?}"));
+                }
+                if !SUBCOMMANDS.contains(&name) {
+                    usage_error(&format!("unknown subcommand {name:?}"));
+                }
+                which = Some(name.to_string());
+                i += 1;
+            }
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
 
     let run = |name: &str| which == "all" || which == name;
 
@@ -103,18 +146,25 @@ fn main() {
     if run("prefix") {
         rows.extend(prefix(requests));
     }
+    if run("scenario") {
+        rows.extend(scenario_matrix(requests));
+    }
     if let Some(path) = json_path.as_deref() {
-        if run("serving") || run("disagg") || run("faults") || run("prefix") {
-            match ouro_bench::json::write_array(path, &rows) {
-                Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
-                Err(e) => eprintln!("\nfailed to write {path}: {e}"),
-            }
-        } else {
+        if rows.is_empty() {
             // Writing an empty [] here would let a misconfigured CI capture
             // "succeed" with no data.
             eprintln!(
-                "\n--json is only produced by the serving/disagg/faults/prefix subcommands; nothing written"
+                "\n--json is only produced by the serving/disagg/faults/prefix/scenario subcommands; \
+                 nothing written"
             );
+            std::process::exit(2);
+        }
+        match ouro_bench::json::write_array(path, &rows) {
+            Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
+            Err(e) => {
+                eprintln!("\nfailed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -365,37 +415,25 @@ fn fig21(requests: usize) {
     }
 }
 
-/// Flattens one serving report into a JSON row shared by the `serving` and
-/// `disagg` dumps.
-fn serving_row(
+/// Prefixes one flattened [`ouro_serve::RunReport`] row with its
+/// experiment and label tags — the shared shape of every serving-style
+/// JSON dump.
+fn labeled_row(
     experiment: &str,
     label: &str,
-    offered_rps: f64,
-    r: &ouro_serve::ServingReport,
+    report: &ouro_serve::RunReport,
 ) -> ouro_bench::json::JsonObject {
     ouro_bench::json::JsonObject::new()
         .str("experiment", experiment)
         .str("label", label)
-        .num("offered_rps", offered_rps)
-        .num("achieved_rps", r.achieved_rps)
-        .num("goodput_rps", r.goodput_rps)
-        .num("output_tokens_per_s", r.output_tokens_per_s)
-        .num("ttft_p50_s", r.ttft.p50_s)
-        .num("ttft_p99_s", r.ttft.p99_s)
-        .num("tpot_p50_s", r.tpot.p50_s)
-        .num("tpot_p99_s", r.tpot.p99_s)
-        .num("slo_attainment", r.slo_attainment)
-        .num("utilization", r.utilization)
-        .int("completed", r.completed as u64)
-        .int("evictions", r.evictions)
+        .extend(report.json_object())
 }
 
 /// Online serving — load sweeps and routing policies on a 4-wafer cluster.
 /// Returns the JSON rows of every printed point.
 fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_serve::{
-        capacity_rps_estimate, format_sweep, ideal_latencies, Cluster, EngineConfig, LoadSweep, RoutePolicy,
-        SloConfig,
+        capacity_rps_estimate, format_sweep, ideal_latencies, routers, LoadSweep, Scenario, SloConfig,
     };
     use ouro_workload::{ArrivalConfig, TraceGenerator};
 
@@ -417,31 +455,31 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let points = sweep.run(&system);
     print!("{}", format_sweep(&points));
     let mut rows: Vec<ouro_bench::json::JsonObject> =
-        points.iter().map(|p| serving_row("serving", "poisson-sweep", p.offered_rps, &p.report)).collect();
+        points.iter().map(|p| labeled_row("serving", "poisson-sweep", &p.report)).collect();
 
-    println!("\n--- routing policies at {:.0} req/s ---", sweep.rates_rps[sweep.rates_rps.len() - 1]);
+    let top_rate = sweep.rates_rps[sweep.rates_rps.len() - 1];
+    println!("\n--- routing policies at {top_rate:.0} req/s ---");
     let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
     println!("{:<22} {:>11} {:>11} {:>11} {:>10}", "policy", "ttft-p99", "tpot-p99", "goodput/s", "slo-att");
-    for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
-        let timed = ArrivalConfig::Poisson { rate_rps: sweep.rates_rps[sweep.rates_rps.len() - 1] }
-            .assign(&trace, SEED);
-        let mut cluster =
-            Cluster::replicate(&system, wafers, policy, EngineConfig::default()).expect("cluster builds");
-        let r = cluster.run(&timed, &slo, f64::INFINITY);
+    for router in [routers::round_robin(), routers::join_shortest_queue(), routers::least_kv_load()] {
+        let name = router.name();
+        let timed = ArrivalConfig::Poisson { rate_rps: top_rate }.assign(&trace, SEED);
+        let r = Scenario::colocated(wafers)
+            .router(router)
+            .slo(slo)
+            .workload(timed)
+            .run(&system)
+            .expect("cluster builds");
+        let s = &r.serving;
         println!(
             "{:<22} {:>9.1}ms {:>9.3}ms {:>11.1} {:>9.1}%",
-            policy.to_string(),
-            r.ttft.p99_s * 1e3,
-            r.tpot.p99_s * 1e3,
-            r.goodput_rps,
-            r.slo_attainment * 100.0
+            name,
+            s.ttft.p99_s * 1e3,
+            s.tpot.p99_s * 1e3,
+            s.goodput_rps,
+            s.slo_attainment * 100.0
         );
-        rows.push(serving_row(
-            "serving",
-            &format!("policy-{policy}"),
-            sweep.rates_rps[sweep.rates_rps.len() - 1],
-            &r,
-        ));
+        rows.push(labeled_row("serving", &format!("policy-{name}"), &r));
     }
 
     println!("\n--- bursty arrivals (Gamma, cv=4) vs Poisson at the saturation point ---");
@@ -455,19 +493,22 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         ("bursty", ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }),
     ] {
         let timed = arrival.assign(&trace, SEED);
-        let mut cluster =
-            Cluster::replicate(&system, wafers, RoutePolicy::LeastKvLoad, EngineConfig::default())
-                .expect("cluster builds");
-        let r = cluster.run(&timed, &slo, f64::INFINITY);
+        let r = Scenario::colocated(wafers)
+            .router(routers::least_kv_load())
+            .slo(slo)
+            .workload(timed)
+            .run(&system)
+            .expect("cluster builds");
+        let s = &r.serving;
         println!(
             "{:<12} {:>9.1}ms {:>9.1}ms {:>11.1} {:>9.1}%",
             label,
-            r.ttft.p50_s * 1e3,
-            r.ttft.p99_s * 1e3,
-            r.goodput_rps,
-            r.slo_attainment * 100.0
+            s.ttft.p50_s * 1e3,
+            s.ttft.p99_s * 1e3,
+            s.goodput_rps,
+            s.slo_attainment * 100.0
         );
-        rows.push(serving_row("serving", &format!("arrivals-{label}"), rate, &r));
+        rows.push(labeled_row("serving", &format!("arrivals-{label}"), &r));
     }
     rows
 }
@@ -476,10 +517,8 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// disaggregated shootout at equal wafer count. Returns the JSON rows of
 /// every printed point.
 fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
-    use ouro_disagg::{
-        best_ratio, format_shootout, head_to_head, DecodePlacement, RatioPlanner, ShootoutConfig,
-    };
-    use ouro_serve::{capacity_rps_estimate, ideal_latencies, EngineConfig, RoutePolicy, SloConfig};
+    use ouro_disagg::{best_ratio, format_shootout, head_to_head, RatioPlanner, ShootoutConfig};
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, SloConfig};
     use ouro_workload::{ArrivalConfig, TraceGenerator};
 
     header("Disaggregation: prefill/decode pools vs colocated (4-wafer LLaMA-13B)");
@@ -510,21 +549,21 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     );
     for p in &plans {
         let s = &p.report.serving;
+        let m = p.report.migration.as_ref().expect("disaggregated runs report migration stats");
         println!(
             "{:<10} {:>9.1}ms {:>9.3}ms {:>11.1} {:>11.1} {:>10.2}ms",
             format!("{}p:{}d", p.prefill_wafers, p.decode_wafers),
             s.ttft.p99_s * 1e3,
             s.tpot.p99_s * 1e3,
             s.goodput_rps,
-            p.report.exported_kv_bytes as f64 / 1e6,
-            p.report.mean_migration_s * 1e3,
+            m.exported_kv_bytes as f64 / 1e6,
+            m.mean_migration_s * 1e3,
         );
-        rows.push(
-            serving_row("disagg", &format!("ratio-{}p{}d", p.prefill_wafers, p.decode_wafers), rate, s)
-                .int("migrations", p.report.migrations as u64)
-                .int("exported_kv_bytes", p.report.exported_kv_bytes)
-                .num("mean_migration_s", p.report.mean_migration_s),
-        );
+        rows.push(labeled_row(
+            "disagg",
+            &format!("ratio-{}p{}d", p.prefill_wafers, p.decode_wafers),
+            &p.report,
+        ));
     }
     let best = best_ratio(&plans);
     println!("goodput-optimal split: {}p:{}d", best.prefill_wafers, best.decode_wafers);
@@ -533,32 +572,17 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         "\n--- colocated vs disaggregated ({}p:{}d) over offered load ---",
         best.prefill_wafers, best.decode_wafers
     );
-    let shootout = ShootoutConfig {
-        wafers,
-        prefill_wafers: best.prefill_wafers,
-        rates_rps: [0.5, 1.0, 1.5].iter().map(|f| f * rate).collect(),
-        cv: 4.0,
-        requests,
-        lengths,
-        seed: SEED,
-        slo,
-        colocated_policy: RoutePolicy::LeastKvLoad,
-        placement: DecodePlacement::LeastKvLoad,
-        engine: EngineConfig::default(),
-        horizon_s: f64::INFINITY,
-        fault: None,
-    };
+    let mut shootout =
+        ShootoutConfig::new(wafers, best.prefill_wafers, [0.5, 1.0, 1.5].iter().map(|f| f * rate).collect());
+    shootout.requests = requests;
+    shootout.lengths = lengths;
+    shootout.seed = SEED;
+    shootout.slo = slo;
     let points = head_to_head(&system, &shootout).expect("clusters build");
     print!("{}", format_shootout(&points));
     for p in &points {
-        rows.push(serving_row("disagg", "colocated", p.rate_rps, &p.colocated));
-        rows.push(
-            serving_row("disagg", "disaggregated", p.rate_rps, &p.disagg.serving)
-                .int("migrations", p.disagg.migrations as u64)
-                .int("exported_kv_bytes", p.disagg.exported_kv_bytes)
-                .num("mean_migration_s", p.disagg.mean_migration_s)
-                .num("link_energy_j", p.disagg.link_energy_j),
-        );
+        rows.push(labeled_row("disagg", "colocated", &p.colocated));
+        rows.push(labeled_row("disagg", "disaggregated", &p.disagg));
     }
     rows
 }
@@ -567,11 +591,8 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// a seeded MTBF process, plus a fault-enabled disagg-vs-colocated
 /// shootout. Returns the JSON rows of every printed point.
 fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
-    use ouro_disagg::{format_shootout, head_to_head, DecodePlacement, ShootoutConfig};
-    use ouro_serve::{
-        capacity_rps_estimate, ideal_latencies, EngineConfig, FaultComparison, FaultConfig, RoutePolicy,
-        SloConfig,
-    };
+    use ouro_disagg::{format_shootout, head_to_head, ShootoutConfig};
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, routers, FaultConfig, Scenario, SloConfig};
     use ouro_workload::{ArrivalConfig, TraceGenerator};
 
     header("Faults: replacement-chain remaps under live traffic (4-wafer LLaMA-13B)");
@@ -599,37 +620,27 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         "{:<12} {:>7} {:>7} {:>9} {:>12} {:>13} {:>11} {:>11}",
         "mtbf", "faults", "chains", "recomp", "kv-evict", "availability", "ttft-p99", "tpot-p99"
     );
-    // The fault-free baseline runs once and is shared by every swept MTBF
-    // (FaultComparison::measure would re-simulate it per point).
-    let mut clean_cluster =
-        ouro_serve::Cluster::replicate(&system, wafers, RoutePolicy::LeastKvLoad, EngineConfig::default())
-            .expect("cluster builds");
-    let clean = clean_cluster.run(&timed, &slo, f64::INFINITY);
-    let fault_window = ouro_serve::FaultInjector::run_window_s(f64::INFINITY, &timed);
+    // One scenario, re-armed per swept MTBF; the fault-free baseline runs
+    // once and anchors the inflation columns.
+    let base = Scenario::colocated(wafers).router(routers::least_kv_load()).slo(slo).workload(timed.clone());
+    let clean = base.clone().run(&system).expect("cluster builds");
     for (label, divisor) in [("none", 0.0), ("span/2", 2.0), ("span/6", 6.0)] {
-        let fault_cfg = FaultConfig::new(if divisor > 0.0 { span / divisor } else { 1e18 }, SEED);
-        let cmp = if divisor > 0.0 {
-            let mut cluster = ouro_serve::Cluster::replicate(
-                &system,
-                wafers,
-                RoutePolicy::LeastKvLoad,
-                EngineConfig::default(),
-            )
-            .expect("cluster builds");
-            let mut injector = ouro_serve::FaultInjector::new(&system, wafers, fault_cfg, fault_window);
-            let (faulty, fault) = cluster.run_with_faults(&timed, &slo, f64::INFINITY, &mut injector);
-            FaultComparison { clean: clean.clone(), faulty, fault }
+        let faulty = if divisor > 0.0 {
+            base.clone().faults(FaultConfig::new(span / divisor, SEED)).run(&system).expect("cluster builds")
         } else {
             // Zero fault rate: the faulty run is the clean run by
             // definition; only the (empty) fault report is fresh.
-            let injector = ouro_serve::FaultInjector::new(&system, wafers, fault_cfg, fault_window);
-            FaultComparison {
-                clean: clean.clone(),
-                faulty: clean.clone(),
-                fault: injector.report(clean.duration_s),
-            }
+            let mut r = clean.clone();
+            let injector = ouro_serve::FaultInjector::new(
+                &system,
+                wafers,
+                FaultConfig::new(1e18, SEED),
+                ouro_serve::FaultInjector::run_window_s(f64::INFINITY, &timed),
+            );
+            r.faults = Some(injector.report(clean.serving.duration_s));
+            r
         };
-        let f = &cmp.fault;
+        let f = faulty.faults.as_ref().expect("fault section populated");
         println!(
             "{:<12} {:>7} {:>7} {:>9} {:>10.2}MB {:>12.4}% {:>9.1}ms {:>9.3}ms",
             label,
@@ -638,58 +649,36 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
             f.sequences_recomputed,
             f.kv_bytes_evicted as f64 / 1e6,
             f.availability * 100.0,
-            cmp.faulty.ttft.p99_s * 1e3,
-            cmp.faulty.tpot.p99_s * 1e3,
+            faulty.serving.ttft.p99_s * 1e3,
+            faulty.serving.tpot.p99_s * 1e3,
         );
+        let inflation = |faulty_s: f64, clean_s: f64| if clean_s > 0.0 { faulty_s / clean_s } else { 1.0 };
         rows.push(
-            serving_row("faults", &format!("mtbf-{label}"), rate, &cmp.faulty)
-                .int("faults_injected", f.faults_injected)
-                .int("chains_built", f.chains_built)
-                .int("sequences_recomputed", f.sequences_recomputed)
-                .int("kv_bytes_evicted", f.kv_bytes_evicted)
-                .num("availability", f.availability)
-                .num("mean_chain_len", f.mean_chain_len())
-                .num("ttft_p99_inflation", cmp.ttft_p99_inflation())
-                .num("tpot_p99_inflation", cmp.tpot_p99_inflation()),
+            labeled_row("faults", &format!("mtbf-{label}"), &faulty)
+                .num("ttft_p99_inflation", inflation(faulty.serving.ttft.p99_s, clean.serving.ttft.p99_s))
+                .num("tpot_p99_inflation", inflation(faulty.serving.tpot.p99_s, clean.serving.tpot.p99_s)),
         );
     }
 
     println!("\n--- colocated vs disaggregated with faults enabled (MTBF = span/4) ---");
-    let shootout = ShootoutConfig {
-        wafers,
-        prefill_wafers: 1,
-        rates_rps: vec![rate],
-        cv: 4.0,
-        requests,
-        lengths,
-        seed: SEED,
-        slo,
-        colocated_policy: RoutePolicy::LeastKvLoad,
-        placement: DecodePlacement::LeastKvLoad,
-        engine: EngineConfig::default(),
-        horizon_s: f64::INFINITY,
-        fault: Some(FaultConfig::new(span / 4.0, SEED)),
-    };
+    let mut shootout = ShootoutConfig::new(wafers, 1, vec![rate]);
+    shootout.requests = requests;
+    shootout.lengths = lengths;
+    shootout.seed = SEED;
+    shootout.slo = slo;
+    shootout.fault = Some(FaultConfig::new(span / 4.0, SEED));
     let points = head_to_head(&system, &shootout).expect("clusters build");
     print!("{}", format_shootout(&points));
     for p in &points {
-        for (label, report, fr) in [
-            ("colocated-faulty", &p.colocated, p.colocated_faults.as_ref()),
-            ("disaggregated-faulty", &p.disagg.serving, p.disagg_faults.as_ref()),
-        ] {
-            let f = fr.expect("faults were enabled");
+        for (label, report) in [("colocated-faulty", &p.colocated), ("disaggregated-faulty", &p.disagg)] {
+            let f = report.faults.as_ref().expect("faults were enabled");
             println!(
                 "{label:<22} availability {:.4}% ({} faults, {} recomputed sequences)",
                 f.availability * 100.0,
                 f.faults_injected,
                 f.sequences_recomputed
             );
-            rows.push(
-                serving_row("faults", label, p.rate_rps, report)
-                    .int("faults_injected", f.faults_injected)
-                    .int("sequences_recomputed", f.sequences_recomputed)
-                    .num("availability", f.availability),
-            );
+            rows.push(labeled_row("faults", label, report));
         }
     }
     rows
@@ -700,7 +689,7 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// cold prompts on identical traffic. Returns the JSON rows of every
 /// printed point.
 fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
-    use ouro_serve::{capacity_rps_estimate, ideal_latencies, Cluster, EngineConfig, RoutePolicy, SloConfig};
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, routers, Router, Scenario, SloConfig};
     use ouro_workload::{ArrivalConfig, SessionConfig};
 
     header("Prefix caching: shared system prompts and session traffic (4-wafer LLaMA-13B)");
@@ -731,30 +720,118 @@ fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     for share in [0.0, 0.25, 0.5, 0.75, 0.9] {
         let trace = SessionConfig::chat(4, share).generate(requests, SEED);
         let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, SEED);
-        for (label, caching, policy) in
-            [("off", false, RoutePolicy::LeastKvLoad), ("on", true, RoutePolicy::PrefixAffinity)]
-        {
-            let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
-            let mut cluster = Cluster::replicate(&system, wafers, policy, engine).expect("cluster builds");
-            let r = cluster.run(&timed, &slo, f64::INFINITY);
+        let configs: [(&str, bool, Box<dyn Router>); 2] =
+            [("off", false, routers::least_kv_load()), ("on", true, routers::prefix_affinity())];
+        for (label, caching, router) in configs {
+            let r = Scenario::colocated(wafers)
+                .router(router)
+                .prefix_caching(caching)
+                .slo(slo)
+                .workload(timed.clone())
+                .run(&system)
+                .expect("cluster builds");
+            let s = &r.serving;
             println!(
                 "{:<14} {:>7.2} {:>9.2}ms {:>9.2}ms {:>11.1} {:>12} {:>12}",
                 label,
                 share,
-                r.ttft.mean_s * 1e3,
-                r.ttft.p99_s * 1e3,
-                r.goodput_rps,
-                r.prefilled_tokens,
-                r.cached_prefix_tokens,
+                s.ttft.mean_s * 1e3,
+                s.ttft.p99_s * 1e3,
+                s.goodput_rps,
+                s.prefilled_tokens,
+                s.cached_prefix_tokens,
             );
             rows.push(
-                serving_row("prefix", &format!("share-{share:.2}-{label}"), rate, &r)
-                    .num("share_ratio", share)
-                    .num("ttft_mean_s", r.ttft.mean_s)
-                    .int("prefilled_tokens", r.prefilled_tokens)
-                    .int("cached_prefix_tokens", r.cached_prefix_tokens),
+                labeled_row("prefix", &format!("share-{share:.2}-{label}"), &r).num("share_ratio", share),
             );
         }
+    }
+    rows
+}
+
+/// The scenario smoke matrix: one `ouro_serve::Scenario` builder composed
+/// four ways — colocated/disaggregated × clean/fault-injected × prefix
+/// caching — so a single fast run exercises every axis and emits one
+/// `RunReport` row per cell. Returns the JSON rows of every printed point.
+fn scenario_matrix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+    use ouro_serve::{
+        capacity_rps_estimate, ideal_latencies, placements, routers, FaultConfig, Scenario, SloConfig,
+    };
+    use ouro_workload::{ArrivalConfig, SessionConfig, TraceGenerator};
+
+    header("Scenario matrix: deployment x faults x prefix caching (4-wafer LLaMA-13B)");
+    let model = zoo::llama_13b();
+    let mut cfg = OuroborosConfig::single_wafer();
+    cfg.seed = SEED;
+    let system = OuroborosSystem::new(cfg, &model).expect("LLaMA-13B fits on one wafer");
+    let wafers = 4;
+    let requests = requests.min(200);
+    let lengths = LengthConfig::fixed(512, 64);
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let typical = lengths.nominal_total_tokens();
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), typical / 2, typical);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+    let rate = 0.8 * capacity * wafers as f64;
+    let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
+    let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, SEED);
+    let session = SessionConfig::chat(4, 0.7).generate(requests, SEED);
+    let session_timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&session, SEED);
+    let mtbf = timed.last_arrival_s() / 2.0;
+
+    let cells: Vec<(&str, Scenario)> = vec![
+        ("colocated", Scenario::colocated(wafers).slo(slo).workload(timed.clone())),
+        (
+            "colocated-faults",
+            Scenario::colocated(wafers).slo(slo).faults(FaultConfig::new(mtbf, SEED)).workload(timed.clone()),
+        ),
+        ("disagg", Scenario::disaggregated(1, wafers - 1).slo(slo).workload(timed.clone())),
+        (
+            "disagg-faults",
+            Scenario::disaggregated(1, wafers - 1)
+                .slo(slo)
+                .faults(FaultConfig::new(mtbf, SEED))
+                .workload(timed),
+        ),
+        (
+            "colocated-prefix",
+            Scenario::colocated(wafers)
+                .router(routers::prefix_affinity())
+                .prefix_caching(true)
+                .slo(slo)
+                .workload(session_timed.clone()),
+        ),
+        (
+            "disagg-prefix",
+            Scenario::disaggregated(1, wafers - 1)
+                .placement(placements::prefix_affinity())
+                .prefix_caching(true)
+                .slo(slo)
+                .workload(session_timed),
+        ),
+    ];
+
+    println!("\n--- {requests} requests/cell at {rate:.0} req/s ---");
+    println!(
+        "{:<18} {:>11} {:>11} {:>11} {:>9} {:>13} {:>10}",
+        "cell", "ttft-p99", "tpot-p99", "goodput/s", "migr", "availability", "cached"
+    );
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
+    for (label, scenario) in cells {
+        let r = scenario.run(&system).expect("deployment builds");
+        assert!(r.is_conserved(), "{label}: request conservation must hold");
+        assert!(r.kv_bytes_conserved(), "{label}: migration bytes must be conserved");
+        let s = &r.serving;
+        println!(
+            "{:<18} {:>9.1}ms {:>9.3}ms {:>11.1} {:>9} {:>12.4}% {:>10}",
+            label,
+            s.ttft.p99_s * 1e3,
+            s.tpot.p99_s * 1e3,
+            s.goodput_rps,
+            r.migration.as_ref().map_or(0, |m| m.migrations),
+            r.faults.as_ref().map_or(100.0, |f| f.availability * 100.0),
+            s.cached_prefix_tokens,
+        );
+        rows.push(labeled_row("scenario", label, &r));
     }
     rows
 }

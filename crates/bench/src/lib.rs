@@ -124,83 +124,11 @@ pub fn format_energy_breakdown(reports: &[SystemReport]) -> String {
     out
 }
 
-/// Minimal JSON emission for perf-trajectory capture (`--json <path>` on the
-/// `experiments` binary). The workspace is fully offline, so there is no
-/// serde; the subset here — flat objects of strings and numbers collected
-/// into one array — is all the BENCH_*.json trajectories need.
-pub mod json {
-    /// A flat JSON object under construction.
-    #[derive(Debug, Clone, Default)]
-    pub struct JsonObject {
-        fields: Vec<(String, String)>,
-    }
-
-    impl JsonObject {
-        /// An empty object.
-        pub fn new() -> JsonObject {
-            JsonObject::default()
-        }
-
-        /// Adds a string field (escaping quotes, backslashes, and control
-        /// characters — JSON strings must not contain raw controls).
-        pub fn str(mut self, key: &str, value: &str) -> JsonObject {
-            let mut escaped = String::with_capacity(value.len());
-            for c in value.chars() {
-                match c {
-                    '\\' => escaped.push_str("\\\\"),
-                    '"' => escaped.push_str("\\\""),
-                    '\n' => escaped.push_str("\\n"),
-                    '\r' => escaped.push_str("\\r"),
-                    '\t' => escaped.push_str("\\t"),
-                    c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => escaped.push(c),
-                }
-            }
-            self.fields.push((key.to_string(), format!("\"{escaped}\"")));
-            self
-        }
-
-        /// Adds a numeric field; non-finite values become `null` (JSON has
-        /// no NaN/Infinity).
-        pub fn num(mut self, key: &str, value: f64) -> JsonObject {
-            let rendered = if value.is_finite() { format!("{value}") } else { "null".to_string() };
-            self.fields.push((key.to_string(), rendered));
-            self
-        }
-
-        /// Adds an integer field.
-        pub fn int(mut self, key: &str, value: u64) -> JsonObject {
-            self.fields.push((key.to_string(), format!("{value}")));
-            self
-        }
-
-        /// Renders the object as one JSON line.
-        pub fn render(&self) -> String {
-            let body: Vec<String> = self.fields.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
-            format!("{{{}}}", body.join(", "))
-        }
-    }
-
-    /// Renders a slice of objects as a pretty-enough JSON array.
-    pub fn render_array(objects: &[JsonObject]) -> String {
-        let rows: Vec<String> = objects.iter().map(|o| format!("  {}", o.render())).collect();
-        format!("[\n{}\n]\n", rows.join(",\n"))
-    }
-
-    /// Writes the array to `path`, creating parent directories as needed.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors from directory creation or the write.
-    pub fn write_array(path: &str, objects: &[JsonObject]) -> std::io::Result<()> {
-        if let Some(parent) = std::path::Path::new(path).parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, render_array(objects))
-    }
-}
+/// Minimal JSON emission for perf-trajectory capture (`--json <path>` on
+/// the `experiments` binary). The emitter lives in `ouro-serve` next to
+/// [`ouro_serve::RunReport`] — the one report schema every serving-style
+/// dump shares — and is re-exported here for the harness.
+pub use ouro_serve::json;
 
 #[cfg(test)]
 mod tests {
@@ -219,28 +147,6 @@ mod tests {
         assert_eq!(decoder_models().len(), 4);
         assert_eq!(encoder_models().len(), 2);
         assert_eq!(baseline_systems().len(), 4);
-    }
-
-    #[test]
-    fn json_objects_render_flat_and_escaped() {
-        let o = crate::json::JsonObject::new()
-            .str("name", "a \"quoted\" label")
-            .num("rate", 2.5)
-            .num("missing", f64::NAN)
-            .int("count", 7);
-        assert_eq!(
-            o.render(),
-            "{\"name\": \"a \\\"quoted\\\" label\", \"rate\": 2.5, \"missing\": null, \"count\": 7}"
-        );
-        let arr = crate::json::render_array(&[o.clone(), o]);
-        assert!(arr.starts_with("[\n") && arr.ends_with("\n]\n"));
-        assert_eq!(arr.matches("\"count\": 7").count(), 2);
-    }
-
-    #[test]
-    fn json_strings_escape_control_characters() {
-        let o = crate::json::JsonObject::new().str("label", "a\nb\tc\rd\u{1}e");
-        assert_eq!(o.render(), "{\"label\": \"a\\nb\\tc\\rd\\u0001e\"}");
     }
 
     #[test]

@@ -1,36 +1,30 @@
-//! Prefill/decode disaggregated serving for Ouroboros multi-wafer
+//! Disaggregated-serving experiment drivers for Ouroboros multi-wafer
 //! deployments.
 //!
-//! The colocated cluster (`ouro-serve`) runs every wafer as a full replica:
-//! prefill chunks and decode tokens share each continuous-batching step, so
-//! a burst of long prompts inflates the step time — and therefore the TPOT —
-//! of every resident sequence on that wafer. Because Ouroboros has no HBM,
-//! the KV cache lives inside the compute crossbars: handing a sequence from
-//! one wafer to another is an explicit, modelable bulk transfer over the
-//! optical inter-wafer fabric, not a pointer swap. This crate builds the
-//! DistServe-style alternative on that substrate:
+//! The deployment machinery itself — phase-specialised prefill/decode
+//! pools, KV migration over the [`ouro_noc::InterWaferLink`] optical
+//! fabric, decode-placement policies, byte-conservation accounting — lives
+//! in `ouro-serve`'s unified [`Scenario`] driver
+//! ([`Scenario::disaggregated`]); this crate keeps the experiment designs
+//! built on top of it:
 //!
-//! * **phase-specialised pools** ([`DisaggCluster`]): prefill wafers run
-//!   prompts in prefill-only mode and export the finished KV; decode wafers
-//!   import migrated KV and generate tokens without ever paying a prefill
-//!   pass,
-//! * **KV migration** over the shared [`ouro_noc::InterWaferLink`] model
-//!   (the same link the colocated multi-wafer path charges per-token), with
-//!   byte conservation checked end to end
-//!   ([`DisaggReport::kv_bytes_conserved`]),
-//! * **decode placement** ([`DecodePlacement`]): least-KV-load,
-//!   most-free-blocks, or locality-aware (fewer optical crossings),
-//! * **a pool-ratio planner** ([`RatioPlanner`]): sweeps the prefill:decode
-//!   split of a wafer budget and finds the goodput-optimal ratio for a
-//!   model + arrival process,
+//! * **a pool-ratio planner** ([`RatioPlanner`]): sweeps the
+//!   prefill:decode split of a wafer budget and finds the goodput-optimal
+//!   ratio for a model + arrival process,
 //! * **a head-to-head driver** ([`head_to_head`]): colocated vs.
-//!   disaggregated at equal wafer count, producing TTFT/TPOT/goodput curves
-//!   over offered load.
+//!   disaggregated at equal wafer count — optionally under an identical
+//!   runtime fault process — producing TTFT/TPOT/goodput curves over
+//!   offered load.
+//!
+//! Because Ouroboros has no HBM, the KV cache lives inside the compute
+//! crossbars: handing a sequence from one wafer to another is an explicit,
+//! modelable bulk transfer, not a pointer swap — which is what makes the
+//! DistServe-style comparison meaningful on this substrate.
 //!
 //! # Example
 //!
 //! ```
-//! use ouro_disagg::{DisaggCluster, DisaggConfig};
+//! use ouro_disagg::Scenario;
 //! use ouro_model::zoo;
 //! use ouro_serve::SloConfig;
 //! use ouro_sim::{OuroborosConfig, OuroborosSystem};
@@ -39,18 +33,21 @@
 //! let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap();
 //! let trace = TraceGenerator::new(7).generate(&LengthConfig::fixed(64, 32), 20);
 //! let timed = ArrivalConfig::Bursty { rate_rps: 100.0, cv: 4.0 }.assign(&trace, 7);
-//! let mut cluster = DisaggCluster::new(&system, DisaggConfig::new(1, 1)).unwrap();
-//! let report = cluster.run(&timed, &SloConfig { ttft_s: 0.5, tpot_s: 0.05 }, f64::INFINITY);
+//! let report = Scenario::disaggregated(1, 1)
+//!     .slo(SloConfig { ttft_s: 0.5, tpot_s: 0.05 })
+//!     .workload(timed)
+//!     .run(&system)
+//!     .unwrap();
 //! assert_eq!(report.serving.completed, 20);
 //! assert!(report.kv_bytes_conserved());
 //! ```
 
-pub mod cluster;
 pub mod planner;
-pub mod report;
 pub mod shootout;
 
-pub use cluster::{DecodePlacement, DisaggCluster, DisaggConfig};
+pub use ouro_serve::{
+    placements, Deployment, DisaggConfig, Migration, MigrationStats, Placement, RunOutcome, RunReport,
+    Scenario,
+};
 pub use planner::{best_ratio, PoolPlan, RatioPlanner};
-pub use report::{DisaggReport, Migration};
 pub use shootout::{format_shootout, head_to_head, ShootoutConfig, ShootoutPoint};

@@ -5,14 +5,13 @@
 //! tokens, and the two phases have different arithmetic intensity on the
 //! token-grained pipeline — so the goodput-optimal split depends on the
 //! workload mix, not just the wafer count. The planner runs the *same* timed
-//! trace against every split `p : (total - p)` for `p in 1..total` and
-//! reports each split's [`DisaggReport`]; because the trace and seed are
-//! shared, the sweep is deterministic and the argmax is meaningful.
+//! trace against every split `p : (total - p)` for `p in 1..total` — each
+//! split one disaggregated [`Scenario`] — and reports each split's
+//! [`RunReport`]; because the trace and seed are shared, the sweep is
+//! deterministic and the argmax is meaningful.
 
-use crate::cluster::{DecodePlacement, DisaggCluster, DisaggConfig};
-use crate::report::DisaggReport;
 use ouro_kvcache::KvError;
-use ouro_serve::{EngineConfig, SloConfig};
+use ouro_serve::{placements, EngineConfig, Placement, RunReport, Scenario, SloConfig};
 use ouro_sim::OuroborosSystem;
 use ouro_workload::TimedTrace;
 
@@ -24,7 +23,7 @@ pub struct PoolPlan {
     /// Wafers assigned to decode.
     pub decode_wafers: usize,
     /// The disaggregated run at this split.
-    pub report: DisaggReport,
+    pub report: RunReport,
 }
 
 impl PoolPlan {
@@ -35,12 +34,12 @@ impl PoolPlan {
 }
 
 /// Configuration of one pool-ratio sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RatioPlanner {
     /// Total wafer budget split between the pools.
     pub total_wafers: usize,
     /// Decode-placement policy used at every split.
-    pub placement: DecodePlacement,
+    pub placement: Box<dyn Placement>,
     /// Per-engine tuning used at every split.
     pub engine: EngineConfig,
     /// Simulation horizon per split (bounds overloaded tails).
@@ -53,7 +52,7 @@ impl RatioPlanner {
         assert!(total_wafers >= 2, "a split needs at least one wafer per pool");
         RatioPlanner {
             total_wafers,
-            placement: DecodePlacement::LeastKvLoad,
+            placement: placements::least_kv_load(),
             engine: EngineConfig::default(),
             horizon_s: f64::INFINITY,
         }
@@ -73,11 +72,13 @@ impl RatioPlanner {
     ) -> Result<Vec<PoolPlan>, KvError> {
         (1..self.total_wafers)
             .map(|prefill| {
-                let mut cfg = DisaggConfig::new(prefill, self.total_wafers - prefill);
-                cfg.placement = self.placement;
-                cfg.engine = self.engine;
-                let mut cluster = DisaggCluster::new(system, cfg)?;
-                let report = cluster.run(timed, slo, self.horizon_s);
+                let report = Scenario::disaggregated(prefill, self.total_wafers - prefill)
+                    .placement(self.placement.clone())
+                    .engine(self.engine)
+                    .slo(*slo)
+                    .horizon(self.horizon_s)
+                    .workload(timed.clone())
+                    .run(system)?;
                 Ok(PoolPlan { prefill_wafers: prefill, decode_wafers: self.total_wafers - prefill, report })
             })
             .collect()
@@ -122,7 +123,8 @@ mod tests {
         for (i, p) in plans.iter().enumerate() {
             assert_eq!(p.prefill_wafers, i + 1);
             assert_eq!(p.prefill_wafers + p.decode_wafers, 4);
-            assert!(p.report.serving.is_conserved());
+            assert_eq!(p.report.deployment.prefill_wafers, p.prefill_wafers);
+            assert!(p.report.is_conserved());
             assert!(p.report.kv_bytes_conserved());
         }
         let best = best_ratio(&plans);
@@ -157,8 +159,7 @@ mod tests {
             let trace = TraceGenerator::new(1).generate(&LengthConfig::fixed(32, 8), 2);
             let timed = ArrivalConfig::Poisson { rate_rps: 10.0 }.assign(&trace, 1);
             let slo = SloConfig { ttft_s: 10.0, tpot_s: 1.0 };
-            let mut cluster = DisaggCluster::new(&sys, DisaggConfig::new(prefill, 1)).unwrap();
-            let mut report = cluster.run(&timed, &slo, f64::INFINITY);
+            let mut report = Scenario::disaggregated(prefill, 1).slo(slo).workload(timed).run(&sys).unwrap();
             report.serving.goodput_rps = goodput;
             PoolPlan { prefill_wafers: prefill, decode_wafers: 1, report }
         };

@@ -7,15 +7,16 @@
 //! (so a prefill burst inflates every resident sequence's step time, and
 //! with it TPOT); disaggregated wafers specialise, paying KV migration over
 //! the optical fabric to keep decode steps free of prefill chunks. The
-//! driver sweeps offered load and reports both sides' TTFT/TPOT/goodput at
-//! every point — the curves that locate where migration cost buys tail
-//! latency.
+//! driver sweeps offered load — each side one [`Scenario`] run — and
+//! reports both sides' unified [`RunReport`] at every point: the curves
+//! that locate where migration cost buys tail latency. An optional fault
+//! plan is applied identically (same MTBF, same seed, same wafer streams)
+//! to both deployments so the comparison also answers "which organisation
+//! degrades more gracefully when cores die".
 
-use crate::cluster::{DecodePlacement, DisaggCluster, DisaggConfig};
-use crate::report::DisaggReport;
 use ouro_kvcache::KvError;
 use ouro_serve::{
-    Cluster, EngineConfig, FaultConfig, FaultInjector, FaultReport, RoutePolicy, ServingReport, SloConfig,
+    placements, routers, EngineConfig, FaultConfig, Placement, Router, RunReport, Scenario, SloConfig,
 };
 use ouro_sim::OuroborosSystem;
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
@@ -41,18 +42,38 @@ pub struct ShootoutConfig {
     /// Latency SLO for goodput.
     pub slo: SloConfig,
     /// Routing policy of the colocated side.
-    pub colocated_policy: RoutePolicy,
+    pub colocated_router: Box<dyn Router>,
     /// Decode placement of the disaggregated side.
-    pub placement: DecodePlacement,
+    pub placement: Box<dyn Placement>,
     /// Per-engine tuning, shared by both sides.
     pub engine: EngineConfig,
     /// Simulation horizon per point.
     pub horizon_s: f64,
     /// Optional runtime fault process, applied identically (same MTBF,
-    /// same seed, same wafer streams) to both deployments so the
-    /// comparison also answers "which organisation degrades more
-    /// gracefully when cores die".
+    /// same seed, same wafer streams) to both deployments.
     pub fault: Option<FaultConfig>,
+}
+
+impl ShootoutConfig {
+    /// A comparison with the default policies (least-KV-load on both
+    /// sides) over the given loads.
+    pub fn new(wafers: usize, prefill_wafers: usize, rates_rps: Vec<f64>) -> ShootoutConfig {
+        ShootoutConfig {
+            wafers,
+            prefill_wafers,
+            rates_rps,
+            cv: 4.0,
+            requests: 200,
+            lengths: LengthConfig::fixed(512, 64),
+            seed: 2026,
+            slo: SloConfig { ttft_s: 0.5, tpot_s: 0.05 },
+            colocated_router: routers::least_kv_load(),
+            placement: placements::least_kv_load(),
+            engine: EngineConfig::default(),
+            horizon_s: f64::INFINITY,
+            fault: None,
+        }
+    }
 }
 
 /// One swept load with both deployments' outcomes.
@@ -60,14 +81,11 @@ pub struct ShootoutConfig {
 pub struct ShootoutPoint {
     /// Offered load in requests per second.
     pub rate_rps: f64,
-    /// The colocated cluster's metrics.
-    pub colocated: ServingReport,
-    /// The disaggregated cluster's metrics.
-    pub disagg: DisaggReport,
-    /// Fault accounting of the colocated run (when faults are enabled).
-    pub colocated_faults: Option<FaultReport>,
-    /// Fault accounting of the disaggregated run (when faults are enabled).
-    pub disagg_faults: Option<FaultReport>,
+    /// The colocated deployment's unified report (fault section populated
+    /// when faults were enabled).
+    pub colocated: RunReport,
+    /// The disaggregated deployment's unified report.
+    pub disagg: RunReport,
 }
 
 /// Runs the comparison over every configured load.
@@ -89,39 +107,30 @@ pub fn head_to_head(
         .iter()
         .map(|&rate| {
             let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: config.cv }.assign(&trace, config.seed);
-            // Both sides draw the identical fault realisation over the
-            // shared fault window.
-            let fault_horizon = FaultInjector::run_window_s(config.horizon_s, &timed);
-            let mk_injector =
-                |cfg: FaultConfig| FaultInjector::new(system, config.wafers, cfg, fault_horizon);
-            let mut colocated =
-                Cluster::replicate(system, config.wafers, config.colocated_policy, config.engine)?;
-            let (colocated_report, colocated_faults) = match config.fault {
-                Some(fcfg) => {
-                    let mut inj = mk_injector(fcfg);
-                    let (r, f) = colocated.run_with_faults(&timed, &config.slo, config.horizon_s, &mut inj);
-                    (r, Some(f))
-                }
-                None => (colocated.run(&timed, &config.slo, config.horizon_s), None),
-            };
-            let mut dcfg = DisaggConfig::new(config.prefill_wafers, config.wafers - config.prefill_wafers);
-            dcfg.placement = config.placement;
-            dcfg.engine = config.engine;
-            let mut disagg = DisaggCluster::new(system, dcfg)?;
-            let (disagg_report, disagg_faults) = match config.fault {
-                Some(fcfg) => {
-                    let mut inj = mk_injector(fcfg);
-                    let (r, f) = disagg.run_with_faults(&timed, &config.slo, config.horizon_s, &mut inj);
-                    (r, Some(f))
-                }
-                None => (disagg.run(&timed, &config.slo, config.horizon_s), None),
-            };
+            // Both sides see the identical fault realisation: same wafer
+            // count, same seed, same window (the scenario derives the
+            // window from the shared horizon and trace).
+            let mut colocated = Scenario::colocated(config.wafers)
+                .router(config.colocated_router.clone())
+                .engine(config.engine)
+                .slo(config.slo)
+                .horizon(config.horizon_s)
+                .workload(timed.clone());
+            let mut disagg =
+                Scenario::disaggregated(config.prefill_wafers, config.wafers - config.prefill_wafers)
+                    .placement(config.placement.clone())
+                    .engine(config.engine)
+                    .slo(config.slo)
+                    .horizon(config.horizon_s)
+                    .workload(timed);
+            if let Some(fcfg) = config.fault {
+                colocated = colocated.faults(fcfg);
+                disagg = disagg.faults(fcfg);
+            }
             Ok(ShootoutPoint {
                 rate_rps: rate,
-                colocated: colocated_report,
-                disagg: disagg_report,
-                colocated_faults,
-                disagg_faults,
+                colocated: colocated.run(system)?,
+                disagg: disagg.run(system)?,
             })
         })
         .collect()
@@ -136,7 +145,7 @@ pub fn format_shootout(points: &[ShootoutPoint]) -> String {
         "offered/s", "deployment", "ttft-p50", "ttft-p99", "tpot-p50", "tpot-p99", "goodput/s", "util"
     ));
     for p in points {
-        for (label, r) in [("colocated", &p.colocated), ("disaggregated", &p.disagg.serving)] {
+        for (label, r) in [("colocated", &p.colocated.serving), ("disaggregated", &p.disagg.serving)] {
             out.push_str(&format!(
                 "{:>10.1} {:<14} {:>10.2}ms {:>10.2}ms {:>10.3}ms {:>10.3}ms {:>11.1} {:>7.1}%\n",
                 p.rate_rps,
@@ -164,21 +173,11 @@ mod tests {
     }
 
     fn config(rates: Vec<f64>) -> ShootoutConfig {
-        ShootoutConfig {
-            wafers: 2,
-            prefill_wafers: 1,
-            rates_rps: rates,
-            cv: 4.0,
-            requests: 40,
-            lengths: LengthConfig::fixed(192, 16),
-            seed: 13,
-            slo: SloConfig { ttft_s: 0.5, tpot_s: 0.05 },
-            colocated_policy: RoutePolicy::LeastKvLoad,
-            placement: DecodePlacement::LeastKvLoad,
-            engine: EngineConfig::default(),
-            horizon_s: f64::INFINITY,
-            fault: None,
-        }
+        let mut cfg = ShootoutConfig::new(2, 1, rates);
+        cfg.requests = 40;
+        cfg.lengths = LengthConfig::fixed(192, 16);
+        cfg.seed = 13;
+        cfg
     }
 
     #[test]
@@ -187,10 +186,13 @@ mod tests {
         let points = head_to_head(&sys, &config(vec![100.0, 300.0])).unwrap();
         assert_eq!(points.len(), 2);
         for p in &points {
-            assert_eq!(p.colocated.injected, p.disagg.serving.injected);
+            assert_eq!(p.colocated.serving.injected, p.disagg.serving.injected);
+            assert_eq!(p.colocated.deployment.kind, "colocated");
+            assert_eq!(p.disagg.deployment.kind, "disaggregated");
             assert!(p.colocated.is_conserved());
-            assert!(p.disagg.serving.is_conserved());
+            assert!(p.disagg.is_conserved());
             assert!(p.disagg.kv_bytes_conserved());
+            assert!(p.colocated.migration.is_none());
         }
         let table = format_shootout(&points);
         assert!(table.contains("colocated") && table.contains("disaggregated"));
@@ -205,10 +207,10 @@ mod tests {
         let p = &points[0];
         // Both sides stay conserved and both report the fault process.
         assert!(p.colocated.is_conserved());
-        assert!(p.disagg.serving.is_conserved());
+        assert!(p.disagg.is_conserved());
         assert!(p.disagg.kv_bytes_conserved());
-        let cf = p.colocated_faults.as_ref().expect("faults were enabled");
-        let df = p.disagg_faults.as_ref().expect("faults were enabled");
+        let cf = p.colocated.faults.as_ref().expect("faults were enabled");
+        let df = p.disagg.faults.as_ref().expect("faults were enabled");
         // Both deployments draw from the identical fault schedule, though
         // each only observes the prefix up to its own drain time.
         assert!(cf.faults_injected > 0, "a 50ms MTBF must fire during the colocated run");
@@ -230,10 +232,10 @@ mod tests {
         let points = head_to_head(&sys, &config(vec![500.0])).unwrap();
         let p = &points[0];
         assert!(
-            p.disagg.serving.tpot.p99_s <= p.colocated.tpot.p99_s,
+            p.disagg.serving.tpot.p99_s <= p.colocated.serving.tpot.p99_s,
             "disaggregated p99 TPOT {} must beat colocated {}",
             p.disagg.serving.tpot.p99_s,
-            p.colocated.tpot.p99_s
+            p.colocated.serving.tpot.p99_s
         );
     }
 }

@@ -156,6 +156,31 @@ struct PendingReq {
 /// A request completion event: `(record index, completion time)`.
 pub type Completion = (usize, f64);
 
+/// How a request enters the engine — the parameter of the single admission
+/// path ([`Engine::submit_with`]) every submission flavour goes through.
+/// Consolidating the three former entry points behind one enum keeps their
+/// bookkeeping (wire-token dedup, readiness gating, queue-demand tracking)
+/// from drifting apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Full local service: prefill then decode on this wafer.
+    Local,
+    /// Prefill-only service (the prefill wafer of a disaggregated
+    /// deployment): the sequence completes — and its KV is exported for
+    /// migration — as soon as prefill finishes, emitting no decode tokens
+    /// here.
+    PrefillOnly,
+    /// The prompt KV was prefilled on another wafer and arrives over the
+    /// inter-wafer link at `ready_s`: admission *imports* the KV
+    /// (allocating capacity without recompute) and the sequence goes
+    /// straight to decode.
+    Imported {
+        /// Instant the migrated KV lands and the request becomes
+        /// admissible.
+        ready_s: f64,
+    },
+}
+
 /// One wafer's online serving engine.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -408,17 +433,15 @@ impl Engine {
         &self.records
     }
 
-    /// Submits a request arriving at `arrival_s`, tagged with the global id
-    /// and wafer index for reporting. Returns the engine-local record index.
+    /// Submits a request for full local service — a convenience for
+    /// [`Engine::submit_with`] with [`Admission::Local`]. Returns the
+    /// engine-local record index.
     pub fn submit(&mut self, request: Request, arrival_s: f64, id: usize, wafer: usize) -> usize {
-        self.submit_inner(request, arrival_s, arrival_s, id, wafer, false, false)
+        self.submit_with(request, arrival_s, Admission::Local, id, wafer)
     }
 
-    /// Submits a request for *prefill-only* service (the prefill wafer of a
-    /// disaggregated deployment): the sequence completes — and its KV is
-    /// exported for migration — as soon as prefill finishes, emitting no
-    /// decode tokens here. The completion event carries the prefill-finish
-    /// time; [`Engine::stats`]' export counters account the KV handed off.
+    /// Submits a request for prefill-only service — a convenience for
+    /// [`Engine::submit_with`] with [`Admission::PrefillOnly`].
     pub fn submit_prefill_only(
         &mut self,
         request: Request,
@@ -426,14 +449,12 @@ impl Engine {
         id: usize,
         wafer: usize,
     ) -> usize {
-        self.submit_inner(request, arrival_s, arrival_s, id, wafer, false, true)
+        self.submit_with(request, arrival_s, Admission::PrefillOnly, id, wafer)
     }
 
-    /// Submits a request whose prompt KV was prefilled on another wafer and
-    /// arrives over the inter-wafer link at `ready_s`: admission *imports*
-    /// the KV (allocating capacity without recompute) and the sequence goes
-    /// straight to decode. `arrival_s` is the request's original arrival,
-    /// kept for TTFT/E2E accounting; admission is gated on `ready_s`.
+    /// Submits a request with imported KV landing at `ready_s` — a
+    /// convenience for [`Engine::submit_with`] with
+    /// [`Admission::Imported`].
     pub fn submit_imported(
         &mut self,
         request: Request,
@@ -442,20 +463,28 @@ impl Engine {
         id: usize,
         wafer: usize,
     ) -> usize {
-        self.submit_inner(request, arrival_s, ready_s, id, wafer, true, false)
+        self.submit_with(request, arrival_s, Admission::Imported { ready_s }, id, wafer)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn submit_inner(
+    /// The single admission path: submits a request arriving at
+    /// `arrival_s` under the given [`Admission`] flavour, tagged with the
+    /// global id and wafer index for reporting. `arrival_s` is always the
+    /// request's original arrival (kept for TTFT/E2E accounting);
+    /// [`Admission::Imported`] gates admissibility on its own `ready_s`.
+    /// Returns the engine-local record index.
+    pub fn submit_with(
         &mut self,
         request: Request,
         arrival_s: f64,
-        ready_s: f64,
+        admission: Admission,
         id: usize,
         wafer: usize,
-        imported: bool,
-        prefill_only: bool,
     ) -> usize {
+        let (ready_s, imported, prefill_only) = match admission {
+            Admission::Local => (arrival_s, false, false),
+            Admission::PrefillOnly => (arrival_s, false, true),
+            Admission::Imported { ready_s } => (ready_s, true, false),
+        };
         // No clock fast-forward here: an idle engine advances to the
         // earliest admissible instant at the top of `step`, where the
         // *minimum* ready time over the whole queue is known. Jumping to
@@ -792,6 +821,31 @@ mod tests {
         assert_eq!(e.stats().dropped, 0);
         assert_eq!(e.stats().evictions, 0);
         assert!(e.busy_s() > 0.0);
+    }
+
+    #[test]
+    fn submit_wrappers_are_equivalent_to_the_admission_enum_path() {
+        // The three named submissions are conveniences over the single
+        // `submit_with` admission path; both spellings must be
+        // bit-identical. Compared via Debug because the records carry NaN
+        // sentinels (a prefill-only record never emits a first token).
+        let run = |via_enum: bool| -> String {
+            let mut e = engine(8);
+            if via_enum {
+                e.submit_with(Request::new(0, 64, 8), 0.0, Admission::Local, 0, 0);
+                e.submit_with(Request::new(1, 64, 8), 0.0, Admission::PrefillOnly, 1, 0);
+                e.submit_with(Request::new(2, 64, 8), 0.0, Admission::Imported { ready_s: 0.001 }, 2, 0);
+            } else {
+                e.submit(Request::new(0, 64, 8), 0.0, 0, 0);
+                e.submit_prefill_only(Request::new(1, 64, 8), 0.0, 1, 0);
+                e.submit_imported(Request::new(2, 64, 8), 0.0, 0.001, 2, 0);
+            }
+            while e.has_work() {
+                e.step();
+            }
+            format!("{:?}", e.records())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -406,32 +406,35 @@ pub struct FaultComparison {
 
 impl FaultComparison {
     /// Runs the same timed trace twice on fresh `wafers`-wide colocated
-    /// clusters — once clean, once under `fault` — and pairs the reports.
-    /// The fault window follows the serving horizon, or twice the arrival
-    /// span when the horizon is open-ended.
+    /// deployments — once clean, once under `fault` — and pairs the
+    /// reports. The fault window follows the serving horizon, or twice the
+    /// arrival span when the horizon is open-ended.
     ///
     /// # Errors
     ///
-    /// Propagates [`ouro_kvcache::KvError::NoKvCores`] from cluster
+    /// Propagates [`ouro_kvcache::KvError::NoKvCores`] from engine
     /// construction.
     #[allow(clippy::too_many_arguments)]
     pub fn measure(
         system: &OuroborosSystem,
         wafers: usize,
-        policy: crate::cluster::RoutePolicy,
+        router: Box<dyn crate::policy::Router>,
         engine: crate::engine::EngineConfig,
         timed: &ouro_workload::TimedTrace,
         slo: &crate::metrics::SloConfig,
         horizon_s: f64,
         fault: FaultConfig,
     ) -> Result<FaultComparison, ouro_kvcache::KvError> {
-        let mut clean_cluster = crate::cluster::Cluster::replicate(system, wafers, policy, engine)?;
-        let clean = clean_cluster.run(timed, slo, horizon_s);
-        let fault_horizon = FaultInjector::run_window_s(horizon_s, timed);
-        let mut injector = FaultInjector::new(system, wafers, fault, fault_horizon);
-        let mut faulty_cluster = crate::cluster::Cluster::replicate(system, wafers, policy, engine)?;
-        let (faulty, report) = faulty_cluster.run_with_faults(timed, slo, horizon_s, &mut injector);
-        Ok(FaultComparison { clean, faulty, fault: report })
+        let base = crate::scenario::Scenario::colocated(wafers)
+            .router(router)
+            .engine(engine)
+            .slo(*slo)
+            .horizon(horizon_s)
+            .workload(timed.clone());
+        let clean = base.clone().run(system)?.serving;
+        let faulty = base.faults(fault).run(system)?;
+        let report = faulty.faults.clone().expect("a fault plan was armed");
+        Ok(FaultComparison { clean, faulty: faulty.serving, fault: report })
     }
 
     /// p99 TTFT inflation caused by the faults (1.0 = unchanged).
@@ -460,9 +463,9 @@ fn ratio(num: f64, den: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{Cluster, RoutePolicy};
-    use crate::engine::EngineConfig;
     use crate::metrics::SloConfig;
+    use crate::policy::routers;
+    use crate::scenario::Scenario;
     use ouro_model::zoo;
     use ouro_sim::{OuroborosConfig, OuroborosSystem};
     use ouro_workload::{ArrivalConfig, LengthConfig, TimedTrace, TraceGenerator};
@@ -493,12 +496,15 @@ mod tests {
     #[test]
     fn faults_reduce_availability_and_force_recompute() {
         let sys = tiny_system();
-        let t = timed(60, 400.0, 5);
-        let mut cluster =
-            Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
-        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.02, 5), t.last_arrival_s() + 0.5);
-        let (report, faults) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
+        let report = Scenario::colocated(2)
+            .router(routers::least_kv_load())
+            .slo(slo())
+            .faults(FaultConfig::new(0.02, 5))
+            .workload(timed(60, 400.0, 5))
+            .run(&sys)
+            .unwrap();
         assert!(report.is_conserved());
+        let faults = report.faults.expect("a fault plan was armed");
         assert!(faults.faults_injected > 0);
         assert!(faults.chains_built > 0);
         assert!(faults.availability < 1.0, "stalls must dent availability");
@@ -509,33 +515,28 @@ mod tests {
     #[test]
     fn same_seed_same_fault_report() {
         let sys = tiny_system();
-        let t = timed(50, 300.0, 7);
-        let run = || {
-            let mut cluster =
-                Cluster::replicate(&sys, 2, RoutePolicy::JoinShortestQueue, EngineConfig::default()).unwrap();
-            let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.05, 7), 2.0);
-            cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj)
-        };
-        let (ra, fa) = run();
-        let (rb, fb) = run();
-        assert_eq!(ra, rb, "serving reports must be identical under a fixed seed");
-        assert_eq!(fa, fb, "fault reports must be identical under a fixed seed");
+        let scenario = Scenario::colocated(2)
+            .router(routers::join_shortest_queue())
+            .slo(slo())
+            .faults(FaultConfig::new(0.05, 7))
+            .workload(timed(50, 300.0, 7));
+        let a = scenario.run(&sys).unwrap();
+        let b = scenario.run(&sys).unwrap();
+        assert!(a.faults.as_ref().unwrap().faults_injected > 0, "the 50ms MTBF must fire");
+        assert_eq!(a, b, "fault-injected reports must be identical under a fixed seed");
     }
 
     #[test]
     fn zero_fault_rate_equals_the_plain_run() {
-        // An MTBF far beyond the horizon injects nothing; the faulty path
-        // must then reproduce `Cluster::run` exactly.
+        // An MTBF far beyond the window injects nothing; the faulty path
+        // must then reproduce the clean run's serving metrics exactly.
         let sys = tiny_system();
-        let t = timed(30, 200.0, 9);
-        let mut plain =
-            Cluster::replicate(&sys, 2, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
-        let base = plain.run(&t, &slo(), f64::INFINITY);
-        let mut faulty =
-            Cluster::replicate(&sys, 2, RoutePolicy::RoundRobin, EngineConfig::default()).unwrap();
-        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(1e12, 9), 1.0);
-        let (report, faults) = faulty.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
-        assert_eq!(report, base);
+        let base =
+            Scenario::colocated(2).router(routers::round_robin()).slo(slo()).workload(timed(30, 200.0, 9));
+        let clean = base.clone().run(&sys).unwrap();
+        let faulty = base.faults(FaultConfig::new(1e12, 9)).run(&sys).unwrap();
+        assert_eq!(faulty.serving, clean.serving);
+        let faults = faulty.faults.unwrap();
         assert_eq!(faults.faults_injected, 0);
         assert_eq!(faults.availability, 1.0);
     }
@@ -543,15 +544,16 @@ mod tests {
     #[test]
     fn block_conservation_holds_after_every_remap() {
         let sys = tiny_system();
-        let t = timed(40, 500.0, 11);
-        let mut cluster =
-            Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
-        let mut inj = FaultInjector::new(&sys, 2, FaultConfig::new(0.01, 11), 1.0);
-        // Drive the run manually so the audit can be checked at every
-        // injection boundary, not just at the end.
-        let (report, _) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
-        assert!(report.is_conserved());
-        for e in cluster.engines() {
+        let outcome = Scenario::colocated(2)
+            .router(routers::least_kv_load())
+            .slo(slo())
+            .faults(FaultConfig::new(0.01, 11))
+            .workload(timed(40, 500.0, 11))
+            .run_full(&sys)
+            .unwrap();
+        assert!(outcome.report.is_conserved());
+        assert!(outcome.report.faults.as_ref().unwrap().faults_injected > 0);
+        for e in outcome.engines() {
             let audit = e.kv_audit();
             assert!(
                 audit.is_conserved(),

@@ -2,35 +2,45 @@
 //!
 //! The offline crates answer "how fast does a wafer chew through a fixed
 //! batch"; this crate answers the production question — "how much live
-//! traffic can a deployment absorb while meeting latency SLOs". It layers
-//! four pieces on top of [`ouro_sim::OuroborosSystem`]:
+//! traffic can a deployment absorb while meeting latency SLOs". Its
+//! experiment-facing API is one composable builder:
 //!
-//! * **arrival processes** (in `ouro-workload`): open-loop Poisson and
-//!   bursty-Gamma traffic plus closed-loop think-time clients
-//!   ([`ouro_workload::ArrivalConfig`]),
+//! * **[`Scenario`]** ([`scenario`]): compose a deployment
+//!   ([`Scenario::colocated`] replicas or [`Scenario::disaggregated`]
+//!   prefill/decode pools with KV migration over the optical fabric), a
+//!   timed workload ([`ouro_workload::ArrivalConfig`]: open-loop Poisson,
+//!   bursty Gamma, closed-loop think-time clients, session traces),
+//!   routing/placement policies, an optional runtime fault plan,
+//!   prefix-caching and SLO config — then `.run()` drives one shared
+//!   discrete-event loop and returns one [`RunReport`] with a stable JSON
+//!   schema ([`report::SCHEMA_VERSION`]).
+//!
+//! Underneath sit the building blocks:
+//!
 //! * **a continuous-batching engine** ([`engine::Engine`]): discrete-event
 //!   iterations that admit requests FCFS into the distributed KV cache under
-//!   the offline scheduler's admission/eviction rules, interleave chunked
-//!   prefill with decode in the token-grained pipeline, and charge wall-clock
-//!   from the hardware-derived [`ouro_sim::HwStageTimes`],
-//! * **a multi-wafer cluster** ([`cluster::Cluster`]): one model replica per
-//!   wafer behind a router with pluggable policies
-//!   ([`cluster::RoutePolicy`]: round-robin, least-KV-load,
-//!   join-shortest-queue, prefix-affinity),
+//!   the offline scheduler's admission/eviction rules (one admission path,
+//!   [`Engine::submit_with`], parameterized by [`Admission`]), interleave
+//!   chunked prefill with decode in the token-grained pipeline, and charge
+//!   wall-clock from the hardware-derived [`ouro_sim::HwStageTimes`],
+//! * **open policy traits** ([`policy`]): object-safe [`Router`] /
+//!   [`Placement`] with the classic built-ins as constructors
+//!   ([`routers`], [`placements`]) — all tie-breaking funnels through
+//!   [`pick_min_index`] so equal scores resolve to the lowest wafer index,
 //! * **shared-prefix KV reuse**: requests tagged with an
 //!   [`ouro_workload::SharedPrefix`] share the whole-block portion of
 //!   their common prompt in the cache ([`ouro_kvcache::KvManager`]'s
 //!   refcounted copy-on-write chains); the engine charges prefill only
-//!   for the uncached suffix and the prefix-affinity router steers
-//!   sharers to the wafer already holding their prefix,
+//!   for the uncached suffix and prefix-affinity policies steer sharers
+//!   to the wafer already holding their prefix,
 //! * **SLO metrics and load sweeps** ([`metrics`], [`sweep`]): TTFT / TPOT /
 //!   E2E p50/p95/p99, goodput under an SLO, utilization, and
 //!   throughput-vs-latency curves over offered load,
 //! * **runtime fault injection** ([`fault`]): a seeded MTBF process fires
 //!   mid-run, each fault is healed by a replacement-chain remap
 //!   (`ouro_mapping::fault`), the absorbed KV is evicted and recomputed,
-//!   routers steer around degraded wafers, and a [`FaultReport`] accounts
-//!   availability and tail-latency inflation against the fault-free run.
+//!   routers steer around degraded wafers, and the report's fault section
+//!   accounts availability and tail-latency inflation.
 //!
 //! # Example
 //!
@@ -51,16 +61,22 @@
 //! assert!(points[0].report.is_conserved());
 //! ```
 
-pub mod cluster;
 pub mod engine;
 pub mod fault;
+pub mod json;
 pub mod metrics;
+pub mod policy;
+pub mod report;
+pub mod scenario;
 pub mod sweep;
 
-pub use cluster::{
-    pick_min_index, pick_prefix_affine_index, pick_serviceable_min_index, release_gated, Cluster, RoutePolicy,
-};
-pub use engine::{Engine, EngineConfig, EngineFaultImpact, EngineStats};
+pub use engine::{Admission, Engine, EngineConfig, EngineFaultImpact, EngineStats};
 pub use fault::{FaultComparison, FaultConfig, FaultInjector, FaultPoll, FaultReport};
 pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};
+pub use policy::{
+    pick_min_index, pick_prefix_affine_index, pick_serviceable_min_index, pick_serviceable_min_index_by,
+    placements, routers, Placement, Router,
+};
+pub use report::{DeploymentInfo, Migration, MigrationStats, RunReport, SCHEMA_VERSION};
+pub use scenario::{Deployment, DisaggConfig, RunOutcome, Scenario};
 pub use sweep::{capacity_rps_estimate, format_sweep, ideal_latencies, LoadSweep, SweepPoint};

@@ -1,0 +1,416 @@
+//! Routing and placement policies behind object-safe traits.
+//!
+//! The serving stack makes two kinds of pool-selection decisions: a
+//! [`Router`] assigns each arriving request to a wafer of the entry pool
+//! (every wafer of a colocated deployment, the prefill pool of a
+//! disaggregated one), and a [`Placement`] picks the decode wafer a
+//! finished prefill's KV migrates to. Both are open traits — a new policy
+//! is one `impl`, not a new match arm in two crates — with the classic
+//! built-ins available as constructors ([`routers`], [`placements`]).
+//!
+//! Every built-in resolves score ties through the shared
+//! [`pick_min_index`] family, so equal scores always go to the lowest
+//! wafer index and every run stays a pure function of its seeds. Custom
+//! policies should do the same: route through these helpers instead of
+//! `Iterator::min_by` (which returns the *last* minimum, making tie-breaks
+//! depend on pool size).
+
+use crate::engine::Engine;
+use ouro_workload::Request;
+
+/// Assigns each arriving request to a wafer of the entry pool.
+///
+/// `engines` is the entry pool in wafer-index order: all wafers of a
+/// colocated deployment, the prefill pool of a disaggregated one. The
+/// router sees live engine state at the arrival instant and must return an
+/// index into `engines`. Implementations may keep state (`&mut self`), but
+/// must stay deterministic — given the same call sequence they must make
+/// the same decisions, or seeded runs stop being reproducible.
+pub trait Router: std::fmt::Debug {
+    /// Stable policy name for reports and tables (e.g. `"least-kv-load"`).
+    fn name(&self) -> String;
+
+    /// Picks the wafer for `request`. Wafers that faults have rendered
+    /// unserviceable should be skipped while any healthy one remains (the
+    /// built-ins all do, via [`pick_serviceable_min_index`]).
+    fn route(&mut self, engines: &[Engine], request: &Request) -> usize;
+
+    /// Boxed clone, so scenarios holding a router stay cloneable.
+    fn clone_box(&self) -> Box<dyn Router>;
+}
+
+impl Clone for Box<dyn Router> {
+    fn clone(&self) -> Box<dyn Router> {
+        self.clone_box()
+    }
+}
+
+/// Picks the decode wafer a finished prefill's KV migrates to.
+///
+/// `decode` is the decode pool in wafer-index order. `from_wafer` is the
+/// prefill wafer the KV was produced on and `prefill_wafers` the size of
+/// the prefill pool, which together define optical distance on the wafer
+/// line (`(prefill_wafers - from_wafer) + decode_index` boundary
+/// crossings) for locality-aware policies.
+pub trait Placement: std::fmt::Debug {
+    /// Stable policy name for reports and tables (e.g. `"locality-aware"`).
+    fn name(&self) -> String;
+
+    /// Picks the decode wafer (an index into `decode`) for `request`'s
+    /// migrated KV.
+    fn place(
+        &mut self,
+        decode: &[Engine],
+        from_wafer: usize,
+        prefill_wafers: usize,
+        request: &Request,
+    ) -> usize;
+
+    /// Boxed clone, so scenarios holding a placement stay cloneable.
+    fn clone_box(&self) -> Box<dyn Placement>;
+}
+
+impl Clone for Box<dyn Placement> {
+    fn clone(&self) -> Box<dyn Placement> {
+        self.clone_box()
+    }
+}
+
+/// Constructors for the built-in [`Router`] policies.
+pub mod routers {
+    use super::*;
+
+    /// Cycle through wafers regardless of state (skipping wafers faults
+    /// have killed while any healthy one remains).
+    pub fn round_robin() -> Box<dyn Router> {
+        Box::new(RoundRobin { next: 0 })
+    }
+
+    /// Send to the wafer whose KV cache (resident plus queued token
+    /// demand) is least loaded.
+    pub fn least_kv_load() -> Box<dyn Router> {
+        Box::new(LeastKvLoad)
+    }
+
+    /// Send to the wafer with the fewest queued-plus-resident requests.
+    pub fn join_shortest_queue() -> Box<dyn Router> {
+        Box::new(JoinShortestQueue)
+    }
+
+    /// Send to the wafer already holding the longest cached run of the
+    /// request's shared prefix (ties toward the least KV load, then the
+    /// lowest index). Requests with no cached prefix anywhere — including
+    /// all untagged requests — fall back to least-KV-load, so cold traffic
+    /// still balances.
+    pub fn prefix_affinity() -> Box<dyn Router> {
+        Box::new(PrefixAffinityRouter)
+    }
+
+    #[derive(Debug, Clone)]
+    struct RoundRobin {
+        next: usize,
+    }
+
+    impl Router for RoundRobin {
+        fn name(&self) -> String {
+            "round-robin".to_string()
+        }
+
+        fn route(&mut self, engines: &[Engine], _request: &Request) -> usize {
+            let n = engines.len();
+            let any_alive = engines.iter().any(Engine::is_serviceable);
+            for _ in 0..n {
+                let w = self.next % n;
+                self.next = (self.next + 1) % n;
+                if !any_alive || engines[w].is_serviceable() {
+                    return w;
+                }
+            }
+            unreachable!("a serviceable wafer exists but the scan missed it");
+        }
+
+        fn clone_box(&self) -> Box<dyn Router> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct LeastKvLoad;
+
+    impl Router for LeastKvLoad {
+        fn name(&self) -> String {
+            "least-kv-load".to_string()
+        }
+
+        fn route(&mut self, engines: &[Engine], _request: &Request) -> usize {
+            pick_serviceable_min_index(engines, Engine::kv_load)
+        }
+
+        fn clone_box(&self) -> Box<dyn Router> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct JoinShortestQueue;
+
+    impl Router for JoinShortestQueue {
+        fn name(&self) -> String {
+            "join-shortest-queue".to_string()
+        }
+
+        fn route(&mut self, engines: &[Engine], _request: &Request) -> usize {
+            pick_serviceable_min_index(engines, |e| (e.queue_len() + e.resident()) as f64)
+        }
+
+        fn clone_box(&self) -> Box<dyn Router> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct PrefixAffinityRouter;
+
+    impl Router for PrefixAffinityRouter {
+        fn name(&self) -> String {
+            "prefix-affinity".to_string()
+        }
+
+        fn route(&mut self, engines: &[Engine], request: &Request) -> usize {
+            pick_prefix_affine_index(engines, request)
+        }
+
+        fn clone_box(&self) -> Box<dyn Router> {
+            Box::new(self.clone())
+        }
+    }
+}
+
+/// Constructors for the built-in [`Placement`] policies.
+pub mod placements {
+    use super::*;
+
+    /// The decode wafer whose KV cache (resident plus queued demand,
+    /// including announced migrations) is least loaded.
+    pub fn least_kv_load() -> Box<dyn Placement> {
+        Box::new(LeastKvLoad)
+    }
+
+    /// The decode wafer with the most free KV tokens net of queued demand
+    /// (block-level headroom rather than relative load).
+    pub fn most_free_blocks() -> Box<dyn Placement> {
+        Box::new(MostFreeBlocks)
+    }
+
+    /// Prefers nearby decode wafers (fewer optical boundary crossings) but
+    /// yields to load: the score is `kv_load + 0.1 · wafer_hops`, so a hop
+    /// of distance is worth 10% of a cache of load.
+    pub fn locality_aware() -> Box<dyn Placement> {
+        Box::new(LocalityAware)
+    }
+
+    /// Prefers the decode wafer already holding the longest cached run of
+    /// the sequence's shared prefix — the migration then ships only the
+    /// uncached bytes. Ties (and untagged sequences) fall back to least KV
+    /// load.
+    pub fn prefix_affinity() -> Box<dyn Placement> {
+        Box::new(PrefixAffinityPlacement)
+    }
+
+    #[derive(Debug, Clone)]
+    struct LeastKvLoad;
+
+    impl Placement for LeastKvLoad {
+        fn name(&self) -> String {
+            "least-kv-load".to_string()
+        }
+
+        fn place(&mut self, decode: &[Engine], _from: usize, _prefill: usize, _request: &Request) -> usize {
+            pick_serviceable_min_index(decode, Engine::kv_load)
+        }
+
+        fn clone_box(&self) -> Box<dyn Placement> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct MostFreeBlocks;
+
+    impl Placement for MostFreeBlocks {
+        fn name(&self) -> String {
+            "most-free-blocks".to_string()
+        }
+
+        fn place(&mut self, decode: &[Engine], _from: usize, _prefill: usize, _request: &Request) -> usize {
+            pick_serviceable_min_index(decode, |e| -(e.kv_free_tokens() as f64))
+        }
+
+        fn clone_box(&self) -> Box<dyn Placement> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct LocalityAware;
+
+    impl Placement for LocalityAware {
+        fn name(&self) -> String {
+            "locality-aware".to_string()
+        }
+
+        fn place(
+            &mut self,
+            decode: &[Engine],
+            from: usize,
+            prefill_wafers: usize,
+            _request: &Request,
+        ) -> usize {
+            // A migration crosses one optical boundary per position it
+            // travels on the wafer line (prefill wafers first, decode
+            // wafers after them) — a locality term that needs the wafer
+            // index, hence the index-scored selection variant.
+            pick_serviceable_min_index_by(decode, |j, e| {
+                e.kv_load() + 0.1 * ((prefill_wafers - from) + j) as f64
+            })
+        }
+
+        fn clone_box(&self) -> Box<dyn Placement> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct PrefixAffinityPlacement;
+
+    impl Placement for PrefixAffinityPlacement {
+        fn name(&self) -> String {
+            "prefix-affinity".to_string()
+        }
+
+        fn place(&mut self, decode: &[Engine], _from: usize, _prefill: usize, request: &Request) -> usize {
+            pick_prefix_affine_index(decode, request)
+        }
+
+        fn clone_box(&self) -> Box<dyn Placement> {
+            Box::new(self.clone())
+        }
+    }
+}
+
+/// Index of the item with the lowest score, breaking ties toward the
+/// lowest index (a strict `<` scan; `Iterator::min_by` would return the
+/// *last* minimum, making tie-breaks depend on pool size). Every built-in
+/// [`Router`] and [`Placement`] resolves its selection through this helper
+/// (directly or via [`pick_serviceable_min_index`] /
+/// [`pick_prefix_affine_index`]), so every pool-selection decision in the
+/// workspace tie-breaks identically.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn pick_min_index<T>(items: &[T], score: impl Fn(&T) -> f64) -> usize {
+    assert!(!items.is_empty(), "selection requires at least one candidate");
+    let mut best = 0;
+    let mut best_score = score(&items[0]);
+    for (i, it) in items.iter().enumerate().skip(1) {
+        let s = score(it);
+        if s.total_cmp(&best_score).is_lt() {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+/// [`pick_min_index`] over the serviceable engines only (all engines when
+/// the fleet is entirely dead), returning the winner's index in `engines`.
+/// Shared by the built-in routing and placement policies so both route
+/// around fault-degraded wafers identically.
+pub fn pick_serviceable_min_index(engines: &[Engine], score: impl Fn(&Engine) -> f64) -> usize {
+    pick_serviceable_min_index_by(engines, |_, e| score(e))
+}
+
+/// [`pick_serviceable_min_index`] with the wafer index passed to the score
+/// alongside the engine, for policies whose score has a positional term
+/// (e.g. locality: optical hops grow with the index on the wafer line).
+pub fn pick_serviceable_min_index_by(engines: &[Engine], score: impl Fn(usize, &Engine) -> f64) -> usize {
+    let any_alive = engines.iter().any(Engine::is_serviceable);
+    pick_routable(engines, any_alive, score)
+}
+
+/// Index of the engine best placed to serve `request`'s shared prefix:
+/// among the serviceable engines (all when the pool is entirely dead), the
+/// one holding the longest cached run of the prefix — ties toward the
+/// least KV load, then the lowest index — falling back to plain
+/// least-KV-load when nothing is cached anywhere (including every untagged
+/// request). Shared by the prefix-affinity router and the prefix-affine
+/// decode placement so routing and placement steer identically.
+pub fn pick_prefix_affine_index(engines: &[Engine], request: &Request) -> usize {
+    let any_alive = engines.iter().any(Engine::is_serviceable);
+    let best_cached = engines
+        .iter()
+        .filter(|e| !any_alive || e.is_serviceable())
+        .map(|e| e.prefix_cached_tokens(request))
+        .max()
+        .unwrap_or(0);
+    if best_cached == 0 {
+        return pick_routable(engines, any_alive, |_, e| e.kv_load());
+    }
+    pick_routable(engines, any_alive, |_, e| {
+        if e.prefix_cached_tokens(request) == best_cached {
+            e.kv_load()
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+/// Index of the lowest-scored engine among the serviceable ones (or all of
+/// them when `any_alive` is false), ties toward the lowest index. The one
+/// serviceability filter every selection helper funnels through.
+fn pick_routable(engines: &[Engine], any_alive: bool, score: impl Fn(usize, &Engine) -> f64) -> usize {
+    let candidates: Vec<usize> =
+        (0..engines.len()).filter(|&i| !any_alive || engines[i].is_serviceable()).collect();
+    candidates[pick_min_index(&candidates, |&i| score(i, &engines[i]))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pick_min_index_prefers_the_first_minimum() {
+        assert_eq!(pick_min_index(&[3.0, 1.0, 1.0, 2.0], |&x| x), 1);
+        assert_eq!(pick_min_index(&[0.5], |&x| x), 0);
+        assert_eq!(pick_min_index(&[2.0, 2.0, 2.0], |&x| x), 0);
+    }
+
+    proptest! {
+        /// The tie-breaking contract of every built-in policy: whatever the
+        /// score vector, the winner is the *first* index achieving the
+        /// minimum. A coarse score domain forces frequent exact ties.
+        #[test]
+        fn equal_scores_always_resolve_to_the_lowest_index(
+            scores in proptest::collection::vec(0u8..4, 1..40)
+        ) {
+            let picked = pick_min_index(&scores, |&s| s as f64);
+            let min = *scores.iter().min().expect("non-empty");
+            let first = scores.iter().position(|&s| s == min).expect("min exists");
+            prop_assert_eq!(picked, first, "scores {:?}", scores);
+        }
+
+        /// Scaling every score by a positive constant never changes the
+        /// winner — selection depends on order, not magnitude.
+        #[test]
+        fn selection_is_scale_invariant(
+            scores in proptest::collection::vec(0u8..4, 1..40),
+            scale in 1u32..1000
+        ) {
+            let a = pick_min_index(&scores, |&s| s as f64);
+            let b = pick_min_index(&scores, |&s| s as f64 * scale as f64);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,1195 @@
+//! The `Scenario` builder: one composable run driver for every serving
+//! experiment.
+//!
+//! The paper evaluates one system under many orthogonal conditions —
+//! deployment shape, workload mix, runtime faults, KV sharing — and every
+//! combination used to need its own bespoke entry point and report type.
+//! A [`Scenario`] composes the conditions instead: pick a deployment
+//! ([`Scenario::colocated`] or [`Scenario::disaggregated`]), attach a
+//! timed workload, optionally swap the routing/placement policies
+//! ([`crate::policy`]), optionally arm a fault plan, tune the engine and
+//! SLO — then [`Scenario::run`] drives one shared discrete-event loop and
+//! returns one [`RunReport`].
+//!
+//! The loop is the same for both deployment shapes: arrivals, engine
+//! iterations, and faults share a single simulated timeline, with events
+//! ordered by next-event time (ties toward the lowest global wafer index)
+//! so every run is a pure function of its seeds. The shapes differ only in
+//! what entry-pool completions mean — a colocated completion retires the
+//! request (and releases the next closed-loop user), a prefill-pool
+//! completion ships the finished KV to a decode wafer over the optical
+//! fabric and the decode side retires it.
+//!
+//! # Example
+//!
+//! ```
+//! use ouro_model::zoo;
+//! use ouro_serve::{routers, Scenario, SloConfig};
+//! use ouro_sim::{OuroborosConfig, OuroborosSystem};
+//! use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
+//!
+//! let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap();
+//! let trace = TraceGenerator::new(7).generate(&LengthConfig::fixed(64, 32), 32);
+//! let timed = ArrivalConfig::Poisson { rate_rps: 100.0 }.assign(&trace, 7);
+//! let report = Scenario::colocated(2)
+//!     .router(routers::least_kv_load())
+//!     .slo(SloConfig { ttft_s: 0.5, tpot_s: 0.05 })
+//!     .workload(timed)
+//!     .run(&system)
+//!     .unwrap();
+//! assert_eq!(report.serving.completed, 32);
+//! assert!(report.is_conserved());
+//! ```
+
+use crate::engine::{Engine, EngineConfig};
+use crate::fault::{FaultConfig, FaultInjector, FaultPoll};
+use crate::metrics::{RequestRecord, RunTotals, ServingReport, SloConfig};
+use crate::policy::{placements, routers, Placement, Router};
+use crate::report::{DeploymentInfo, Migration, MigrationStats, RunReport, SCHEMA_VERSION};
+use ouro_kvcache::KvError;
+use ouro_noc::InterWaferLink;
+use ouro_sim::OuroborosSystem;
+use ouro_workload::{Request, TimedTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// The pool split of a disaggregated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggConfig {
+    /// Wafers dedicated to prefill.
+    pub prefill_wafers: usize,
+    /// Wafers dedicated to decode.
+    pub decode_wafers: usize,
+}
+
+impl DisaggConfig {
+    /// A prefill:decode pool split.
+    pub fn new(prefill_wafers: usize, decode_wafers: usize) -> DisaggConfig {
+        DisaggConfig { prefill_wafers, decode_wafers }
+    }
+
+    /// Total wafer count of the deployment.
+    pub fn total_wafers(&self) -> usize {
+        self.prefill_wafers + self.decode_wafers
+    }
+}
+
+/// How the wafers of a scenario are organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// Every wafer holds a full replica serving both phases; the router
+    /// spreads arrivals over all of them.
+    Colocated {
+        /// Number of replica wafers.
+        wafers: usize,
+    },
+    /// DistServe-style phase split: prefill wafers run prompts in
+    /// prefill-only mode and migrate the finished KV to decode wafers over
+    /// the inter-wafer optical fabric.
+    Disaggregated(DisaggConfig),
+}
+
+/// One composable serving experiment: deployment × workload × policies ×
+/// faults × SLO, run through the shared discrete-event loop.
+///
+/// Build with [`Scenario::colocated`] or [`Scenario::disaggregated`],
+/// chain the setters, then call [`Scenario::run`] (or
+/// [`Scenario::run_full`] to also inspect post-run engine state). A
+/// scenario is reusable: `run` clones its policy objects, so running the
+/// same scenario twice yields byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    deployment: Deployment,
+    workload: Option<TimedTrace>,
+    router: Box<dyn Router>,
+    placement: Box<dyn Placement>,
+    engine: EngineConfig,
+    slo: SloConfig,
+    horizon_s: f64,
+    fault: Option<FaultConfig>,
+}
+
+impl Scenario {
+    /// A colocated deployment of `wafers` full replicas. Defaults:
+    /// least-KV-load routing, default engine tuning, an always-met SLO
+    /// (goodput equals throughput until [`Scenario::slo`] is set), no
+    /// horizon, no faults.
+    pub fn colocated(wafers: usize) -> Scenario {
+        assert!(wafers > 0, "a colocated deployment needs at least one wafer");
+        Scenario::new(Deployment::Colocated { wafers }, routers::least_kv_load())
+    }
+
+    /// A disaggregated deployment with `prefill_wafers` prefill and
+    /// `decode_wafers` decode wafers. Defaults: join-shortest-queue
+    /// routing over the prefill pool, least-KV-load decode placement, and
+    /// otherwise as [`Scenario::colocated`].
+    pub fn disaggregated(prefill_wafers: usize, decode_wafers: usize) -> Scenario {
+        assert!(prefill_wafers > 0, "disaggregation needs at least one prefill wafer");
+        assert!(decode_wafers > 0, "disaggregation needs at least one decode wafer");
+        Scenario::new(
+            Deployment::Disaggregated(DisaggConfig::new(prefill_wafers, decode_wafers)),
+            routers::join_shortest_queue(),
+        )
+    }
+
+    /// A scenario over an explicit [`Deployment`] value.
+    pub fn with_deployment(deployment: Deployment) -> Scenario {
+        match deployment {
+            Deployment::Colocated { wafers } => Scenario::colocated(wafers),
+            Deployment::Disaggregated(cfg) => Scenario::disaggregated(cfg.prefill_wafers, cfg.decode_wafers),
+        }
+    }
+
+    fn new(deployment: Deployment, router: Box<dyn Router>) -> Scenario {
+        Scenario {
+            deployment,
+            workload: None,
+            router,
+            placement: placements::least_kv_load(),
+            engine: EngineConfig::default(),
+            slo: SloConfig { ttft_s: f64::INFINITY, tpot_s: f64::INFINITY },
+            horizon_s: f64::INFINITY,
+            fault: None,
+        }
+    }
+
+    /// Sets the timed workload (trace + arrival process) the run serves.
+    pub fn workload(mut self, timed: TimedTrace) -> Scenario {
+        self.workload = Some(timed);
+        self
+    }
+
+    /// Swaps the routing policy over the entry pool (all wafers when
+    /// colocated, the prefill pool when disaggregated).
+    pub fn router(mut self, router: Box<dyn Router>) -> Scenario {
+        self.router = router;
+        self
+    }
+
+    /// Swaps the decode-placement policy (disaggregated deployments only;
+    /// ignored by colocated runs).
+    pub fn placement(mut self, placement: Box<dyn Placement>) -> Scenario {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the per-engine tuning shared by every wafer.
+    pub fn engine(mut self, engine: EngineConfig) -> Scenario {
+        self.engine = engine;
+        self
+    }
+
+    /// Toggles shared-prefix KV caching on every engine (a shorthand for
+    /// setting [`EngineConfig::prefix_caching`]).
+    pub fn prefix_caching(mut self, enabled: bool) -> Scenario {
+        self.engine.prefix_caching = enabled;
+        self
+    }
+
+    /// Sets the latency SLO goodput is measured against.
+    pub fn slo(mut self, slo: SloConfig) -> Scenario {
+        self.slo = slo;
+        self
+    }
+
+    /// Bounds the simulated timeline (arrivals at or past the horizon are
+    /// never injected; unfinished work is reported queued/in-flight).
+    pub fn horizon(mut self, horizon_s: f64) -> Scenario {
+        self.horizon_s = horizon_s;
+        self
+    }
+
+    /// Arms a runtime fault plan: a seeded MTBF process over every wafer
+    /// of the deployment, interleaved on the serving timeline and healed
+    /// by replacement-chain remaps. The fault window follows the horizon,
+    /// or twice the arrival span when the horizon is open-ended
+    /// ([`FaultInjector::run_window_s`]).
+    pub fn faults(mut self, config: FaultConfig) -> Scenario {
+        self.fault = Some(config);
+        self
+    }
+
+    /// The configured deployment.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
+    }
+
+    /// Runs the scenario against replicas of `system` and returns the
+    /// unified report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] when the deployment leaves no KV
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workload was set.
+    pub fn run(&self, system: &OuroborosSystem) -> Result<RunReport, KvError> {
+        Ok(self.run_full(system)?.report)
+    }
+
+    /// Like [`Scenario::run`], but also hands back the post-run engine
+    /// state and migration log for invariant checks (block audits,
+    /// per-wafer record counts, migration timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] when the deployment leaves no KV
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workload was set.
+    pub fn run_full(&self, system: &OuroborosSystem) -> Result<RunOutcome, KvError> {
+        let timed = self.workload.as_ref().expect("Scenario needs a workload: call .workload(timed) first");
+        let (prefill_wafers, total) = match self.deployment {
+            Deployment::Colocated { wafers } => (0, wafers),
+            Deployment::Disaggregated(cfg) => (cfg.prefill_wafers, cfg.total_wafers()),
+        };
+        let engines = (0..total)
+            .map(|_| Engine::new(system.stage_times().clone(), system.serve_kv_config(), self.engine))
+            .collect::<Result<Vec<Engine>, KvError>>()?;
+        let mut driver = Driver {
+            engines,
+            prefill_wafers,
+            disagg: matches!(self.deployment, Deployment::Disaggregated(_)),
+            router: self.router.clone(),
+            placement: self.placement.clone(),
+            link: system.stage_times().inter_wafer_link(),
+            kv_bytes_per_token: system.kv_migration_bytes(1),
+            migrations: Vec::new(),
+        };
+        let mut injector = self.fault.map(|cfg| {
+            FaultInjector::new(system, total, cfg, FaultInjector::run_window_s(self.horizon_s, timed))
+        });
+        driver.drive(timed, self.horizon_s, injector.as_mut());
+        let report = driver.report(timed, &self.slo, self.horizon_s, self.deployment_info(), injector);
+        Ok(RunOutcome {
+            report,
+            engines: driver.engines,
+            prefill_wafers,
+            disagg: driver.disagg,
+            migrations: driver.migrations,
+        })
+    }
+
+    fn deployment_info(&self) -> DeploymentInfo {
+        match self.deployment {
+            Deployment::Colocated { wafers } => DeploymentInfo {
+                kind: "colocated".to_string(),
+                wafers,
+                prefill_wafers: 0,
+                decode_wafers: 0,
+                router: self.router.name(),
+                placement: None,
+            },
+            Deployment::Disaggregated(cfg) => DeploymentInfo {
+                kind: "disaggregated".to_string(),
+                wafers: cfg.total_wafers(),
+                prefill_wafers: cfg.prefill_wafers,
+                decode_wafers: cfg.decode_wafers,
+                router: self.router.name(),
+                placement: Some(self.placement.name()),
+            },
+        }
+    }
+}
+
+/// A finished scenario run: the unified report plus the post-run engine
+/// state, for tests and examples that assert engine-level invariants.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The unified report of the run.
+    pub report: RunReport,
+    engines: Vec<Engine>,
+    prefill_wafers: usize,
+    disagg: bool,
+    migrations: Vec<Migration>,
+}
+
+impl RunOutcome {
+    /// Every engine in global wafer order (prefill pool first for
+    /// disaggregated deployments).
+    pub fn engines(&self) -> &[Engine] {
+        &self.engines
+    }
+
+    /// The prefill-pool engines (empty for colocated deployments).
+    pub fn prefill_engines(&self) -> &[Engine] {
+        &self.engines[..self.prefill_wafers]
+    }
+
+    /// The decode-side engines: the decode pool for disaggregated
+    /// deployments, every engine for colocated ones.
+    pub fn decode_engines(&self) -> &[Engine] {
+        if self.disagg {
+            &self.engines[self.prefill_wafers..]
+        } else {
+            &self.engines
+        }
+    }
+
+    /// Every KV migration performed, in prefill-completion order (empty
+    /// for colocated deployments).
+    pub fn migrations(&self) -> &[Migration] {
+        &self.migrations
+    }
+}
+
+/// The shared discrete-event loop both deployment shapes run through.
+struct Driver {
+    /// All engines in global wafer order: for disaggregated deployments
+    /// wafers `0..prefill_wafers` are the prefill pool and the rest the
+    /// decode pool (the fault injector's wafer index space matches).
+    engines: Vec<Engine>,
+    prefill_wafers: usize,
+    disagg: bool,
+    router: Box<dyn Router>,
+    placement: Box<dyn Placement>,
+    link: InterWaferLink,
+    kv_bytes_per_token: u64,
+    migrations: Vec<Migration>,
+}
+
+impl Driver {
+    /// Size of the entry pool the router selects over.
+    fn entry_len(&self) -> usize {
+        if self.disagg {
+            self.prefill_wafers
+        } else {
+            self.engines.len()
+        }
+    }
+
+    /// The engine whose next event is earliest (and below the horizon);
+    /// ties resolve toward the lowest global wafer index, so runs are
+    /// deterministic. Ordering by next event — not raw clock — matters:
+    /// stepping an idle engine commits its clock to its earliest
+    /// admissible pending, so it must wait its global turn or an engine at
+    /// an earlier simulated time could still announce a migration that
+    /// lands sooner, which would then be admitted late (see
+    /// [`Engine::next_event_s`]).
+    fn next_event_engine(&self, horizon_s: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.engines.iter().enumerate() {
+            let event_s = e.next_event_s();
+            if !e.has_work() || event_s >= horizon_s {
+                continue;
+            }
+            if best.is_none_or(|(_, c)| event_s.total_cmp(&c).is_lt()) {
+                best = Some((i, event_s));
+            }
+        }
+        best
+    }
+
+    /// Serves the timed trace to completion (or to the horizon),
+    /// interleaving faults from `injector` on the same timeline.
+    fn drive(&mut self, timed: &TimedTrace, horizon_s: f64, mut injector: Option<&mut FaultInjector>) {
+        // Open arrivals, sorted ascending; gated (closed-loop) requests
+        // wait in submission order.
+        let mut arrivals: VecDeque<(f64, usize)> = timed
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_gated())
+            .map(|(i, r)| (r.arrival_s, i))
+            .collect();
+        let mut gated: VecDeque<usize> =
+            timed.arrivals.iter().enumerate().filter(|(_, r)| r.is_gated()).map(|(i, _)| i).collect();
+        let think_time_s = match timed.config {
+            ouro_workload::ArrivalConfig::ClosedLoop { think_time_s, .. } => think_time_s,
+            _ => 0.0,
+        };
+        let mut think_rng = StdRng::seed_from_u64(timed.seed ^ 0x7417_1e5e_ed00_0002);
+
+        loop {
+            let next_arrival = arrivals.front().map(|&(t, _)| t);
+            let next_engine = self.next_event_engine(horizon_s);
+
+            // Faults share the timeline with arrivals (the arbitration
+            // protocol lives in [`FaultInjector::poll`]); the injector's
+            // wafer index space is global, so a fault can strike either
+            // side of a disaggregation split.
+            if let Some(inj) = injector.as_deref_mut() {
+                match inj.poll(next_arrival, next_engine.map(|(_, t)| t), horizon_s) {
+                    FaultPoll::Fire(wafer) => {
+                        inj.inject(&mut self.engines[wafer]);
+                        continue;
+                    }
+                    FaultPoll::Drained => break,
+                    FaultPoll::Wait => {}
+                }
+            }
+
+            match (next_arrival, next_engine) {
+                (None, None) => break,
+                (Some(t_arr), engine) => {
+                    if t_arr >= horizon_s {
+                        // Arrivals beyond the horizon are never injected.
+                        let Some((i, _)) = engine else { break };
+                        self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                        continue;
+                    }
+                    match engine {
+                        // Route the arrival once every busy engine has
+                        // simulated past it, so routing sees current state.
+                        Some((i, event_s)) if event_s < t_arr => {
+                            self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                        }
+                        _ => {
+                            let (t, idx) = arrivals.pop_front().expect("peeked above");
+                            let request = timed.arrivals[idx].request;
+                            let entry = self.entry_len();
+                            let wafer = self.router.route(&self.engines[..entry], &request);
+                            assert!(wafer < entry, "router returned wafer {wafer} of an {entry}-wafer pool");
+                            if self.disagg {
+                                self.engines[wafer].submit_prefill_only(request, t, idx, wafer);
+                            } else {
+                                self.engines[wafer].submit(request, t, idx, wafer);
+                            }
+                        }
+                    }
+                }
+                (None, Some((i, _))) => {
+                    self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
+                }
+            }
+        }
+    }
+
+    /// Advances one engine by one iteration. Entry-pool completions of a
+    /// disaggregated run become KV migrations; all other completions
+    /// retire the request and feed closed-loop releases.
+    fn step_engine(
+        &mut self,
+        i: usize,
+        arrivals: &mut VecDeque<(f64, usize)>,
+        gated: &mut VecDeque<usize>,
+        think_time_s: f64,
+        think_rng: &mut StdRng,
+    ) {
+        let completions = self.engines[i].step();
+        if self.disagg && i < self.prefill_wafers {
+            for (rec, t_done) in completions {
+                self.migrate(i, rec, t_done);
+            }
+        } else {
+            for (_, t_done) in completions {
+                release_gated(arrivals, gated, t_done, think_time_s, think_rng);
+            }
+        }
+    }
+
+    /// Ships one finished prefill's KV to a decode wafer: places the
+    /// sequence (prefix-aware policies steer toward resident prefixes),
+    /// deduplicates the bytes already cached on the target, charges the
+    /// remaining transfer from the link model, and submits it for
+    /// imported-KV decode gated on the migration's landing time.
+    fn migrate(&mut self, from: usize, rec: usize, t_done: f64) {
+        let record = self.engines[from].records()[rec];
+        let mut request = Request::new(record.id, record.prompt_len, record.decode_len);
+        if let Some(p) = record.shared_prefix {
+            request = request.with_shared_prefix(p.group, p.tokens);
+        }
+        let decode = &self.engines[self.prefill_wafers..];
+        let to = self.placement.place(decode, from, self.prefill_wafers, &request);
+        assert!(to < decode.len(), "placement returned wafer {to} of a {}-wafer pool", decode.len());
+        // Bytes already resident on the target's prefix cache never touch
+        // the wire; `Engine::submit_imported` performs the identical lookup
+        // at this same instant, so the wire accounting matches.
+        let deduped = decode[to].prefix_cached_tokens(&request).min(record.prompt_len);
+        let wire_tokens = record.prompt_len - deduped;
+        let bytes = wire_tokens as u64 * self.kv_bytes_per_token;
+        let hops = (self.prefill_wafers - from) + to;
+        let arrive_s = t_done + self.link.transfer_time_s(bytes, hops);
+        let global_to = self.prefill_wafers + to;
+        self.engines[global_to].submit_imported(request, record.arrival_s, arrive_s, record.id, global_to);
+        self.migrations.push(Migration {
+            id: record.id,
+            from_wafer: from,
+            to_wafer: global_to,
+            tokens: wire_tokens as u64,
+            deduped_tokens: deduped as u64,
+            bytes,
+            start_s: t_done,
+            arrive_s,
+            wafer_hops: hops,
+            energy_j: self.link.transfer_energy_j(bytes, hops),
+        });
+    }
+
+    /// Assembles the unified report. Disaggregated per-request records are
+    /// merged across pools (arrival and prefill admission from the prefill
+    /// side, first-token and completion from the decode side), and KV
+    /// migration accounting is reconciled against both pools' managers.
+    fn report(
+        &self,
+        timed: &TimedTrace,
+        slo: &SloConfig,
+        horizon_s: f64,
+        deployment: DeploymentInfo,
+        injector: Option<FaultInjector>,
+    ) -> RunReport {
+        let records = if self.disagg {
+            let mut merged: Vec<RequestRecord> = self.engines[..self.prefill_wafers]
+                .iter()
+                .flat_map(|e| e.records().iter().copied())
+                .collect();
+            let decode_by_id: HashMap<usize, &RequestRecord> = self.engines[self.prefill_wafers..]
+                .iter()
+                .flat_map(|e| e.records().iter())
+                .map(|r| (r.id, r))
+                .collect();
+            for r in &mut merged {
+                match decode_by_id.get(&r.id) {
+                    Some(d) => {
+                        // A completed prefill is not a completed request:
+                        // the decode side owns first-token and completion.
+                        r.wafer = d.wafer;
+                        r.first_token_s = d.first_token_s;
+                        r.completed_s = d.completed_s;
+                        r.evictions += d.evictions;
+                    }
+                    None => {
+                        r.completed_s = f64::NAN;
+                    }
+                }
+            }
+            merged
+        } else {
+            self.engines.iter().flat_map(|e| e.records().iter().copied()).collect()
+        };
+        let mut records = records;
+        records.sort_by_key(|r| r.id);
+
+        let queued: usize = self.engines.iter().map(Engine::queue_len).sum();
+        let in_flight: usize = self.engines.iter().map(Engine::resident).sum();
+        let dropped: usize = self.engines.iter().map(|e| e.stats().dropped as usize).sum();
+        let evictions: u64 = self.engines.iter().map(|e| e.stats().evictions).sum();
+        let prefilled_tokens: u64 = self.engines.iter().map(|e| e.stats().prefilled_tokens).sum();
+        let cached_prefix_tokens: u64 = self.engines.iter().map(|e| e.stats().cached_prefix_tokens).sum();
+        let end_s =
+            self.engines.iter().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
+        let util = |engines: &[Engine]| -> f64 {
+            if end_s > 0.0 {
+                engines.iter().map(|e| e.busy_s().min(end_s) / end_s).sum::<f64>() / engines.len() as f64
+            } else {
+                0.0
+            }
+        };
+        let (utilization, migration) = if self.disagg {
+            let prefill = &self.engines[..self.prefill_wafers];
+            let decode = &self.engines[self.prefill_wafers..];
+            let prefill_utilization = util(prefill);
+            let decode_utilization = util(decode);
+            let utilization = (prefill_utilization * prefill.len() as f64
+                + decode_utilization * decode.len() as f64)
+                / self.engines.len() as f64;
+
+            let exported_tokens: u64 = prefill.iter().map(|e| e.kv_transfers().exported_tokens).sum();
+            let imported_tokens: u64 = decode.iter().map(|e| e.kv_transfers().imported_tokens).sum();
+            let in_flight_tokens: u64 = decode.iter().map(|e| e.pending_imported_tokens() as u64).sum();
+            let dropped_tokens: u64 = decode.iter().map(|e| e.stats().dropped_imported_tokens).sum();
+            let deduped_tokens: u64 = self.migrations.iter().map(|m| m.deduped_tokens).sum();
+            let migration_times: Vec<f64> = self.migrations.iter().map(|m| m.arrive_s - m.start_s).collect();
+            let stats = MigrationStats {
+                migrations: self.migrations.len(),
+                migrated_tokens: self.migrations.iter().map(|m| m.tokens).sum(),
+                exported_kv_bytes: exported_tokens * self.kv_bytes_per_token,
+                imported_kv_bytes: imported_tokens * self.kv_bytes_per_token,
+                in_flight_kv_bytes: in_flight_tokens * self.kv_bytes_per_token,
+                dropped_kv_bytes: dropped_tokens * self.kv_bytes_per_token,
+                deduped_kv_bytes: deduped_tokens * self.kv_bytes_per_token,
+                mean_migration_s: if migration_times.is_empty() {
+                    0.0
+                } else {
+                    migration_times.iter().sum::<f64>() / migration_times.len() as f64
+                },
+                max_migration_s: migration_times.iter().fold(0.0, |a: f64, &b| a.max(b)),
+                link_energy_j: self.migrations.iter().map(|m| m.energy_j).sum(),
+                prefill_utilization,
+                decode_utilization,
+            };
+            (utilization, Some(stats))
+        } else {
+            (util(&self.engines), None)
+        };
+
+        let serving = ServingReport::from_records(
+            &records,
+            slo,
+            timed.config.offered_rps(),
+            RunTotals {
+                queued_at_horizon: queued,
+                in_flight_at_horizon: in_flight,
+                dropped,
+                evictions,
+                prefilled_tokens,
+                cached_prefix_tokens,
+                duration_s: end_s,
+                utilization,
+            },
+        );
+        let faults = injector.map(|inj| inj.report(serving.duration_s));
+        RunReport { schema_version: SCHEMA_VERSION, deployment, serving, migration, faults }
+    }
+}
+
+/// Feeds one closed-loop release back into a sorted arrival queue after a
+/// completion at `t_done`: the next gated request (if any) is released
+/// after an exponential think time drawn from `think_rng`.
+fn release_gated(
+    arrivals: &mut VecDeque<(f64, usize)>,
+    gated: &mut VecDeque<usize>,
+    t_done: f64,
+    think_time_s: f64,
+    think_rng: &mut StdRng,
+) {
+    let Some(next) = gated.pop_front() else { return };
+    let think: f64 = if think_time_s > 0.0 {
+        ouro_workload::arrival::exponential(think_rng, 1.0 / think_time_s)
+    } else {
+        0.0
+    };
+    let release = t_done + think;
+    // Released arrivals are appended in completion order; engine clocks
+    // only move forward, so later releases sort later.
+    let pos = arrivals.partition_point(|&(t, _)| t <= release);
+    arrivals.insert(pos, (release, next));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{placements, routers};
+    use ouro_model::zoo;
+    use ouro_sim::OuroborosConfig;
+    use ouro_workload::{ArrivalConfig, LengthConfig, SessionConfig, TraceGenerator};
+
+    fn tiny_system() -> OuroborosSystem {
+        OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+    }
+
+    fn slo() -> SloConfig {
+        SloConfig { ttft_s: 0.5, tpot_s: 0.05 }
+    }
+
+    fn timed(n: usize, rate: f64, seed: u64) -> TimedTrace {
+        let trace = TraceGenerator::new(seed).generate(&LengthConfig::fixed(64, 32), n);
+        ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+    }
+
+    // ---- colocated deployments -------------------------------------------
+
+    #[test]
+    fn colocated_scenario_completes_a_light_open_loop_workload() {
+        let sys = tiny_system();
+        let report = Scenario::colocated(2)
+            .router(routers::round_robin())
+            .slo(slo())
+            .workload(timed(40, 50.0, 1))
+            .run(&sys)
+            .unwrap();
+        assert_eq!(report.deployment.kind, "colocated");
+        assert_eq!(report.deployment.router, "round-robin");
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert!(report.migration.is_none() && report.faults.is_none());
+        assert_eq!(report.serving.injected, 40);
+        assert_eq!(report.serving.completed, 40);
+        assert!(report.is_conserved());
+        assert!(report.serving.ttft.count > 0);
+        assert!(report.serving.achieved_rps > 0.0);
+        assert!(report.serving.utilization > 0.0 && report.serving.utilization <= 1.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_requests_evenly() {
+        let sys = tiny_system();
+        let outcome = Scenario::colocated(4)
+            .router(routers::round_robin())
+            .slo(slo())
+            .workload(timed(40, 100.0, 2))
+            .run_full(&sys)
+            .unwrap();
+        assert!(outcome.report.is_conserved());
+        for e in outcome.engines() {
+            assert_eq!(e.records().len(), 10);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report_for_every_router() {
+        // Regression for deterministic tie-breaking: JoinShortestQueue and
+        // LeastKvLoad see frequent exact score ties (idle engines), which
+        // must resolve identically run over run. A scenario is reusable:
+        // rerunning it clones fresh policy state.
+        let sys = tiny_system();
+        for router in [
+            routers::round_robin(),
+            routers::join_shortest_queue(),
+            routers::least_kv_load(),
+            routers::prefix_affinity(),
+        ] {
+            let name = router.name();
+            let scenario = Scenario::colocated(3).router(router).slo(slo()).workload(timed(90, 500.0, 17));
+            assert_eq!(
+                scenario.run(&sys).unwrap(),
+                scenario.run(&sys).unwrap(),
+                "{name} must be deterministic under a fixed seed"
+            );
+        }
+    }
+
+    #[test]
+    fn score_ties_break_toward_the_lowest_wafer_index() {
+        let sys = tiny_system();
+        for router in [routers::join_shortest_queue(), routers::least_kv_load(), routers::prefix_affinity()] {
+            let name = router.name();
+            // All four engines are idle and identical: a perfect four-way tie.
+            let trace = TraceGenerator::new(8).generate(&LengthConfig::fixed(16, 4), 1);
+            let t = ArrivalConfig::Poisson { rate_rps: 10.0 }.assign(&trace, 8);
+            let outcome =
+                Scenario::colocated(4).router(router).slo(slo()).workload(t).run_full(&sys).unwrap();
+            assert!(outcome.report.is_conserved());
+            assert_eq!(outcome.engines()[0].records().len(), 1, "{name}: a full tie must route to wafer 0");
+        }
+    }
+
+    #[test]
+    fn horizon_truncates_and_conserves() {
+        let sys = tiny_system();
+        // Absurd overload with a tight horizon: arrivals span ~10ms but the
+        // horizon cuts at 5ms, and 50k rps is far beyond one tiny wafer.
+        let report = Scenario::colocated(1)
+            .router(routers::round_robin())
+            .slo(slo())
+            .horizon(0.005)
+            .workload(timed(500, 50_000.0, 4))
+            .run(&sys)
+            .unwrap();
+        let s = &report.serving;
+        assert!(
+            report.is_conserved(),
+            "injected {} != completed {} + queued {} + in-flight {} + dropped {}",
+            s.injected,
+            s.completed,
+            s.queued_at_horizon,
+            s.in_flight_at_horizon,
+            s.dropped
+        );
+        assert!(s.injected < 500, "horizon must cut off late arrivals");
+        assert!(s.queued_at_horizon + s.in_flight_at_horizon > 0);
+        assert!(s.duration_s <= 0.005 + 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request() {
+        let sys = tiny_system();
+        let trace = TraceGenerator::new(9).generate(&LengthConfig::fixed(32, 16), 30);
+        let t = ArrivalConfig::ClosedLoop { users: 4, think_time_s: 0.01 }.assign(&trace, 9);
+        let outcome = Scenario::colocated(2)
+            .router(routers::join_shortest_queue())
+            .slo(slo())
+            .workload(t)
+            .run_full(&sys)
+            .unwrap();
+        assert_eq!(outcome.report.serving.injected, 30);
+        assert_eq!(outcome.report.serving.completed, 30);
+        assert!(outcome.report.is_conserved());
+        // With 4 users the cluster never holds more than 4 requests.
+        let peak: usize = outcome.engines().iter().map(|e| e.stats().peak_resident).max().unwrap();
+        assert!(peak <= 4, "closed loop caps concurrency, peak {peak}");
+    }
+
+    #[test]
+    fn prefix_affinity_steers_sharers_to_the_wafer_holding_their_prefix() {
+        let sys = tiny_system();
+        // One shared system prompt, every request on it, arrivals dense
+        // enough that sharers overlap in the cache.
+        let cfg = SessionConfig {
+            groups: 1,
+            shared_prefix_tokens: 256,
+            share_ratio: 1.0,
+            max_turns: 1,
+            user_turn_tokens: 32,
+            decode_tokens: 16,
+        };
+        let trace = cfg.generate(24, 21);
+        let t = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, 21);
+        let run = |router: Box<dyn Router>| {
+            let outcome =
+                Scenario::colocated(2).router(router).slo(slo()).workload(t.clone()).run_full(&sys).unwrap();
+            let loads: Vec<usize> = outcome.engines().iter().map(|e| e.records().len()).collect();
+            (outcome.report, loads)
+        };
+        let (affinity_report, affinity_loads) = run(routers::prefix_affinity());
+        let (spread_report, _) = run(routers::join_shortest_queue());
+        assert!(affinity_report.is_conserved() && spread_report.is_conserved());
+        assert!(
+            affinity_loads[0] > affinity_loads[1],
+            "prefix affinity must concentrate sharers on the wafer holding the chain: \
+             {affinity_loads:?}"
+        );
+        assert!(
+            affinity_report.serving.cached_prefix_tokens >= spread_report.serving.cached_prefix_tokens,
+            "affinity routing cannot hit the prefix cache less than spreading: {} vs {}",
+            affinity_report.serving.cached_prefix_tokens,
+            spread_report.serving.cached_prefix_tokens
+        );
+        assert!(affinity_report.serving.cached_prefix_tokens > 0, "overlapping sharers must hit the cache");
+        assert!(
+            affinity_report.serving.prefilled_tokens < spread_report.serving.prefilled_tokens,
+            "prefix hits must cut total prefilled tokens"
+        );
+    }
+
+    #[test]
+    fn routers_route_differently_under_skew() {
+        // One giant request pins wafer 0; LeastKvLoad steers followers away,
+        // RoundRobin does not.
+        let sys = tiny_system();
+        let trace = {
+            let mut t = TraceGenerator::new(5).generate(&LengthConfig::fixed(48, 24), 12);
+            t.requests[0] = Request::new(0, 600, 200);
+            t
+        };
+        let t = ArrivalConfig::Poisson { rate_rps: 5_000.0 }.assign(&trace, 5);
+        let run = |router: Box<dyn Router>| {
+            let outcome =
+                Scenario::colocated(2).router(router).slo(slo()).workload(t.clone()).run_full(&sys).unwrap();
+            let loads: Vec<usize> = outcome.engines().iter().map(|e| e.records().len()).collect();
+            (outcome.report, loads)
+        };
+        let (rr_report, rr_loads) = run(routers::round_robin());
+        let (lkv_report, lkv_loads) = run(routers::least_kv_load());
+        assert!(rr_report.is_conserved() && lkv_report.is_conserved());
+        assert_eq!(rr_loads, vec![6, 6], "round-robin splits 12 requests evenly");
+        assert!(
+            lkv_loads[0] < lkv_loads[1],
+            "least-kv-load must shield the wafer pinned by the giant request: {lkv_loads:?}"
+        );
+    }
+
+    // ---- disaggregated deployments ---------------------------------------
+
+    #[test]
+    fn disagg_scenario_serves_a_light_workload() {
+        let sys = tiny_system();
+        let report = Scenario::disaggregated(1, 1).slo(slo()).workload(timed(30, 50.0, 1)).run(&sys).unwrap();
+        assert_eq!(report.deployment.kind, "disaggregated");
+        assert_eq!(report.deployment.router, "join-shortest-queue");
+        assert_eq!(report.deployment.placement.as_deref(), Some("least-kv-load"));
+        assert_eq!(report.serving.injected, 30);
+        assert_eq!(report.serving.completed, 30);
+        assert!(report.is_conserved());
+        let m = report.migration.expect("disaggregated runs report migration stats");
+        assert_eq!(m.migrations, 30, "every request migrates exactly once");
+        assert!(
+            m.kv_bytes_conserved(),
+            "exported {} != imported {}",
+            m.exported_kv_bytes,
+            m.imported_kv_bytes
+        );
+        assert_eq!(m.exported_kv_bytes, m.imported_kv_bytes);
+        assert!(m.mean_migration_s > 0.0, "migrations take link time");
+        assert!(m.link_energy_j > 0.0);
+    }
+
+    #[test]
+    fn ttft_includes_prefill_queueing_and_migration() {
+        let sys = tiny_system();
+        let outcome =
+            Scenario::disaggregated(1, 1).slo(slo()).workload(timed(10, 100.0, 2)).run_full(&sys).unwrap();
+        // First token can only appear after the migration lands.
+        for m in outcome.migrations() {
+            assert!(m.arrive_s > m.start_s);
+        }
+        assert!(outcome.report.serving.ttft.count > 0);
+        assert!(
+            outcome.report.serving.ttft.mean_s
+                > outcome.migrations()[0].arrive_s - outcome.migrations()[0].start_s
+        );
+    }
+
+    #[test]
+    fn prefix_affinity_placement_dedupes_migration_bytes() {
+        let sys = tiny_system();
+        let cfg_trace = SessionConfig {
+            groups: 1,
+            shared_prefix_tokens: 256,
+            share_ratio: 1.0,
+            max_turns: 1,
+            user_turn_tokens: 32,
+            decode_tokens: 16,
+        };
+        let trace = cfg_trace.generate(20, 31);
+        let t = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, 31);
+        let run = |placement: Box<dyn Placement>| {
+            Scenario::disaggregated(1, 2)
+                .placement(placement)
+                .slo(slo())
+                .workload(t.clone())
+                .run(&sys)
+                .unwrap()
+        };
+        let affinity = run(placements::prefix_affinity());
+        let spread = run(placements::least_kv_load());
+        assert!(affinity.is_conserved() && spread.is_conserved());
+        assert!(affinity.kv_bytes_conserved(), "dedup must keep the byte identity closed");
+        assert!(spread.kv_bytes_conserved());
+        let am = affinity.migration.unwrap();
+        let sm = spread.migration.unwrap();
+        assert!(
+            am.deduped_kv_bytes > 0,
+            "overlapping sharers placed on one wafer must skip resident prefix bytes"
+        );
+        assert!(
+            am.imported_kv_bytes < am.exported_kv_bytes,
+            "deduplicated migrations ship fewer bytes than were exported"
+        );
+        assert!(
+            am.deduped_kv_bytes >= sm.deduped_kv_bytes,
+            "prefix-affinity placement cannot dedup less than load-based placement: {} vs {}",
+            am.deduped_kv_bytes,
+            sm.deduped_kv_bytes
+        );
+        // Determinism of the prefix-aware run.
+        assert_eq!(run(placements::prefix_affinity()), affinity);
+    }
+
+    #[test]
+    fn same_seed_same_disagg_report_for_every_placement() {
+        let sys = tiny_system();
+        for placement in [
+            placements::least_kv_load(),
+            placements::most_free_blocks(),
+            placements::locality_aware(),
+            placements::prefix_affinity(),
+        ] {
+            let name = placement.name();
+            let scenario =
+                Scenario::disaggregated(2, 2).placement(placement).slo(slo()).workload(timed(60, 400.0, 3));
+            assert_eq!(
+                scenario.run(&sys).unwrap(),
+                scenario.run(&sys).unwrap(),
+                "{name} must be deterministic under a fixed seed"
+            );
+        }
+    }
+
+    #[test]
+    fn disagg_horizon_truncates_and_conserves_requests_and_bytes() {
+        let sys = tiny_system();
+        let report = Scenario::disaggregated(1, 1)
+            .slo(slo())
+            .horizon(0.004)
+            .workload(timed(300, 20_000.0, 4))
+            .run(&sys)
+            .unwrap();
+        let s = &report.serving;
+        assert!(
+            report.is_conserved(),
+            "injected {} != completed {} + queued {} + in-flight {} + dropped {}",
+            s.injected,
+            s.completed,
+            s.queued_at_horizon,
+            s.in_flight_at_horizon,
+            s.dropped
+        );
+        assert!(report.kv_bytes_conserved());
+        assert!(s.duration_s <= 0.004 + 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_disagg_serves_every_request() {
+        let sys = tiny_system();
+        let trace = TraceGenerator::new(9).generate(&LengthConfig::fixed(32, 16), 24);
+        let t = ArrivalConfig::ClosedLoop { users: 4, think_time_s: 0.01 }.assign(&trace, 9);
+        let report = Scenario::disaggregated(1, 2).slo(slo()).workload(t).run(&sys).unwrap();
+        assert_eq!(report.serving.injected, 24);
+        assert_eq!(report.serving.completed, 24);
+        assert!(report.is_conserved());
+        assert!(report.kv_bytes_conserved());
+    }
+
+    #[test]
+    fn locality_aware_prefers_near_decode_wafers() {
+        let sys = tiny_system();
+        let outcome = Scenario::disaggregated(1, 3)
+            .placement(placements::locality_aware())
+            .slo(slo())
+            .workload(timed(12, 30.0, 5))
+            .run_full(&sys)
+            .unwrap();
+        // Light load: every placement lands on the nearest decode wafer.
+        let near: usize = outcome.migrations().iter().filter(|m| m.to_wafer == 1).count();
+        assert!(
+            near > outcome.migrations().len() / 2,
+            "locality-aware must favour the nearest decode wafer under light load"
+        );
+        let hops: Vec<usize> = outcome.migrations().iter().map(|m| m.wafer_hops).collect();
+        assert!(hops.iter().all(|&h| h >= 1), "every migration crosses at least one boundary");
+    }
+
+    #[test]
+    fn placement_policies_spread_load_under_pressure() {
+        let sys = tiny_system();
+        for placement in [placements::least_kv_load(), placements::most_free_blocks()] {
+            let name = placement.name();
+            let outcome = Scenario::disaggregated(1, 2)
+                .placement(placement)
+                .slo(slo())
+                .workload(timed(80, 2_000.0, 6))
+                .run_full(&sys)
+                .unwrap();
+            assert!(outcome.report.is_conserved());
+            let counts: Vec<usize> = outcome.decode_engines().iter().map(|e| e.records().len()).collect();
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{name} must use every decode wafer under sustained load: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_landing_migration_is_not_stranded_by_a_prior_announcement() {
+        use ouro_workload::TimedRequest;
+        let sys = tiny_system();
+        let mk_trace = |arrivals: Vec<TimedRequest>| TimedTrace {
+            arrivals,
+            config: ArrivalConfig::Poisson { rate_rps: 1.0 },
+            seed: 0,
+        };
+        let run = |arrivals| {
+            Scenario::disaggregated(2, 1).slo(slo()).workload(mk_trace(arrivals)).run_full(&sys).unwrap()
+        };
+        // Probe: when does a lone 1500-token prefill announce its migration?
+        let probe = run(vec![TimedRequest { request: Request::new(0, 1500, 4), arrival_s: 0.0 }]);
+        let announce_s = probe.migrations()[0].start_s;
+
+        // A tiny request arrives just after the bulk migration is announced:
+        // its prefill finishes — and its small migration lands — while the
+        // 1500-token transfer is still serialising. The decode engine must
+        // not have committed its clock to the bulk landing in the meantime.
+        let outcome = run(vec![
+            TimedRequest { request: Request::new(0, 1500, 4), arrival_s: 0.0 },
+            TimedRequest { request: Request::new(1, 32, 4), arrival_s: announce_s * 1.000_001 },
+        ]);
+        let bulk = outcome.migrations().iter().find(|m| m.id == 0).copied().unwrap();
+        let small = outcome.migrations().iter().find(|m| m.id == 1).copied().unwrap();
+        assert!(
+            small.arrive_s < bulk.arrive_s,
+            "scenario guard: the small migration ({} s) must land before the bulk one ({} s)",
+            small.arrive_s,
+            bulk.arrive_s
+        );
+        let records = outcome.decode_engines()[0].records();
+        let b = records.iter().find(|r| r.id == 1).unwrap();
+        assert!(
+            b.admitted_s < bulk.arrive_s,
+            "the early-landing migration (landed {}) must be admitted before the bulk one lands \
+             ({}), not at the decode engine's pre-committed clock: admitted {}",
+            small.arrive_s,
+            bulk.arrive_s,
+            b.admitted_s
+        );
+    }
+
+    #[test]
+    fn decode_wafers_never_recompute_unless_evicted() {
+        let sys = tiny_system();
+        let outcome =
+            Scenario::disaggregated(1, 1).slo(slo()).workload(timed(20, 100.0, 7)).run_full(&sys).unwrap();
+        assert!(outcome.report.is_conserved());
+        if outcome.report.serving.evictions == 0 {
+            for e in outcome.decode_engines() {
+                assert_eq!(e.stats().recomputed_tokens, 0, "imported KV must not be recomputed");
+            }
+        }
+    }
+
+    // ---- faults across both shapes ---------------------------------------
+
+    #[test]
+    fn faults_on_either_pool_conserve_requests_and_bytes() {
+        let sys = tiny_system();
+        let scenario = Scenario::disaggregated(2, 2)
+            .slo(slo())
+            .faults(FaultConfig::new(0.02, 8))
+            .workload(timed(50, 400.0, 8));
+        let report = scenario.run(&sys).unwrap();
+        let faults = report.faults.as_ref().expect("a fault plan was armed");
+        assert!(faults.faults_injected > 0, "a 20ms MTBF must fire during this run");
+        assert!(faults.availability < 1.0);
+        let s = &report.serving;
+        assert!(
+            report.is_conserved(),
+            "faults must not lose requests: injected {} completed {} queued {} in-flight {} dropped {}",
+            s.injected,
+            s.completed,
+            s.queued_at_horizon,
+            s.in_flight_at_horizon,
+            s.dropped
+        );
+        assert!(report.kv_bytes_conserved(), "migration bytes stay conserved under faults");
+        // Identical seeds reproduce the whole degraded run.
+        assert_eq!(scenario.run(&sys).unwrap(), report);
+    }
+
+    #[test]
+    fn colocated_zero_fault_rate_matches_the_clean_run_metrics() {
+        // An MTBF far beyond the window injects nothing; the fault-armed
+        // scenario must then reproduce the clean scenario's serving metrics
+        // exactly (only the fault section differs: empty vs absent).
+        let sys = tiny_system();
+        let t = timed(30, 200.0, 9);
+        let base = Scenario::colocated(2).router(routers::round_robin()).slo(slo()).workload(t);
+        let clean = base.clone().run(&sys).unwrap();
+        let faulty = base.faults(FaultConfig::new(1e12, 9)).run(&sys).unwrap();
+        assert_eq!(clean.serving, faulty.serving);
+        let f = faulty.faults.unwrap();
+        assert_eq!(f.faults_injected, 0);
+        assert_eq!(f.availability, 1.0);
+        assert!(clean.faults.is_none());
+    }
+
+    // ---- builder surface --------------------------------------------------
+
+    #[test]
+    fn prefix_caching_toggle_reaches_every_engine() {
+        let sys = tiny_system();
+        let cfg = SessionConfig {
+            groups: 1,
+            shared_prefix_tokens: 256,
+            share_ratio: 1.0,
+            max_turns: 1,
+            user_turn_tokens: 32,
+            decode_tokens: 16,
+        };
+        let trace = cfg.generate(16, 3);
+        let t = ArrivalConfig::Poisson { rate_rps: 2_000.0 }.assign(&trace, 3);
+        let run = |caching: bool| {
+            Scenario::colocated(2).prefix_caching(caching).slo(slo()).workload(t.clone()).run(&sys).unwrap()
+        };
+        assert_eq!(run(false).serving.cached_prefix_tokens, 0);
+        assert!(run(true).serving.cached_prefix_tokens > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a workload")]
+    fn running_without_a_workload_panics_with_a_clear_message() {
+        let sys = tiny_system();
+        let _ = Scenario::colocated(1).run(&sys);
+    }
+
+    #[test]
+    fn with_deployment_round_trips() {
+        let d = Deployment::Disaggregated(DisaggConfig::new(2, 3));
+        assert_eq!(Scenario::with_deployment(d).deployment(), d);
+        let c = Deployment::Colocated { wafers: 4 };
+        assert_eq!(Scenario::with_deployment(c).deployment(), c);
+    }
+}

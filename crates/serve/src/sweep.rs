@@ -5,11 +5,15 @@
 //! latency, and SLO goodput at every point. Below saturation the achieved
 //! rate tracks the offered rate; past it the queue grows without bound,
 //! goodput flattens or falls, and tail latency explodes — the knee locates
-//! the wafer's serving capacity.
+//! the wafer's serving capacity. Each point is one colocated
+//! [`crate::scenario::Scenario`] run, so sweep rows share the unified
+//! [`RunReport`] schema.
 
-use crate::cluster::{Cluster, RoutePolicy};
 use crate::engine::EngineConfig;
-use crate::metrics::{ServingReport, SloConfig};
+use crate::metrics::SloConfig;
+use crate::policy::{routers, Router};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
 use ouro_sim::{HwStageTimes, OuroborosSystem};
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -28,7 +32,7 @@ pub struct LoadSweep {
     /// Number of wafers in the cluster.
     pub wafers: usize,
     /// Routing policy.
-    pub policy: RoutePolicy,
+    pub router: Box<dyn Router>,
     /// Per-engine tuning.
     pub engine: EngineConfig,
     /// Latency SLO for goodput.
@@ -42,8 +46,8 @@ pub struct LoadSweep {
 pub struct SweepPoint {
     /// Offered load in requests per second.
     pub offered_rps: f64,
-    /// The serving metrics at this load.
-    pub report: ServingReport,
+    /// The unified run report at this load.
+    pub report: RunReport,
 }
 
 impl LoadSweep {
@@ -63,14 +67,14 @@ impl LoadSweep {
             lengths,
             seed: 2026,
             wafers,
-            policy: RoutePolicy::LeastKvLoad,
+            router: routers::least_kv_load(),
             engine: EngineConfig::default(),
             slo,
             horizon_s: f64::INFINITY,
         }
     }
 
-    /// Runs the sweep against replicas of `system`, one cluster per offered
+    /// Runs the sweep against replicas of `system`, one scenario per offered
     /// load.
     pub fn run(&self, system: &OuroborosSystem) -> Vec<SweepPoint> {
         let trace = TraceGenerator::new(self.seed).generate(&self.lengths, self.requests);
@@ -78,9 +82,14 @@ impl LoadSweep {
             .iter()
             .map(|&rate| {
                 let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, self.seed);
-                let mut cluster = Cluster::replicate(system, self.wafers, self.policy, self.engine)
+                let report = Scenario::colocated(self.wafers)
+                    .router(self.router.clone())
+                    .engine(self.engine)
+                    .slo(self.slo)
+                    .horizon(self.horizon_s)
+                    .workload(timed)
+                    .run(system)
                     .expect("system was built with KV cores");
-                let report = cluster.run(&timed, &self.slo, self.horizon_s);
                 SweepPoint { offered_rps: rate, report }
             })
             .collect()
@@ -124,7 +133,7 @@ pub fn format_sweep(points: &[SweepPoint]) -> String {
         "util"
     ));
     for p in points {
-        let r = &p.report;
+        let r = &p.report.serving;
         out.push_str(&format!(
             "{:>10.1} {:>10.1} {:>10.1} {:>10.0} {:>10.1}ms {:>10.1}ms {:>10.3}ms {:>10.3}ms {:>7.1}% {:>6.1}%\n",
             p.offered_rps,
@@ -166,14 +175,14 @@ mod tests {
         assert_eq!(points.len(), 6);
         for w in points.windows(2) {
             assert!(
-                w[1].report.output_tokens_per_s >= w[0].report.output_tokens_per_s * 0.95,
+                w[1].report.serving.output_tokens_per_s >= w[0].report.serving.output_tokens_per_s * 0.95,
                 "token throughput must not collapse as load rises: {} then {}",
-                w[0].report.output_tokens_per_s,
-                w[1].report.output_tokens_per_s
+                w[0].report.serving.output_tokens_per_s,
+                w[1].report.serving.output_tokens_per_s
             );
         }
         // Under light load everything completes; the table formats.
-        assert_eq!(points[0].report.completed, 80);
+        assert_eq!(points[0].report.serving.completed, 80);
         let table = format_sweep(&points);
         assert!(table.contains("offered/s"));
         for p in &points {
@@ -190,8 +199,8 @@ mod tests {
         let mut sweep = LoadSweep::around_capacity(capacity, 1, lengths, slo);
         sweep.requests = 60;
         let points = sweep.run(&sys);
-        let first = &points[0].report;
-        let last = &points[points.len() - 1].report;
+        let first = &points[0].report.serving;
+        let last = &points[points.len() - 1].report.serving;
         assert!(
             last.ttft.p99_s >= first.ttft.p99_s,
             "p99 TTFT should not shrink under overload: {} vs {}",

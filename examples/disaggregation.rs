@@ -16,11 +16,9 @@
 //! cargo run --release --example disaggregation
 //! ```
 
-use ouroboros::disagg::{
-    best_ratio, format_shootout, head_to_head, DecodePlacement, RatioPlanner, ShootoutConfig,
-};
+use ouroboros::disagg::{best_ratio, format_shootout, head_to_head, RatioPlanner, ShootoutConfig};
 use ouroboros::model::zoo;
-use ouroboros::serve::{capacity_rps_estimate, ideal_latencies, EngineConfig, RoutePolicy, SloConfig};
+use ouroboros::serve::{capacity_rps_estimate, ideal_latencies, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -62,29 +60,27 @@ fn main() {
     println!("{:<10} {:>11} {:>11} {:>11} {:>12}", "split", "ttft-p99", "tpot-p99", "goodput/s", "migr (MB)");
     for p in &plans {
         let s = &p.report.serving;
+        let m = p.report.migration.as_ref().expect("disaggregated runs report migration stats");
         println!(
             "{:<10} {:>9.1}ms {:>9.3}ms {:>11.1} {:>12.1}",
             format!("{}p:{}d", p.prefill_wafers, p.decode_wafers),
             s.ttft.p99_s * 1e3,
             s.tpot.p99_s * 1e3,
             s.goodput_rps,
-            p.report.exported_kv_bytes as f64 / 1e6,
+            m.exported_kv_bytes as f64 / 1e6,
         );
 
         // Invariant 1: KV-migration bytes are conserved at every split.
-        assert!(p.report.serving.is_conserved(), "request conservation must hold");
+        assert!(p.report.is_conserved(), "request conservation must hold");
         assert!(
             p.report.kv_bytes_conserved(),
             "migration bytes must be conserved: exported {} != imported {} + in-flight {} + dropped {}",
-            p.report.exported_kv_bytes,
-            p.report.imported_kv_bytes,
-            p.report.in_flight_kv_bytes,
-            p.report.dropped_kv_bytes
+            m.exported_kv_bytes,
+            m.imported_kv_bytes,
+            m.in_flight_kv_bytes,
+            m.dropped_kv_bytes
         );
-        assert_eq!(
-            p.report.exported_kv_bytes, p.report.imported_kv_bytes,
-            "a drained run imports every exported byte"
-        );
+        assert_eq!(m.exported_kv_bytes, m.imported_kv_bytes, "a drained run imports every exported byte");
     }
 
     // Invariant 2: the planner's ratio dominates every swept ratio.
@@ -109,21 +105,11 @@ fn main() {
     );
 
     // --- 2. Colocated vs disaggregated at equal wafer count. ---
-    let shootout = ShootoutConfig {
-        wafers: WAFERS,
-        prefill_wafers: best.prefill_wafers,
-        rates_rps: vec![0.5 * rate, rate, 1.5 * rate],
-        cv: 4.0,
-        requests: REQUESTS,
-        lengths,
-        seed: SEED,
-        slo,
-        colocated_policy: RoutePolicy::LeastKvLoad,
-        placement: DecodePlacement::LeastKvLoad,
-        engine: EngineConfig::default(),
-        horizon_s: f64::INFINITY,
-        fault: None,
-    };
+    let mut shootout = ShootoutConfig::new(WAFERS, best.prefill_wafers, vec![0.5 * rate, rate, 1.5 * rate]);
+    shootout.requests = REQUESTS;
+    shootout.lengths = lengths;
+    shootout.seed = SEED;
+    shootout.slo = slo;
     let points = head_to_head(&system, &shootout).expect("clusters build");
     println!(
         "=== colocated vs disaggregated ({}p:{}d), equal {WAFERS}-wafer budget ===",
@@ -132,28 +118,29 @@ fn main() {
     print!("{}", format_shootout(&points));
 
     for p in &points {
-        assert!(p.colocated.is_conserved() && p.disagg.serving.is_conserved());
+        assert!(p.colocated.is_conserved() && p.disagg.is_conserved());
         assert!(p.disagg.kv_bytes_conserved());
 
         // Invariant 3: the decode tail is isolated from prefill bursts.
         assert!(
-            p.disagg.serving.tpot.p99_s < p.colocated.tpot.p99_s,
+            p.disagg.serving.tpot.p99_s < p.colocated.serving.tpot.p99_s,
             "at {:.0} req/s disaggregated p99 TPOT ({:.3} ms) must beat colocated ({:.3} ms)",
             p.rate_rps,
             p.disagg.serving.tpot.p99_s * 1e3,
-            p.colocated.tpot.p99_s * 1e3
+            p.colocated.serving.tpot.p99_s * 1e3
         );
     }
 
     let mid = &points[1];
+    let mid_m = mid.disagg.migration.as_ref().expect("disaggregated runs report migration stats");
     println!(
         "\nat {:.0} req/s: disaggregated p99 TPOT is {:.1}% of colocated's \
          ({} migrations, {:.1} MB KV moved, mean migration {:.2} ms, link energy {:.2} J)",
         mid.rate_rps,
-        100.0 * mid.disagg.serving.tpot.p99_s / mid.colocated.tpot.p99_s,
-        mid.disagg.migrations,
-        mid.disagg.exported_kv_bytes as f64 / 1e6,
-        mid.disagg.mean_migration_s * 1e3,
-        mid.disagg.link_energy_j
+        100.0 * mid.disagg.serving.tpot.p99_s / mid.colocated.serving.tpot.p99_s,
+        mid_m.migrations,
+        mid_m.exported_kv_bytes as f64 / 1e6,
+        mid_m.mean_migration_s * 1e3,
+        mid_m.link_energy_j
     );
 }

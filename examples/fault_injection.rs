@@ -8,7 +8,7 @@
 //! ```
 
 use ouroboros::model::zoo;
-use ouroboros::serve::{EngineConfig, FaultComparison, FaultConfig, RoutePolicy, SloConfig};
+use ouroboros::serve::{routers, EngineConfig, FaultComparison, FaultConfig, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 
@@ -35,7 +35,7 @@ fn main() {
     let cmp = FaultComparison::measure(
         &system,
         wafers,
-        RoutePolicy::LeastKvLoad,
+        routers::least_kv_load(),
         EngineConfig::default(),
         &timed,
         &slo,

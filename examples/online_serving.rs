@@ -2,9 +2,10 @@
 //! traffic, swept from light load past saturation.
 //!
 //! For each offered load the cluster serves the same fixed-seed
-//! WikiText-2-like request mix; the table reports achieved throughput, TTFT
-//! and TPOT percentiles, and goodput under a 10x-unloaded-latency SLO. The
-//! final section compares routing policies at the highest swept load.
+//! WikiText-2-like request mix through one colocated `Scenario`; the table
+//! reports achieved throughput, TTFT and TPOT percentiles, and goodput
+//! under a 10x-unloaded-latency SLO. The final section compares routing
+//! policies at the highest swept load.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -12,8 +13,7 @@
 
 use ouroboros::model::zoo;
 use ouroboros::serve::{
-    capacity_rps_estimate, format_sweep, ideal_latencies, Cluster, EngineConfig, LoadSweep, RoutePolicy,
-    SloConfig,
+    capacity_rps_estimate, format_sweep, ideal_latencies, routers, LoadSweep, Router, Scenario, SloConfig,
 };
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
@@ -45,7 +45,7 @@ fn main() {
     let mut sweep = LoadSweep::around_capacity(capacity, WAFERS, lengths.clone(), slo);
     sweep.seed = SEED;
     sweep.requests = 200;
-    sweep.policy = RoutePolicy::LeastKvLoad;
+    sweep.router = routers::least_kv_load();
     println!("=== Poisson load sweep, {} requests/point, least-kv-load routing ===", sweep.requests);
     let points = sweep.run(&system);
     print!("{}", format_sweep(&points));
@@ -53,17 +53,18 @@ fn main() {
     // The throughput-vs-load curve must rise to saturation and then hold.
     for w in points.windows(2) {
         assert!(
-            w[1].report.output_tokens_per_s >= w[0].report.output_tokens_per_s * 0.95,
+            w[1].report.serving.output_tokens_per_s >= w[0].report.serving.output_tokens_per_s * 0.95,
             "throughput-vs-load curve must be monotone (within tolerance): {:.0} tok/s then {:.0} tok/s",
-            w[0].report.output_tokens_per_s,
-            w[1].report.output_tokens_per_s
+            w[0].report.serving.output_tokens_per_s,
+            w[1].report.serving.output_tokens_per_s
         );
     }
     for p in &points {
         assert!(p.report.is_conserved(), "request conservation must hold at every load");
     }
 
-    // Routing-policy shootout at the highest swept load.
+    // Routing-policy shootout at the highest swept load: the same scenario,
+    // one builder call different.
     let top_rate = *sweep.rates_rps.last().expect("sweep has points");
     let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
     let timed = ArrivalConfig::Poisson { rate_rps: top_rate }.assign(&trace, SEED);
@@ -73,23 +74,30 @@ fn main() {
         "policy", "ttft-p50", "ttft-p99", "tpot-p99", "goodput/s", "evictions"
     );
     let mut by_policy = Vec::new();
-    for policy in [RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue, RoutePolicy::LeastKvLoad] {
-        let mut cluster =
-            Cluster::replicate(&system, WAFERS, policy, EngineConfig::default()).expect("cluster builds");
-        let report = cluster.run(&timed, &slo, f64::INFINITY);
+    let policies: [Box<dyn Router>; 3] =
+        [routers::round_robin(), routers::join_shortest_queue(), routers::least_kv_load()];
+    for router in policies {
+        let name = router.name();
+        let report = Scenario::colocated(WAFERS)
+            .router(router)
+            .slo(slo)
+            .workload(timed.clone())
+            .run(&system)
+            .expect("cluster builds");
+        let s = &report.serving;
         println!(
             "{:<22} {:>9.1}ms {:>9.1}ms {:>9.3}ms {:>9.1} {:>9}",
-            policy.to_string(),
-            report.ttft.p50_s * 1e3,
-            report.ttft.p99_s * 1e3,
-            report.tpot.p99_s * 1e3,
-            report.goodput_rps,
-            report.evictions
+            name,
+            s.ttft.p50_s * 1e3,
+            s.ttft.p99_s * 1e3,
+            s.tpot.p99_s * 1e3,
+            s.goodput_rps,
+            s.evictions
         );
-        by_policy.push((policy, report));
+        by_policy.push(report);
     }
-    let rr = &by_policy[0].1;
-    let lkv = &by_policy[2].1;
+    let rr = &by_policy[0].serving;
+    let lkv = &by_policy[2].serving;
     assert!(
         lkv.ttft.p99_s <= rr.ttft.p99_s,
         "least-kv-load routing must match or beat round-robin p99 TTFT at the highest load: {:.1} ms vs {:.1} ms",

@@ -13,9 +13,7 @@
 //! ```
 
 use ouroboros::model::zoo;
-use ouroboros::serve::{
-    capacity_rps_estimate, ideal_latencies, Cluster, EngineConfig, RoutePolicy, SloConfig,
-};
+use ouroboros::serve::{capacity_rps_estimate, ideal_latencies, Router, Scenario, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, SessionConfig};
 
@@ -50,11 +48,15 @@ fn main() {
     let trace = session.generate(200, SEED);
     let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, SEED);
 
-    let run = |caching: bool, policy: RoutePolicy| {
-        let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
-        let mut cluster = Cluster::replicate(&system, WAFERS, policy, engine).expect("cluster builds");
-        let report = cluster.run(&timed, &slo, f64::INFINITY);
-        for e in cluster.engines() {
+    let run = |caching: bool, router: Box<dyn Router>| {
+        let outcome = Scenario::colocated(WAFERS)
+            .router(router)
+            .prefix_caching(caching)
+            .slo(slo)
+            .workload(timed.clone())
+            .run_full(&system)
+            .expect("cluster builds");
+        for e in outcome.engines() {
             let audit = e.kv_audit();
             assert!(
                 audit.is_conserved(),
@@ -65,15 +67,15 @@ fn main() {
             );
             assert_eq!(audit.live, 0, "a drained wafer frees every block, shared chains included");
         }
-        report
+        outcome.report.serving
     };
 
     println!(
         "{:<26} {:>11} {:>11} {:>11} {:>12} {:>12}",
         "configuration", "ttft-mean", "ttft-p99", "goodput/s", "prefilled", "cached"
     );
-    let off = run(false, RoutePolicy::LeastKvLoad);
-    let on = run(true, RoutePolicy::PrefixAffinity);
+    let off = run(false, ouroboros::serve::routers::least_kv_load());
+    let on = run(true, ouroboros::serve::routers::prefix_affinity());
     for (label, r) in [("cache off, least-kv-load", &off), ("cache on, prefix-affinity", &on)] {
         println!(
             "{:<26} {:>9.2}ms {:>9.2}ms {:>11.1} {:>12} {:>12}",
@@ -100,7 +102,11 @@ fn main() {
         off.prefilled_tokens
     );
     assert!(on.cached_prefix_tokens > 0, "sharers must hit the cache");
-    assert_eq!(run(true, RoutePolicy::PrefixAffinity), on, "the run is byte-identical per seed");
+    assert_eq!(
+        run(true, ouroboros::serve::routers::prefix_affinity()),
+        on,
+        "the run is byte-identical per seed"
+    );
 
     println!(
         "\nprefix caching cut mean TTFT by {:.1}% and prefilled tokens by {:.1}% \

@@ -39,19 +39,26 @@
 //!
 //! # Online serving
 //!
+//! Every serving experiment — colocated or disaggregated, clean or
+//! fault-injected, prefix-cached or cold — is one composable
+//! [`serve::Scenario`] returning one [`serve::RunReport`]:
+//!
 //! ```
 //! use ouroboros::model::zoo;
-//! use ouroboros::serve::{Cluster, EngineConfig, RoutePolicy, SloConfig};
+//! use ouroboros::serve::{routers, Scenario, SloConfig};
 //! use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 //! use ouroboros::workload::{ArrivalConfig, LengthConfig, TraceGenerator};
 //!
 //! let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap();
 //! let trace = TraceGenerator::new(7).generate(&LengthConfig::fixed(64, 32), 32);
 //! let timed = ArrivalConfig::Poisson { rate_rps: 100.0 }.assign(&trace, 7);
-//! let mut cluster =
-//!     Cluster::replicate(&system, 2, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
-//! let report = cluster.run(&timed, &SloConfig { ttft_s: 0.5, tpot_s: 0.05 }, f64::INFINITY);
-//! assert_eq!(report.completed, 32);
+//! let report = Scenario::colocated(2)
+//!     .router(routers::least_kv_load())
+//!     .slo(SloConfig { ttft_s: 0.5, tpot_s: 0.05 })
+//!     .workload(timed)
+//!     .run(&system)
+//!     .unwrap();
+//! assert_eq!(report.serving.completed, 32);
 //! assert!(report.is_conserved());
 //! ```
 

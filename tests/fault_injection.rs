@@ -3,9 +3,7 @@
 //! replacement-chain remap (§4.3.3).
 
 use ouroboros::model::zoo;
-use ouroboros::serve::{
-    Cluster, EngineConfig, FaultComparison, FaultConfig, FaultInjector, RoutePolicy, SloConfig,
-};
+use ouroboros::serve::{routers, EngineConfig, FaultComparison, FaultConfig, Scenario, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, LengthConfig, TimedTrace, TraceGenerator};
 
@@ -30,24 +28,23 @@ fn timed(n: usize, rate: f64, seed: u64) -> TimedTrace {
 fn same_seed_produces_a_byte_identical_fault_report() {
     let sys = tiny_system();
     let t = timed(60, 400.0, 42);
-    let run = || {
-        let mut cluster =
-            Cluster::replicate(&sys, 3, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
-        let mut inj = FaultInjector::new(&sys, 3, FaultConfig::new(0.02, 42), 2.0);
-        cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj)
+    let scenario = |fault_seed: u64| {
+        Scenario::colocated(3)
+            .router(routers::least_kv_load())
+            .slo(slo())
+            .faults(FaultConfig::new(0.02, fault_seed))
+            .workload(t.clone())
     };
-    let (report_a, faults_a) = run();
-    let (report_b, faults_b) = run();
+    let report_a = scenario(42).run(&sys).unwrap();
+    let report_b = scenario(42).run(&sys).unwrap();
+    let faults_a = report_a.faults.as_ref().unwrap();
     assert!(faults_a.faults_injected > 0, "the 20ms MTBF must fire during this run");
     // Byte-identical: the Debug rendering captures every field, including
     // the exact f64 bit patterns of stalls and availability.
-    assert_eq!(format!("{faults_a:?}"), format!("{faults_b:?}"));
     assert_eq!(format!("{report_a:?}"), format!("{report_b:?}"));
     // Different fault seeds produce a different realisation.
-    let mut cluster = Cluster::replicate(&sys, 3, RoutePolicy::LeastKvLoad, EngineConfig::default()).unwrap();
-    let mut inj = FaultInjector::new(&sys, 3, FaultConfig::new(0.02, 43), 2.0);
-    let (_, faults_c) = cluster.run_with_faults(&t, &slo(), f64::INFINITY, &mut inj);
-    assert_ne!(format!("{faults_a:?}"), format!("{faults_c:?}"));
+    let report_c = scenario(43).run(&sys).unwrap();
+    assert_ne!(format!("{faults_a:?}"), format!("{:?}", report_c.faults.as_ref().unwrap()));
 }
 
 /// KV block conservation after every remap: the manager's lifetime audit
@@ -107,7 +104,7 @@ fn fault_comparison_degrades_the_faulty_side_only() {
     let cmp = FaultComparison::measure(
         &sys,
         2,
-        RoutePolicy::JoinShortestQueue,
+        routers::join_shortest_queue(),
         EngineConfig::default(),
         &t,
         &slo(),

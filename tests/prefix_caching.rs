@@ -8,7 +8,7 @@
 //! conserved after every release, eviction, and fault remap.
 
 use ouroboros::model::zoo;
-use ouroboros::serve::{Cluster, Engine, EngineConfig, RoutePolicy, SloConfig};
+use ouroboros::serve::{routers, Engine, EngineConfig, Router, Scenario, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, Request, SessionConfig};
 
@@ -40,19 +40,23 @@ fn session_timed(n: usize, share: f64, seed: u64) -> ouroboros::workload::TimedT
 fn prefix_cache_on_beats_off_at_half_sharing() {
     let sys = tiny_system();
     let t = session_timed(60, 0.7, 42);
-    let run = |caching: bool, policy: RoutePolicy| {
-        let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
-        let mut cluster = Cluster::replicate(&sys, 2, policy, engine).unwrap();
-        let report = cluster.run(&t, &slo(), f64::INFINITY);
-        for e in cluster.engines() {
+    let run = |caching: bool, router: Box<dyn Router>| {
+        let outcome = Scenario::colocated(2)
+            .router(router)
+            .prefix_caching(caching)
+            .slo(slo())
+            .workload(t.clone())
+            .run_full(&sys)
+            .unwrap();
+        for e in outcome.engines() {
             let audit = e.kv_audit();
             assert!(audit.is_conserved());
             assert_eq!(audit.live, 0, "drained engines free shared chains too");
         }
-        report
+        outcome.report.serving
     };
-    let off = run(false, RoutePolicy::LeastKvLoad);
-    let on = run(true, RoutePolicy::PrefixAffinity);
+    let off = run(false, routers::least_kv_load());
+    let on = run(true, routers::prefix_affinity());
     assert!(off.is_conserved() && on.is_conserved());
     assert!(
         on.ttft.mean_s < off.ttft.mean_s,
@@ -69,8 +73,8 @@ fn prefix_cache_on_beats_off_at_half_sharing() {
     assert!(on.cached_prefix_tokens > 0);
     assert_eq!(off.cached_prefix_tokens, 0, "the ablation baseline never hits the cache");
     // Byte-identical per seed, for both configurations.
-    assert_eq!(format!("{:?}", run(true, RoutePolicy::PrefixAffinity)), format!("{on:?}"));
-    assert_eq!(format!("{:?}", run(false, RoutePolicy::LeastKvLoad)), format!("{off:?}"));
+    assert_eq!(format!("{:?}", run(true, routers::prefix_affinity())), format!("{on:?}"));
+    assert_eq!(format!("{:?}", run(false, routers::least_kv_load())), format!("{off:?}"));
 }
 
 /// Untagged traffic must be bit-identical whether the cache is on or off —
@@ -80,9 +84,13 @@ fn cold_traffic_is_unaffected_by_the_prefix_cache() {
     let sys = tiny_system();
     let t = session_timed(40, 0.0, 7);
     let run = |caching: bool| {
-        let engine = EngineConfig { prefix_caching: caching, ..EngineConfig::default() };
-        let mut cluster = Cluster::replicate(&sys, 2, RoutePolicy::LeastKvLoad, engine).unwrap();
-        cluster.run(&t, &slo(), f64::INFINITY)
+        Scenario::colocated(2)
+            .router(routers::least_kv_load())
+            .prefix_caching(caching)
+            .slo(slo())
+            .workload(t.clone())
+            .run(&sys)
+            .unwrap()
     };
     assert_eq!(run(true), run(false));
 }
