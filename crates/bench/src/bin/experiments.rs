@@ -9,9 +9,11 @@
 //!
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
-//! `serving`, `disagg`, `faults`, `prefix`, `scenario`, `all`. Unknown
-//! subcommands and flags are rejected (exit 2) rather than silently
-//! ignored, so a typoed CI invocation cannot "succeed" with nothing run.
+//! `serving`, `disagg`, `faults`, `prefix`, `scenario`, `bench-report`,
+//! `all`. Unknown subcommands and flags are rejected (exit 2) rather than
+//! silently ignored, so a typoed CI invocation cannot "succeed" with
+//! nothing run. Progress and section headers go to stderr; result tables
+//! go to stdout; machine-readable JSON goes to the `--out` file.
 //!
 //! The serving-style experiments all drive `ouro_serve::Scenario`, the one
 //! composable run API: `serving` sweeps open-loop load against a colocated
@@ -26,20 +28,35 @@
 //! composed four ways (colocated/disaggregated × clean/faulty × prefix
 //! caching) — exercising every axis of the API in one run.
 //!
-//! The serving-style subcommands accept `--json <path>` to dump their
-//! points as a JSON array for perf-trajectory capture in CI. Every row is
-//! one flattened `ouro_serve::RunReport` (one schema for every experiment,
-//! `schema_version` included) prefixed with `experiment`/`label` tags:
+//! The serving-style subcommands accept `--out <path>` (alias: `--json`)
+//! to dump their points as a JSON array for perf-trajectory capture in CI.
+//! Every row is one flattened `ouro_serve::RunReport` (one schema for
+//! every experiment, `schema_version` included) prefixed with
+//! `experiment`/`label` tags:
 //!
 //! ```text
-//! cargo run -p ouro-bench --release --bin experiments -- serving --json BENCH_serving.json
-//! cargo run -p ouro-bench --release --bin experiments -- scenario --json BENCH_scenario.json
+//! cargo run -p ouro-bench --release --bin experiments -- serving --out BENCH_serving.json
+//! cargo run -p ouro-bench --release --bin experiments -- scenario --out BENCH_scenario.json
 //! ```
+//!
+//! Two observability hooks ride on top (`crates/trace`):
+//!
+//! * `scenario --trace <path>` re-runs the richest matrix cell with
+//!   request-lifecycle tracing armed and writes a Chrome trace-event JSON
+//!   loadable in Perfetto / `chrome://tracing` (one track per wafer, one
+//!   span per request phase). Tracing is observational: the cell's report
+//!   row is bit-identical with or without it.
+//! * `bench-report` runs pinned scenario points with loop self-profiling
+//!   on and writes `BENCH_serve.json`: schema-versioned rows with
+//!   requests-simulated/sec, wall-time per loop event kind, and
+//!   events-simulated/sec — the simulator's own perf trajectory. It is
+//!   deliberately excluded from `all` so wall-clock noise never lands in
+//!   the deterministic report dumps.
 
 use ouro_baselines::SystemReport;
 use ouro_bench::{
     build_ouroboros, compare_all, decoder_models, encoder_models, format_energy_breakdown, format_normalized,
-    trace_for, DEFAULT_REQUESTS, SEED,
+    labeled_row, trace_for, DEFAULT_REQUESTS, SEED,
 };
 use ouro_hw::{CircuitPoint, CoreConfig, CrossbarConfig};
 use ouro_mapping::{MappingProblem, Strategy};
@@ -48,15 +65,34 @@ use ouro_sim::{ablation_ladder, OuroborosConfig, OuroborosSystem};
 use ouro_workload::LengthConfig;
 
 const SUBCOMMANDS: &[&str] = &[
-    "all", "fig1", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-    "table2", "serving", "disagg", "faults", "prefix", "scenario",
+    "all",
+    "fig1",
+    "fig11",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "table2",
+    "serving",
+    "disagg",
+    "faults",
+    "prefix",
+    "scenario",
+    "bench-report",
 ];
 
 /// Rejects a malformed invocation: print the problem and the full usage,
 /// exit non-zero so CI catches it.
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: experiments [<subcommand>] [--requests N] [--json PATH]");
+    eprintln!("usage: experiments [<subcommand>] [--requests N] [--out PATH] [--trace PATH]");
+    eprintln!("flags: --out writes the subcommand's JSON rows to PATH (--json is an alias);");
+    eprintln!("       --trace writes a Chrome trace-event JSON (scenario subcommand only)");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
     std::process::exit(2);
 }
@@ -65,7 +101,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut requests = DEFAULT_REQUESTS;
-    let mut json_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -78,9 +115,17 @@ fn main() {
                 };
                 i += 2;
             }
-            "--json" => {
-                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--json expects a file path"));
-                json_path = Some(value.clone());
+            // `--json` predates `--out` and stays as an alias so existing
+            // CI invocations keep working.
+            flag @ ("--out" | "--json") => {
+                let value =
+                    args.get(i + 1).unwrap_or_else(|| usage_error(&format!("{flag} expects a file path")));
+                out_path = Some(value.clone());
+                i += 2;
+            }
+            "--trace" => {
+                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--trace expects a file path"));
+                trace_path = Some(value.clone());
                 i += 2;
             }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag:?}")),
@@ -97,6 +142,16 @@ fn main() {
         }
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    if trace_path.is_some() && which != "scenario" && which != "all" {
+        usage_error("--trace is only honored by the scenario subcommand (or all)");
+    }
+
+    // bench-report measures wall clock, so it never joins the deterministic
+    // `all` dump; it runs alone and writes its own schema-versioned file.
+    if which == "bench-report" {
+        bench_report(requests, out_path.as_deref());
+        return;
+    }
 
     let run = |name: &str| which == "all" || which == name;
 
@@ -147,20 +202,20 @@ fn main() {
         rows.extend(prefix(requests));
     }
     if run("scenario") {
-        rows.extend(scenario_matrix(requests));
+        rows.extend(scenario_matrix(requests, trace_path.as_deref()));
     }
-    if let Some(path) = json_path.as_deref() {
+    if let Some(path) = out_path.as_deref() {
         if rows.is_empty() {
             // Writing an empty [] here would let a misconfigured CI capture
             // "succeed" with no data.
             eprintln!(
-                "\n--json is only produced by the serving/disagg/faults/prefix/scenario subcommands; \
+                "\n--out is only produced by the serving/disagg/faults/prefix/scenario subcommands; \
                  nothing written"
             );
             std::process::exit(2);
         }
         match ouro_bench::json::write_array(path, &rows) {
-            Ok(()) => println!("\nwrote {} points to {path}", rows.len()),
+            Ok(()) => eprintln!("\nwrote {} points to {path}", rows.len()),
             Err(e) => {
                 eprintln!("\nfailed to write {path}: {e}");
                 std::process::exit(1);
@@ -169,8 +224,10 @@ fn main() {
     }
 }
 
+/// Section headers are progress, not data — they go to stderr so stdout
+/// stays a clean stream of result tables.
 fn header(title: &str) {
-    println!("\n=== {title} ===");
+    eprintln!("\n=== {title} ===");
 }
 
 /// Fig. 1 — hardware scaling tax: energy on 1/2/4/8× A100 vs model size,
@@ -415,20 +472,6 @@ fn fig21(requests: usize) {
     }
 }
 
-/// Prefixes one flattened [`ouro_serve::RunReport`] row with its
-/// experiment and label tags — the shared shape of every serving-style
-/// JSON dump.
-fn labeled_row(
-    experiment: &str,
-    label: &str,
-    report: &ouro_serve::RunReport,
-) -> ouro_bench::json::JsonObject {
-    ouro_bench::json::JsonObject::new()
-        .str("experiment", experiment)
-        .str("label", label)
-        .extend(report.json_object())
-}
-
 /// Online serving — load sweeps and routing policies on a 4-wafer cluster.
 /// Returns the JSON rows of every printed point.
 fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
@@ -458,7 +501,7 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         points.iter().map(|p| labeled_row("serving", "poisson-sweep", &p.report)).collect();
 
     let top_rate = sweep.rates_rps[sweep.rates_rps.len() - 1];
-    println!("\n--- routing policies at {top_rate:.0} req/s ---");
+    eprintln!("\n--- routing policies at {top_rate:.0} req/s ---");
     let trace = TraceGenerator::new(SEED).generate(&lengths, sweep.requests);
     println!("{:<22} {:>11} {:>11} {:>11} {:>10}", "policy", "ttft-p99", "tpot-p99", "goodput/s", "slo-att");
     for router in [routers::round_robin(), routers::join_shortest_queue(), routers::least_kv_load()] {
@@ -482,7 +525,7 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         rows.push(labeled_row("serving", &format!("policy-{name}"), &r));
     }
 
-    println!("\n--- bursty arrivals (Gamma, cv=4) vs Poisson at the saturation point ---");
+    eprintln!("\n--- bursty arrivals (Gamma, cv=4) vs Poisson at the saturation point ---");
     let rate = sweep.rates_rps[3];
     println!(
         "{:<12} {:>11} {:>11} {:>11} {:>10}",
@@ -538,7 +581,7 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let rate = capacity * wafers as f64;
     let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
 
-    println!("\n--- pool-ratio sweep at {rate:.0} req/s (bursty cv=4, LP=512 LD=64) ---");
+    eprintln!("\n--- pool-ratio sweep at {rate:.0} req/s (bursty cv=4, LP=512 LD=64) ---");
     let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
     let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, SEED);
     let planner = RatioPlanner::new(wafers);
@@ -568,7 +611,7 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let best = best_ratio(&plans);
     println!("goodput-optimal split: {}p:{}d", best.prefill_wafers, best.decode_wafers);
 
-    println!(
+    eprintln!(
         "\n--- colocated vs disaggregated ({}p:{}d) over offered load ---",
         best.prefill_wafers, best.decode_wafers
     );
@@ -615,7 +658,7 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let span = timed.last_arrival_s();
     let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
 
-    println!("\n--- MTBF sweep at {rate:.0} req/s (Poisson, WikiText-2-like) ---");
+    eprintln!("\n--- MTBF sweep at {rate:.0} req/s (Poisson, WikiText-2-like) ---");
     println!(
         "{:<12} {:>7} {:>7} {:>9} {:>12} {:>13} {:>11} {:>11}",
         "mtbf", "faults", "chains", "recomp", "kv-evict", "availability", "ttft-p99", "tpot-p99"
@@ -660,7 +703,7 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         );
     }
 
-    println!("\n--- colocated vs disaggregated with faults enabled (MTBF = span/4) ---");
+    eprintln!("\n--- colocated vs disaggregated with faults enabled (MTBF = span/4) ---");
     let mut shootout = ShootoutConfig::new(wafers, 1, vec![rate]);
     shootout.requests = requests;
     shootout.lengths = lengths;
@@ -712,7 +755,7 @@ fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let rate = 0.8 * capacity * wafers as f64;
     let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
 
-    println!("\n--- share-ratio sweep at {rate:.0} req/s (Poisson, {requests} requests/point) ---");
+    eprintln!("\n--- share-ratio sweep at {rate:.0} req/s (Poisson, {requests} requests/point) ---");
     println!(
         "{:<14} {:>7} {:>11} {:>11} {:>11} {:>12} {:>12}",
         "cache", "share", "ttft-mean", "ttft-p99", "goodput/s", "prefilled", "cached"
@@ -752,8 +795,9 @@ fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// The scenario smoke matrix: one `ouro_serve::Scenario` builder composed
 /// four ways — colocated/disaggregated × clean/fault-injected × prefix
 /// caching — so a single fast run exercises every axis and emits one
-/// `RunReport` row per cell. Returns the JSON rows of every printed point.
-fn scenario_matrix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+/// `RunReport` row per cell. Returns the JSON rows of every printed point;
+/// with `trace_path` set, also exports a Chrome trace of the richest cell.
+fn scenario_matrix(requests: usize, trace_path: Option<&str>) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_serve::{
         capacity_rps_estimate, ideal_latencies, placements, routers, FaultConfig, Scenario, SloConfig,
     };
@@ -810,14 +854,26 @@ fn scenario_matrix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         ),
     ];
 
-    println!("\n--- {requests} requests/cell at {rate:.0} req/s ---");
+    eprintln!("\n--- {requests} requests/cell at {rate:.0} req/s ---");
     println!(
         "{:<18} {:>11} {:>11} {:>11} {:>9} {:>13} {:>10}",
         "cell", "ttft-p99", "tpot-p99", "goodput/s", "migr", "availability", "cached"
     );
+    // `--trace` arms lifecycle tracing on the disagg-faults cell — the one
+    // exercising the most event kinds (migrations, faults, evictions) —
+    // and exports it as Chrome trace-event JSON. Tracing is observational,
+    // so the cell's report row is unchanged.
+    const TRACED_CELL: &str = "disagg-faults";
+    let cadence_s = (mtbf / 32.0).max(1e-6);
     let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
     for (label, scenario) in cells {
-        let r = scenario.run(&system).expect("deployment builds");
+        let scenario = if trace_path.is_some() && label == TRACED_CELL {
+            scenario.trace(true).telemetry_every(cadence_s)
+        } else {
+            scenario
+        };
+        let outcome = scenario.run_full(&system).expect("deployment builds");
+        let r = &outcome.report;
         assert!(r.is_conserved(), "{label}: request conservation must hold");
         assert!(r.kv_bytes_conserved(), "{label}: migration bytes must be conserved");
         let s = &r.serving;
@@ -831,7 +887,20 @@ fn scenario_matrix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
             r.faults.as_ref().map_or(100.0, |f| f.availability * 100.0),
             s.cached_prefix_tokens,
         );
-        rows.push(labeled_row("scenario", label, &r));
+        rows.push(labeled_row("scenario", label, r));
+        if let (Some(path), Some(trace)) = (trace_path, outcome.trace()) {
+            match trace.write_chrome_trace(path) {
+                Ok(()) => eprintln!(
+                    "wrote Chrome trace for {label} ({} events, {} spans) to {path}",
+                    trace.len(),
+                    trace.request_spans().len()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     rows
 }
@@ -848,5 +917,83 @@ fn table2() {
             "{:<16} {:>6}nm {:>8}Kb {:>10.2} {:>12.2} {:>11.2} GB",
             p.name, p.technology_nm, p.array_size_kb, p.tops_per_watt, p.tops_per_mm2, p.wafer_capacity_gb
         );
+    }
+}
+
+/// `bench-report` — simulator self-profiling for the pinned perf
+/// trajectory: end-to-end requests-simulated/sec plus wall-time per loop
+/// event kind (arrival routing, engine steps, fault injection, completion
+/// handling) on pinned scenario points. Rows carry their own
+/// `schema_version` and land in `BENCH_serve.json` by default.
+///
+/// The points run on the tiny test system so the measurement is about the
+/// discrete-event loop itself, not the mapping anneal that builds the big
+/// evaluation systems; the traced point doubles as an always-on check that
+/// the observability layer stays cheap enough to leave enabled.
+fn bench_report(requests: usize, out: Option<&str>) {
+    use std::time::Instant;
+
+    use ouro_serve::{capacity_rps_estimate, ideal_latencies, Scenario, SloConfig};
+    use ouro_workload::{ArrivalConfig, TraceGenerator};
+
+    header("Bench report: simulator self-profiling (pinned perf trajectory)");
+    let model = zoo::bert_large();
+    let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &model).expect("tiny system builds");
+    let requests = requests.min(DEFAULT_REQUESTS);
+    let lengths = LengthConfig::fixed(64, 32);
+    let capacity = capacity_rps_estimate(system.stage_times(), &lengths);
+    let (ttft, tpot) = ideal_latencies(system.stage_times(), 64, 96);
+    let slo = SloConfig::with_slack(ttft, tpot, 10.0);
+    let rate = 0.8 * capacity * 2.0;
+    let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
+    let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, SEED);
+    let cadence_s = (timed.last_arrival_s() / 64.0).max(1e-6);
+
+    let points: Vec<(&str, Scenario)> = vec![
+        ("colocated", Scenario::colocated(2).slo(slo).workload(timed.clone())),
+        (
+            "colocated-traced",
+            Scenario::colocated(2).slo(slo).workload(timed.clone()).trace(true).telemetry_every(cadence_s),
+        ),
+        ("disagg", Scenario::disaggregated(1, 1).slo(slo).workload(timed)),
+    ];
+
+    eprintln!("\n--- {requests} requests/point ---");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "point", "completed", "wall (s)", "req/s", "events", "events/s"
+    );
+    let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
+    for (label, scenario) in points {
+        let t0 = Instant::now();
+        let outcome = scenario.profile(true).run_full(&system).expect("deployment builds");
+        let wall_s = t0.elapsed().as_secs_f64();
+        let profile = outcome.profile().expect("profiling was enabled");
+        let completed = outcome.report.serving.completed as u64;
+        println!(
+            "{:<18} {:>10} {:>10.3} {:>12.1} {:>12} {:>14.0}",
+            label,
+            completed,
+            wall_s,
+            if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
+            profile.total_events(),
+            profile.events_per_s(),
+        );
+        rows.push(ouro_bench::bench_report_row(
+            label,
+            requests,
+            completed,
+            outcome.report.serving.duration_s,
+            wall_s,
+            profile,
+        ));
+    }
+    let path = out.unwrap_or("BENCH_serve.json");
+    match ouro_bench::json::write_array(path, &rows) {
+        Ok(()) => eprintln!("\nwrote {} bench rows to {path}", rows.len()),
+        Err(e) => {
+            eprintln!("\nfailed to write {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -223,6 +223,28 @@ mod tests {
     }
 
     #[test]
+    fn the_migration_path_traces_every_kv_handoff() {
+        // Tracing the disaggregated side must surface the KV migration
+        // path event for event: one export on the prefill pool and one
+        // import on the decode pool per shipped migration, paired with
+        // the start/arrive markers the byte-conservation stats count.
+        let sys = tiny_system();
+        let cfg = config(vec![250.0]);
+        let trace_src = TraceGenerator::new(cfg.seed).generate(&cfg.lengths, cfg.requests);
+        let timed = ArrivalConfig::Bursty { rate_rps: 250.0, cv: cfg.cv }.assign(&trace_src, cfg.seed);
+        let outcome =
+            Scenario::disaggregated(1, 1).slo(cfg.slo).workload(timed).trace(true).run_full(&sys).unwrap();
+        let trace = outcome.trace().expect("tracing was armed");
+        let m = outcome.report.migration.as_ref().expect("disagg reports migration");
+        assert!(m.migrations > 0, "a prefill-heavy mix must migrate KV");
+        assert_eq!(trace.count("migrate_start"), m.migrations);
+        assert_eq!(trace.count("migrate_arrive"), m.migrations);
+        assert_eq!(trace.count("kv_export"), m.migrations);
+        assert_eq!(trace.count("kv_import"), m.migrations);
+        assert!(outcome.report.kv_bytes_conserved());
+    }
+
+    #[test]
     fn disagg_decode_tail_resists_prefill_bursts() {
         // A bursty, prefill-heavy mix at saturating load: colocated wafers
         // interleave prefill chunks with every decode step, disaggregated

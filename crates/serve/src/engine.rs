@@ -27,6 +27,7 @@
 use crate::metrics::RequestRecord;
 use ouro_kvcache::{KvError, KvManager, KvManagerConfig, KvTransferStats};
 use ouro_sim::HwStageTimes;
+use ouro_trace::{EventKind, Tracer};
 use ouro_workload::Request;
 use std::collections::VecDeque;
 
@@ -198,6 +199,10 @@ pub struct Engine {
     pending_tokens: usize,
     stats: EngineStats,
     order_counter: u64,
+    /// Lifecycle event emission, disabled (and costless) by default.
+    /// Strictly observational: nothing the tracer does feeds back into
+    /// admission, timing or eviction decisions.
+    tracer: Tracer,
 }
 
 impl Engine {
@@ -222,7 +227,26 @@ impl Engine {
             pending_tokens: 0,
             stats: EngineStats::default(),
             order_counter: 0,
+            tracer: Tracer::off(),
         })
+    }
+
+    /// Wires a tracer into the engine (replacing the default disabled
+    /// one). Events emitted from here on land in the tracer's sink.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The engine's tracer (disabled unless [`Engine::set_tracer`] armed
+    /// it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access, for collaborators that emit wafer-level
+    /// events on this engine's stream (the fault injector's remap events).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The engine's simulated clock.
@@ -312,6 +336,22 @@ impl Engine {
         }
     }
 
+    /// Instantaneous telemetry gauges of this wafer: batch occupancy,
+    /// queue depth and KV-cache occupancy. The link-bytes gauge is left
+    /// zero — only the scenario driver knows the migration byte rate.
+    pub fn kv_gauges(&self) -> ouro_trace::WaferGauges {
+        let (used, capacity, audit) = self.manager.occupancy_snapshot();
+        ouro_trace::WaferGauges {
+            batch_occupancy: self.active.len(),
+            queue_depth: self.pending.len(),
+            kv_used_tokens: used,
+            kv_capacity_tokens: capacity,
+            kv_blocks_live: audit.live,
+            kv_blocks_shared: audit.shared_live,
+            link_bytes_in_flight: 0,
+        }
+    }
+
     /// KV exported to / imported from other wafers by this engine's manager.
     pub fn kv_transfers(&self) -> &KvTransferStats {
         self.manager.transfer_stats()
@@ -365,6 +405,11 @@ impl Engine {
         self.stats.fault_evicted_seqs += failure.evicted_sequences.len() as u64;
         self.stats.fault_evicted_tokens += failure.evicted_tokens as u64;
         let evicted = failure.evicted_sequences.len();
+        self.tracer.emit(
+            self.clock_s,
+            None,
+            EventKind::Fault { kv_core: failure.index, evicted_seqs: evicted },
+        );
         for seq in failure.evicted_sequences {
             let Some(pos) = self.active.iter().position(|a| a.rec as u64 == seq) else {
                 // The manager can only name resident sequences, and every
@@ -372,7 +417,7 @@ impl Engine {
                 unreachable!("sequence {seq} is resident but not active");
             };
             let victim = self.active.swap_remove(pos);
-            self.requeue_evicted(victim);
+            self.requeue_evicted(victim, true);
         }
         // A fault that evicted sequences freed capacity, so a pre-fault
         // admission suspension no longer reflects reality. A fault that
@@ -401,7 +446,9 @@ impl Engine {
         self.clock_s = self.clock_s.max(at_s);
         let mut evicted_seqs = 0usize;
         let mut evicted_tokens = 0u64;
+        let mut first_core = None;
         while let Some(failure) = self.manager.fail_kv_core(0) {
+            first_core.get_or_insert(failure.index);
             evicted_tokens += failure.evicted_tokens as u64;
             for seq in failure.evicted_sequences {
                 let pos = self
@@ -410,10 +457,15 @@ impl Engine {
                     .position(|a| a.rec as u64 == seq)
                     .expect("a resident sequence is always active");
                 let victim = self.active.swap_remove(pos);
-                self.requeue_evicted(victim);
+                self.requeue_evicted(victim, true);
                 evicted_seqs += 1;
             }
         }
+        self.tracer.emit(
+            self.clock_s,
+            None,
+            EventKind::Fault { kv_core: first_core.unwrap_or(0), evicted_seqs },
+        );
         self.stats.faults += 1;
         self.stats.fault_evicted_seqs += evicted_seqs as u64;
         self.stats.fault_evicted_tokens += evicted_tokens;
@@ -588,6 +640,26 @@ impl Engine {
                     }
                     r.queue_wait_s += (self.clock_s - front.ready_s).max(0.0);
                     r.cached_prefix_tokens = cached;
+                    let req = Some(r.id);
+                    self.tracer.emit(
+                        self.clock_s,
+                        req,
+                        EventKind::Admission { cached_tokens: cached, recompute: front.evicted },
+                    );
+                    if front.imported {
+                        self.tracer.emit(
+                            self.clock_s,
+                            req,
+                            EventKind::KvImport { wire_tokens: front.wire_tokens, deduped_tokens: cached },
+                        );
+                    }
+                    if prefill_charge > 0 {
+                        self.tracer.emit(
+                            self.clock_s,
+                            req,
+                            EventKind::PrefillStart { tokens: prefill_charge },
+                        );
+                    }
                     self.active.push(ActiveSeq {
                         rec: front.rec,
                         prefill_remaining: prefill_charge,
@@ -609,6 +681,7 @@ impl Engine {
                         if front.imported {
                             self.stats.dropped_imported_tokens += front.wire_tokens as u64;
                         }
+                        self.tracer.emit(self.clock_s, Some(self.records[front.rec].id), EventKind::Drop);
                         continue;
                     }
                     self.evict_most_recent();
@@ -630,7 +703,7 @@ impl Engine {
             .map(|(i, _)| i)
             .expect("evict_most_recent requires a resident sequence");
         let victim = self.active.swap_remove(victim_pos);
-        self.requeue_evicted(victim);
+        self.requeue_evicted(victim, false);
     }
 
     /// Shared eviction bookkeeping: the victim's resident KV (prompt plus
@@ -639,11 +712,16 @@ impl Engine {
     /// re-admission (see [`EngineStats::recomputed_tokens`]), so a victim
     /// touched by both the capacity path and the fault path in one step is
     /// counted once, when the replay is actually scheduled.
-    fn requeue_evicted(&mut self, victim: ActiveSeq) {
+    fn requeue_evicted(&mut self, victim: ActiveSeq, fault: bool) {
         let resident = self.records[victim.rec].prompt_len + victim.decoded;
         self.stats.evictions += 1;
         self.records[victim.rec].evictions += 1;
         self.manager.release(victim.rec as u64);
+        self.tracer.emit(
+            self.clock_s,
+            Some(self.records[victim.rec].id),
+            EventKind::Evict { resident_tokens: resident, fault },
+        );
         // An evicted import loses its migrated KV: it re-enters as a local
         // recompute (imported = false). The eviction clock is already in the
         // past, so readiness never gates a requeue.
@@ -710,14 +788,22 @@ impl Engine {
         };
         let end_s = self.clock_s + step_s;
         self.busy_s += step_s;
+        self.tracer.emit(
+            end_s,
+            None,
+            EventKind::DecodeStep { batch: self.active.len(), tokens: step_tokens },
+        );
 
         // Advance every resident sequence by its unit of work.
         let mut evicted_now: Vec<usize> = Vec::new();
         for i in 0..self.active.len() {
             let a = self.active[i];
             if a.prefill_remaining > 0 {
-                self.active[i].prefill_remaining =
-                    a.prefill_remaining.saturating_sub(self.config.prefill_chunk);
+                let left = a.prefill_remaining.saturating_sub(self.config.prefill_chunk);
+                self.active[i].prefill_remaining = left;
+                if left == 0 {
+                    self.tracer.emit(end_s, Some(self.records[a.rec].id), EventKind::PrefillEnd);
+                }
                 continue;
             }
             if a.prefill_only {
@@ -733,6 +819,8 @@ impl Engine {
                     let rec = &mut self.records[a.rec];
                     if rec.first_token_s.is_nan() {
                         rec.first_token_s = end_s;
+                        let id = rec.id;
+                        self.tracer.emit(end_s, Some(id), EventKind::FirstToken);
                     }
                 }
                 Err(KvError::OutOfCapacity) => evicted_now.push(i),
@@ -744,7 +832,7 @@ impl Engine {
         evicted_now.sort_unstable_by(|a, b| b.cmp(a));
         for i in evicted_now {
             let victim = self.active.swap_remove(i);
-            self.requeue_evicted(victim);
+            self.requeue_evicted(victim, false);
         }
 
         // Retire completed sequences; a completion lifts the admission
@@ -753,6 +841,7 @@ impl Engine {
         let mut completions = Vec::new();
         let records = &mut self.records;
         let manager = &mut self.manager;
+        let tracer = &mut self.tracer;
         self.active.retain(|a| {
             let r = &mut records[a.rec];
             let done = a.prefill_remaining == 0 && (a.prefill_only || a.decoded >= r.decode_len);
@@ -763,8 +852,10 @@ impl Engine {
                     // discarding it; the export counter feeds migration
                     // byte accounting.
                     manager.export_sequence(a.rec as u64).expect("prefill-only sequence is resident");
+                    tracer.emit(end_s, Some(r.id), EventKind::KvExport { tokens: r.prompt_len });
                 } else {
                     manager.release(a.rec as u64);
+                    tracer.emit(end_s, Some(r.id), EventKind::Complete);
                 }
                 completions.push((a.rec, end_s));
                 false

@@ -34,6 +34,7 @@ use crate::metrics::ServingReport;
 use ouro_hw::{CoreId, WaferGeometry};
 use ouro_mapping::{remap_with_chain, Assignment, RemapError};
 use ouro_sim::OuroborosSystem;
+use ouro_trace::EventKind;
 use ouro_workload::{FaultEvent, FaultProcess};
 use std::collections::VecDeque;
 
@@ -309,6 +310,11 @@ impl FaultInjector {
                 self.chains_built += 1;
                 self.chain_cores += outcome.chain.len() as u64;
                 self.tiles_moved += outcome.moved_tiles as u64;
+                engine.tracer_mut().emit(
+                    event.at_s,
+                    None,
+                    EventKind::Remap { chain_len: outcome.chain.len(), moved_tiles: outcome.moved_tiles },
+                );
                 let Some(absorbed) = outcome.evicted_kv_core else {
                     return; // the victim held neither weights nor KV
                 };

@@ -63,12 +63,21 @@
 
 pub mod engine;
 pub mod fault;
-pub mod json;
 pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+
+/// The workspace's dependency-free JSON writer (re-exported from
+/// `ouro-trace`, where it moved so the observability exporters and the
+/// serving stack share one implementation).
+pub use ouro_trace::json;
+pub use ouro_trace::{
+    Counters, EventKind, LoopProfile, RingSink, SpanPhase, TelemetryConfig, TelemetryRecorder,
+    TelemetrySample, Trace, TraceEvent, TraceSink, Tracer, WaferGauges, BENCH_SCHEMA_VERSION,
+    TELEMETRY_SCHEMA_VERSION, TRACE_SCHEMA_VERSION,
+};
 
 pub use engine::{Admission, Engine, EngineConfig, EngineFaultImpact, EngineStats};
 pub use fault::{FaultComparison, FaultConfig, FaultInjector, FaultPoll, FaultReport};

@@ -49,10 +49,15 @@ use crate::report::{DeploymentInfo, Migration, MigrationStats, RunReport, SCHEMA
 use ouro_kvcache::KvError;
 use ouro_noc::InterWaferLink;
 use ouro_sim::OuroborosSystem;
+use ouro_trace::{
+    Counters, EventKind, LoopProfile, TelemetryConfig, TelemetryRecorder, TelemetrySample, Trace, TraceEvent,
+    Tracer,
+};
 use ouro_workload::{Request, TimedTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// The pool split of a disaggregated deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +113,9 @@ pub struct Scenario {
     slo: SloConfig,
     horizon_s: f64,
     fault: Option<FaultConfig>,
+    trace: bool,
+    telemetry: Option<TelemetryConfig>,
+    profile: bool,
 }
 
 impl Scenario {
@@ -151,6 +159,9 @@ impl Scenario {
             slo: SloConfig { ttft_s: f64::INFINITY, tpot_s: f64::INFINITY },
             horizon_s: f64::INFINITY,
             fault: None,
+            trace: false,
+            telemetry: None,
+            profile: false,
         }
     }
 
@@ -210,6 +221,40 @@ impl Scenario {
         self
     }
 
+    /// Toggles request-lifecycle tracing: every engine (and the driver)
+    /// records typed events into per-wafer ring sinks, merged into the
+    /// [`RunOutcome`]'s [`Trace`] after the run. Strictly observational —
+    /// a traced run returns a bit-identical [`RunReport`] to an untraced
+    /// one. Off by default (and costless when off).
+    pub fn trace(mut self, enabled: bool) -> Scenario {
+        self.trace = enabled;
+        self
+    }
+
+    /// Arms sampled telemetry: per-wafer gauges and cluster counters are
+    /// recorded every `config.cadence_s` simulated seconds and returned
+    /// via [`RunOutcome::telemetry`]. Off by default.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Scenario {
+        self.telemetry = Some(config);
+        self
+    }
+
+    /// Shorthand for [`Scenario::telemetry`] with a plain cadence.
+    pub fn telemetry_every(self, cadence_s: f64) -> Scenario {
+        self.telemetry(TelemetryConfig::every(cadence_s))
+    }
+
+    /// Toggles loop self-profiling: the driver measures the wall-clock
+    /// cost of its own work buckets (arrival routing, engine steps, fault
+    /// injection, completion handling) into a [`LoopProfile`], returned
+    /// via [`RunOutcome::profile`]. The profile observes the *simulator*,
+    /// not the simulation: it never feeds back into the report, so
+    /// profiled runs stay deterministic. Off by default.
+    pub fn profile(mut self, enabled: bool) -> Scenario {
+        self.profile = enabled;
+        self
+    }
+
     /// The configured deployment.
     pub fn deployment(&self) -> Deployment {
         self.deployment
@@ -248,9 +293,14 @@ impl Scenario {
             Deployment::Colocated { wafers } => (0, wafers),
             Deployment::Disaggregated(cfg) => (cfg.prefill_wafers, cfg.total_wafers()),
         };
-        let engines = (0..total)
+        let mut engines = (0..total)
             .map(|_| Engine::new(system.stage_times().clone(), system.serve_kv_config(), self.engine))
             .collect::<Result<Vec<Engine>, KvError>>()?;
+        if self.trace {
+            for (wafer, engine) in engines.iter_mut().enumerate() {
+                engine.set_tracer(Tracer::ring(wafer));
+            }
+        }
         let mut driver = Driver {
             engines,
             prefill_wafers,
@@ -260,14 +310,31 @@ impl Scenario {
             link: system.stage_times().inter_wafer_link(),
             kv_bytes_per_token: system.kv_migration_bytes(1),
             migrations: Vec::new(),
+            tracer: if self.trace { Tracer::ring(0) } else { Tracer::off() },
+            telemetry: self.telemetry.map(TelemetryRecorder::new),
+            profile: self.profile.then(LoopProfile::default),
+            completed: 0,
+            faults_fired: 0,
         };
         let mut injector = self.fault.map(|cfg| {
             FaultInjector::new(system, total, cfg, FaultInjector::run_window_s(self.horizon_s, timed))
         });
         driver.drive(timed, self.horizon_s, injector.as_mut());
         let report = driver.report(timed, &self.slo, self.horizon_s, self.deployment_info(), injector);
+        let trace = self.trace.then(|| {
+            // Per-wafer engine streams (in global wafer order) plus the
+            // driver's own stream (arrivals, migrations); the merge sorts
+            // by time with stream order breaking ties.
+            let mut streams: Vec<(&[TraceEvent], u64)> =
+                driver.engines.iter().map(|e| (e.tracer().events(), e.tracer().dropped())).collect();
+            streams.push((driver.tracer.events(), driver.tracer.dropped()));
+            Trace::from_streams(&streams)
+        });
         Ok(RunOutcome {
             report,
+            telemetry: driver.telemetry.map(|r| r.samples().to_vec()).unwrap_or_default(),
+            profile: driver.profile,
+            trace,
             engines: driver.engines,
             prefill_wafers,
             disagg: driver.disagg,
@@ -303,6 +370,9 @@ impl Scenario {
 pub struct RunOutcome {
     /// The unified report of the run.
     pub report: RunReport,
+    trace: Option<Trace>,
+    telemetry: Vec<TelemetrySample>,
+    profile: Option<LoopProfile>,
     engines: Vec<Engine>,
     prefill_wafers: usize,
     disagg: bool,
@@ -336,6 +406,24 @@ impl RunOutcome {
     pub fn migrations(&self) -> &[Migration] {
         &self.migrations
     }
+
+    /// The merged lifecycle trace (`None` unless [`Scenario::trace`] was
+    /// armed).
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The sampled telemetry time series in `(time, wafer)` order (empty
+    /// unless [`Scenario::telemetry`] was armed).
+    pub fn telemetry(&self) -> &[TelemetrySample] {
+        &self.telemetry
+    }
+
+    /// The loop self-profile (`None` unless [`Scenario::profile`] was
+    /// armed).
+    pub fn profile(&self) -> Option<&LoopProfile> {
+        self.profile.as_ref()
+    }
 }
 
 /// The shared discrete-event loop both deployment shapes run through.
@@ -351,6 +439,15 @@ struct Driver {
     link: InterWaferLink,
     kv_bytes_per_token: u64,
     migrations: Vec<Migration>,
+    /// The driver's own event stream: arrivals and migration endpoints,
+    /// stamped onto the wafer they concern via `emit_for`.
+    tracer: Tracer,
+    telemetry: Option<TelemetryRecorder>,
+    profile: Option<LoopProfile>,
+    /// Requests retired (decode-side completions), for telemetry counters.
+    completed: u64,
+    /// Runtime faults fired so far, for telemetry counters.
+    faults_fired: u64,
 }
 
 impl Driver {
@@ -416,7 +513,13 @@ impl Driver {
             if let Some(inj) = injector.as_deref_mut() {
                 match inj.poll(next_arrival, next_engine.map(|(_, t)| t), horizon_s) {
                     FaultPoll::Fire(wafer) => {
+                        let t0 = self.profile.is_some().then(Instant::now);
                         inj.inject(&mut self.engines[wafer]);
+                        if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
+                            p.faults.add(t0.elapsed());
+                        }
+                        self.faults_fired += 1;
+                        self.telemetry_tick();
                         continue;
                     }
                     FaultPoll::Drained => break,
@@ -440,16 +543,30 @@ impl Driver {
                             self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
                         }
                         _ => {
+                            let t0 = self.profile.is_some().then(Instant::now);
                             let (t, idx) = arrivals.pop_front().expect("peeked above");
                             let request = timed.arrivals[idx].request;
                             let entry = self.entry_len();
                             let wafer = self.router.route(&self.engines[..entry], &request);
                             assert!(wafer < entry, "router returned wafer {wafer} of an {entry}-wafer pool");
+                            self.tracer.emit_for(
+                                wafer,
+                                t,
+                                Some(idx),
+                                EventKind::Arrival {
+                                    prompt_tokens: request.prompt_len,
+                                    decode_tokens: request.decode_len,
+                                },
+                            );
                             if self.disagg {
                                 self.engines[wafer].submit_prefill_only(request, t, idx, wafer);
                             } else {
                                 self.engines[wafer].submit(request, t, idx, wafer);
                             }
+                            if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
+                                p.arrivals.add(t0.elapsed());
+                            }
+                            self.telemetry_tick();
                         }
                     }
                 }
@@ -471,15 +588,50 @@ impl Driver {
         think_time_s: f64,
         think_rng: &mut StdRng,
     ) {
+        let t0 = self.profile.is_some().then(Instant::now);
         let completions = self.engines[i].step();
+        if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
+            p.engine_steps.add(t0.elapsed());
+        }
+        let t1 = (self.profile.is_some() && !completions.is_empty()).then(Instant::now);
         if self.disagg && i < self.prefill_wafers {
             for (rec, t_done) in completions {
                 self.migrate(i, rec, t_done);
             }
         } else {
             for (_, t_done) in completions {
+                self.completed += 1;
                 release_gated(arrivals, gated, t_done, think_time_s, think_rng);
             }
+        }
+        if let (Some(p), Some(t1)) = (self.profile.as_mut(), t1) {
+            p.completions.add(t1.elapsed());
+        }
+        self.telemetry_tick();
+    }
+
+    /// Records every telemetry cadence point now owed: simulated time is
+    /// the frontier of the engine clocks, and a large jump emits all the
+    /// intermediate samples rather than skipping them. A no-op without a
+    /// recorder.
+    fn telemetry_tick(&mut self) {
+        let Some(rec) = self.telemetry.as_mut() else { return };
+        let now = self.engines.iter().map(Engine::clock_s).fold(0.0, f64::max);
+        while rec.due(now) {
+            let t_s = rec.sample_time();
+            let counters = Counters {
+                completions: self.completed,
+                migrations: self.migrations.len() as u64,
+                faults: self.faults_fired,
+                steps: self.engines.iter().map(|e| e.stats().steps).sum(),
+            };
+            for (wafer, engine) in self.engines.iter().enumerate() {
+                let mut gauges = engine.kv_gauges();
+                gauges.link_bytes_in_flight =
+                    engine.pending_imported_tokens() as u64 * self.kv_bytes_per_token;
+                rec.record(TelemetrySample { t_s, wafer, gauges, counters });
+            }
+            rec.advance();
         }
     }
 
@@ -506,6 +658,18 @@ impl Driver {
         let hops = (self.prefill_wafers - from) + to;
         let arrive_s = t_done + self.link.transfer_time_s(bytes, hops);
         let global_to = self.prefill_wafers + to;
+        self.tracer.emit_for(
+            from,
+            t_done,
+            Some(record.id),
+            EventKind::MigrateStart { to_wafer: global_to, bytes },
+        );
+        self.tracer.emit_for(
+            global_to,
+            arrive_s,
+            Some(record.id),
+            EventKind::MigrateArrive { from_wafer: from, bytes },
+        );
         self.engines[global_to].submit_imported(request, record.arrival_s, arrive_s, record.id, global_to);
         self.migrations.push(Migration {
             id: record.id,

@@ -1,11 +1,11 @@
-//! Minimal JSON emission for perf-trajectory capture.
+//! Minimal JSON emission for perf-trajectory and trace capture.
 //!
 //! The workspace is fully offline, so there is no serde; the subset here —
-//! flat objects of strings, numbers, and nulls collected into one array —
-//! is all the `BENCH_*.json` trajectories need. It lives next to
-//! [`crate::report::RunReport`] so the one experiment-facing report type
-//! and its one JSON schema evolve together; `ouro-bench` re-exports this
-//! module for the `experiments` binary.
+//! objects of strings, numbers, nulls, and (for the Chrome trace-event
+//! `args` field) one level of nested objects, collected into arrays — is
+//! all the `BENCH_*.json` trajectories and trace exporters need. It lives
+//! in `ouro-trace` so the report schema and the trace/telemetry schemas
+//! share one emitter; `ouro-serve` and `ouro-bench` re-export this module.
 
 /// A flat JSON object under construction.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +57,14 @@ impl JsonObject {
     /// shares one schema.
     pub fn null(mut self, key: &str) -> JsonObject {
         self.fields.push((key.to_string(), "null".to_string()));
+        self
+    }
+
+    /// Adds a nested object field — the Chrome trace-event format carries
+    /// per-event metadata in an `args` object, the one place the flat
+    /// schema is not enough.
+    pub fn obj(mut self, key: &str, value: &JsonObject) -> JsonObject {
+        self.fields.push((key.to_string(), value.render()));
         self
     }
 
@@ -131,5 +139,12 @@ mod tests {
         let row = prefix.extend(JsonObject::new().null("placement").int("wafers", 4));
         assert_eq!(row.render(), "{\"experiment\": \"serving\", \"placement\": null, \"wafers\": 4}");
         assert_eq!(row.keys(), vec!["experiment", "placement", "wafers"]);
+    }
+
+    #[test]
+    fn nested_objects_render_inline() {
+        let args = JsonObject::new().int("tokens", 64).str("phase", "prefill");
+        let o = JsonObject::new().str("ph", "X").obj("args", &args);
+        assert_eq!(o.render(), "{\"ph\": \"X\", \"args\": {\"tokens\": 64, \"phase\": \"prefill\"}}");
     }
 }

@@ -1,0 +1,44 @@
+//! Observability layer for the Ouroboros serving simulator.
+//!
+//! The serving stack (`ouro-serve` and friends) is a deterministic
+//! discrete-event simulator: a run is a pure function of its seeds. This
+//! crate adds eyes to that machinery without perturbing it — every
+//! facility here is strictly observational, so a traced run produces the
+//! same `RunReport` bit-for-bit as an untraced one:
+//!
+//! - [`event`] / [`sink`] — a closed taxonomy of typed request-lifecycle
+//!   events ([`TraceEvent`]/[`EventKind`]) emitted through a
+//!   zero-cost-when-disabled [`Tracer`] into a pluggable [`TraceSink`]
+//!   (bounded [`RingSink`] by default).
+//! - [`chrome`] — a merged [`Trace`] over per-wafer event streams:
+//!   per-request span reconstruction, a pinned digest for golden tests,
+//!   Chrome trace-event JSON loadable in Perfetto, and a text
+//!   [`Trace::summarize`] table.
+//! - [`telemetry`] — sampled per-wafer gauges and cluster counters on a
+//!   fixed simulated-time cadence ([`TelemetryRecorder`]), dumped as a
+//!   flat JSON time series.
+//! - [`profile`] — simulator self-profiling ([`LoopProfile`]): wall-time
+//!   per loop-work bucket and events-simulated/sec, feeding the
+//!   schema-versioned `BENCH_serve.json` perf trajectory.
+//! - [`json`] — the dependency-free JSON writer the whole workspace
+//!   shares (moved here from `ouro-serve` so exporters and the serving
+//!   stack use one implementation).
+//!
+//! Every JSON artifact carries its own `schema_version`
+//! ([`TRACE_SCHEMA_VERSION`], [`TELEMETRY_SCHEMA_VERSION`],
+//! [`BENCH_SCHEMA_VERSION`]) so downstream tooling can detect drift.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod profile;
+pub mod sink;
+pub mod telemetry;
+
+pub use chrome::{SpanPhase, Trace};
+pub use event::{EventKind, TraceEvent, TRACE_SCHEMA_VERSION};
+pub use profile::{LoopProfile, ProfileBucket, BENCH_SCHEMA_VERSION};
+pub use sink::{RingSink, TraceSink, Tracer};
+pub use telemetry::{
+    Counters, TelemetryConfig, TelemetryRecorder, TelemetrySample, WaferGauges, TELEMETRY_SCHEMA_VERSION,
+};

@@ -20,7 +20,11 @@
 //!   runtime fault injection with replacement-chain healing,
 //! * [`disagg`] — prefill/decode disaggregation: phase-specialised wafer
 //!   pools, KV migration over the inter-wafer optical links, decode
-//!   placement policies and the pool-ratio planner.
+//!   placement policies and the pool-ratio planner,
+//! * [`trace`] — the observability layer: request-lifecycle trace events,
+//!   sampled per-wafer telemetry, loop self-profiling, and the Chrome
+//!   trace-event / JSON exporters (armed via [`serve::Scenario::trace`],
+//!   zero-cost when off).
 //!
 //! # Quickstart
 //!
@@ -72,4 +76,5 @@ pub use ouro_noc as noc;
 pub use ouro_pipeline as pipeline;
 pub use ouro_serve as serve;
 pub use ouro_sim as sim;
+pub use ouro_trace as trace;
 pub use ouro_workload as workload;

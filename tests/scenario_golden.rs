@@ -350,3 +350,48 @@ fn run_report_json_schema_is_pinned() {
     assert_eq!(colocated.json_object().keys(), SCHEMA_V1_KEYS);
     assert_eq!(disagg.json_object().keys(), SCHEMA_V1_KEYS, "one schema regardless of scenario shape");
 }
+
+/// Every row the `experiments` binary can emit — a `labeled_row` plus the
+/// per-subcommand extras — stays inside the pinned key universe: the tag
+/// keys, the `RunReport` schema, and the declared extras. A subcommand
+/// growing an ad-hoc key fails here until it is pinned deliberately.
+#[test]
+fn experiment_rows_stay_inside_the_pinned_schema() {
+    let (colocated, disagg) = sample_reports();
+    let report_obj = colocated.json_object();
+    let pinned: Vec<&str> = ouro_bench::EXPERIMENT_TAG_KEYS
+        .iter()
+        .copied()
+        .chain(report_obj.keys())
+        .chain(ouro_bench::EXPERIMENT_EXTRA_KEYS.iter().copied())
+        .collect();
+    // The row shapes the subcommands build: plain, faults (inflation
+    // ratios), and prefix (share ratio).
+    let rows = [
+        ouro_bench::labeled_row("serving", "poisson-sweep", &colocated),
+        ouro_bench::labeled_row("faults", "mtbf-span/2", &disagg)
+            .num("ttft_p99_inflation", 1.25)
+            .num("tpot_p99_inflation", 1.5),
+        ouro_bench::labeled_row("prefix", "share-0.50-on", &colocated).num("share_ratio", 0.5),
+    ];
+    for row in &rows {
+        for key in row.keys() {
+            assert!(pinned.contains(&key), "key {key:?} is not in the pinned experiment-row schema");
+        }
+        assert!(row.render().contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+    }
+    // The tag keys come first, so trajectory tooling can group by
+    // experiment/label without parsing the whole row.
+    assert_eq!(&rows[0].keys()[..2], ouro_bench::EXPERIMENT_TAG_KEYS);
+}
+
+/// The bench-report row (`BENCH_serve.json`) is schema-versioned and its
+/// key list is pinned in `ouro_bench::BENCH_REPORT_V1_KEYS`.
+#[test]
+fn bench_report_rows_match_their_pinned_schema() {
+    let row = ouro_bench::bench_report_row("colocated", 40, 40, 0.01, 0.002, &Default::default());
+    assert_eq!(row.keys(), ouro_bench::BENCH_REPORT_V1_KEYS);
+    assert!(row
+        .render()
+        .starts_with(&format!("{{\"schema_version\": {}", ouroboros::serve::BENCH_SCHEMA_VERSION)));
+}
