@@ -10,7 +10,8 @@
 //! Available experiments: `fig1`, `fig11`, `fig13`, `fig14`, `fig15`,
 //! `fig16`, `fig17`, `fig18`, `fig19`, `fig20`, `fig21`, `table2`,
 //! `serving`, `disagg`, `faults`, `prefix`, `scenario`, `bench-report`,
-//! `all`. Unknown subcommands and flags are rejected (exit 2) rather than
+//! `analyze`, `compare`, `regress`, `all`.
+//! Unknown subcommands and flags are rejected (exit 2) rather than
 //! silently ignored, so a typoed CI invocation cannot "succeed" with
 //! nothing run. Progress and section headers go to stderr; result tables
 //! go to stdout; machine-readable JSON goes to the `--out` file.
@@ -52,6 +53,24 @@
 //!   events-simulated/sec — the simulator's own perf trajectory. It is
 //!   deliberately excluded from `all` so wall-clock noise never lands in
 //!   the deterministic report dumps.
+//!
+//! Three post-hoc consumers close the loop from collection to
+//! interpretation:
+//!
+//! * `analyze` runs the golden observability scenario with tracing and
+//!   telemetry armed and prints the latency-attribution report — each
+//!   request's E2E decomposed into exclusive phases (queue, prefill, KV
+//!   transit, migration stall, fault stall, decode compute, decode idle)
+//!   — plus per-wafer utilization; `--out` writes the schema-versioned
+//!   analyze JSON rows.
+//! * `compare` diffs a current `bench-report` row set against a baseline
+//!   (a file via `--baseline`, or the latest same-config run in an
+//!   append-only `--store` directory) and reports throughput deltas,
+//!   schema drift, and determinism drift.
+//! * `regress` is `compare` with teeth: exit 1 on threshold regressions
+//!   (default 10%, `--threshold`) or any drift failure. `--warn-only`
+//!   waives throughput regressions (for shared CI machines) but never
+//!   schema or determinism drift.
 
 use ouro_baselines::SystemReport;
 use ouro_bench::{
@@ -84,6 +103,9 @@ const SUBCOMMANDS: &[&str] = &[
     "prefix",
     "scenario",
     "bench-report",
+    "analyze",
+    "compare",
+    "regress",
 ];
 
 /// Rejects a malformed invocation: print the problem and the full usage,
@@ -91,8 +113,11 @@ const SUBCOMMANDS: &[&str] = &[
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: experiments [<subcommand>] [--requests N] [--out PATH] [--trace PATH]");
+    eprintln!("       experiments compare|regress [--requests N] [--baseline PATH] [--current PATH]");
+    eprintln!("                                   [--store DIR] [--threshold F] [--warn-only] [--out PATH]");
     eprintln!("flags: --out writes the subcommand's JSON rows to PATH (--json is an alias);");
-    eprintln!("       --trace writes a Chrome trace-event JSON (scenario subcommand only)");
+    eprintln!("       --trace writes a Chrome trace-event JSON (scenario subcommand only);");
+    eprintln!("       --baseline/--current/--store/--threshold/--warn-only gate compare/regress");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
     std::process::exit(2);
 }
@@ -103,6 +128,12 @@ fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut threshold = 0.10;
+    let mut threshold_set = false;
+    let mut warn_only = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +159,36 @@ fn main() {
                 trace_path = Some(value.clone());
                 i += 2;
             }
+            "--baseline" => {
+                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--baseline expects a file path"));
+                baseline_path = Some(value.clone());
+                i += 2;
+            }
+            "--current" => {
+                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--current expects a file path"));
+                current_path = Some(value.clone());
+                i += 2;
+            }
+            "--store" => {
+                let value = args.get(i + 1).unwrap_or_else(|| usage_error("--store expects a directory"));
+                store_dir = Some(value.clone());
+                i += 2;
+            }
+            "--threshold" => {
+                let value = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage_error("--threshold expects a fraction like 0.10"));
+                threshold = match value.parse::<f64>() {
+                    Ok(t) if t.is_finite() && (0.0..1.0).contains(&t) => t,
+                    _ => usage_error(&format!("--threshold expects a fraction in [0, 1), got {value:?}")),
+                };
+                threshold_set = true;
+                i += 2;
+            }
+            "--warn-only" => {
+                warn_only = true;
+                i += 1;
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag:?}")),
             name => {
                 if which.is_some() {
@@ -145,11 +206,42 @@ fn main() {
     if trace_path.is_some() && which != "scenario" && which != "all" {
         usage_error("--trace is only honored by the scenario subcommand (or all)");
     }
+    let gating = which == "compare" || which == "regress";
+    if !gating
+        && (baseline_path.is_some()
+            || current_path.is_some()
+            || store_dir.is_some()
+            || threshold_set
+            || warn_only)
+    {
+        usage_error("--baseline/--current/--store/--threshold/--warn-only only apply to compare/regress");
+    }
 
     // bench-report measures wall clock, so it never joins the deterministic
     // `all` dump; it runs alone and writes its own schema-versioned file.
     if which == "bench-report" {
-        bench_report(requests, out_path.as_deref());
+        let rows = bench_report_rows(requests);
+        write_rows(out_path.as_deref().unwrap_or("BENCH_serve.json"), &rows, "bench rows");
+        return;
+    }
+    // The analysis and gating subcommands are post-hoc consumers — they
+    // never join `all` either.
+    if which == "analyze" {
+        analyze(requests, out_path.as_deref());
+        return;
+    }
+    if gating {
+        let gate = which == "regress";
+        compare(
+            requests,
+            baseline_path.as_deref(),
+            current_path.as_deref(),
+            store_dir.as_deref(),
+            threshold,
+            warn_only,
+            out_path.as_deref(),
+            gate,
+        );
         return;
     }
 
@@ -930,7 +1022,7 @@ fn table2() {
 /// discrete-event loop itself, not the mapping anneal that builds the big
 /// evaluation systems; the traced point doubles as an always-on check that
 /// the observability layer stays cheap enough to leave enabled.
-fn bench_report(requests: usize, out: Option<&str>) {
+fn bench_report_rows(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     use std::time::Instant;
 
     use ouro_serve::{capacity_rps_estimate, ideal_latencies, Scenario, SloConfig};
@@ -988,12 +1080,131 @@ fn bench_report(requests: usize, out: Option<&str>) {
             profile,
         ));
     }
-    let path = out.unwrap_or("BENCH_serve.json");
-    match ouro_bench::json::write_array(path, &rows) {
-        Ok(()) => eprintln!("\nwrote {} bench rows to {path}", rows.len()),
+    rows
+}
+
+/// Writes JSON rows to `path` or exits non-zero — the shared tail of the
+/// perf-trajectory subcommands.
+fn write_rows(path: &str, rows: &[ouro_bench::json::JsonObject], what: &str) {
+    match ouro_bench::json::write_array(path, rows) {
+        Ok(()) => eprintln!("\nwrote {} {what} to {path}", rows.len()),
         Err(e) => {
             eprintln!("\nfailed to write {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `analyze` — post-hoc latency attribution on the golden observability
+/// scenario: runs the disaggregated+faults shape with tracing and
+/// telemetry armed, reconstructs per-request timelines, and prints where
+/// p50/p99 TTFT/E2E go, phase by phase, plus per-wafer utilization.
+/// `--out` writes the schema-versioned analyze JSON rows.
+fn analyze(requests: usize, out: Option<&str>) {
+    use ouro_serve::{FaultConfig, Scenario, SloConfig};
+    use ouro_workload::{ArrivalConfig, TraceGenerator};
+
+    header("Analyze: latency attribution and wafer utilization (golden scenario)");
+    let model = zoo::bert_large();
+    let system = OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &model).expect("tiny system builds");
+    let requests = requests.min(DEFAULT_REQUESTS);
+    let lengths = LengthConfig::fixed(64, 32);
+    let trace = TraceGenerator::new(8).generate(&lengths, requests);
+    let timed = ArrivalConfig::Poisson { rate_rps: 400.0 }.assign(&trace, 8);
+    let outcome = Scenario::disaggregated(2, 2)
+        .slo(SloConfig { ttft_s: 0.5, tpot_s: 0.05 })
+        .faults(FaultConfig::new(0.02, 8))
+        .workload(timed)
+        .trace(true)
+        .telemetry_every(0.005)
+        .run_full(&system)
+        .expect("deployment builds");
+    let analysis = outcome.analysis().expect("tracing was armed");
+    eprintln!("\n--- {requests} requests, disaggregated 2+2, faults armed ---");
+    print!("{}", analysis.report());
+    if let Some(path) = out {
+        write_rows(path, &analysis.json_rows(), "analyze rows");
+    }
+}
+
+/// `compare` / `regress` — the regression gate. Produces current bench
+/// rows (from `--current`, or by running `bench-report` afresh), finds a
+/// baseline (the latest run of the same config hash in `--store`, or the
+/// `--baseline` file, default `BENCH_serve.json`), and diffs them.
+/// `regress` exits 1 when the verdict fails; `compare` always reports
+/// and exits 0. Schema drift fails even under `--warn-only`.
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    requests: usize,
+    baseline_path: Option<&str>,
+    current_path: Option<&str>,
+    store_dir: Option<&str>,
+    threshold: f64,
+    warn_only: bool,
+    out: Option<&str>,
+    gate: bool,
+) {
+    use ouro_bench::store::{self, Store};
+
+    header(if gate {
+        "Regress: gate against the stored baseline"
+    } else {
+        "Compare: diff against the stored baseline"
+    });
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    };
+
+    let current: Vec<store::FlatRow> = match current_path {
+        Some(path) => store::read_rows(std::path::Path::new(path))
+            .unwrap_or_else(|e| fail(&format!("cannot read --current: {e}"))),
+        None => {
+            // A fresh measurement, round-tripped through the parser so
+            // both sides of the diff took the same path.
+            let rows = bench_report_rows(requests);
+            store::parse_flat_rows(&ouro_bench::json::render_array(&rows))
+                .unwrap_or_else(|e| fail(&format!("fresh bench rows failed to parse: {e}")))
+        }
+    };
+    let hash = store::config_hash(&current);
+    eprintln!("\nconfig hash: {hash:016x} ({} current rows)", current.len());
+
+    let baseline: Option<Vec<store::FlatRow>> = match store_dir {
+        Some(dir) => {
+            let store = Store::open(dir).unwrap_or_else(|e| fail(&format!("cannot open --store: {e}")));
+            let previous =
+                store.latest(hash).unwrap_or_else(|e| fail(&format!("cannot read store history: {e}")));
+            let seq = store
+                .append(hash, &current)
+                .unwrap_or_else(|e| fail(&format!("cannot append to store: {e}")));
+            eprintln!("stored run {seq} under {}", store.path_for(hash).display());
+            previous
+        }
+        None => {
+            let path = baseline_path.unwrap_or("BENCH_serve.json");
+            Some(
+                store::read_rows(std::path::Path::new(path))
+                    .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}"))),
+            )
+        }
+    };
+    let Some(baseline) = baseline else {
+        eprintln!("no stored history for this config hash yet — baseline seeded, nothing to diff");
+        return;
+    };
+
+    let verdict = store::compare_rows(&current, &baseline, threshold);
+    println!("{}", verdict.report());
+    if let Some(path) = out {
+        write_rows(path, &verdict.json_rows(), "diff rows");
+    }
+    if verdict.passed(warn_only) {
+        eprintln!("gate: PASS");
+    } else if gate {
+        eprintln!("gate: FAIL");
+        std::process::exit(1);
+    } else {
+        eprintln!("gate: FAIL (compare is informational; run `regress` to gate)");
     }
 }

@@ -131,6 +131,15 @@ pub fn format_energy_breakdown(reports: &[SystemReport]) -> String {
 /// for the harness.
 pub use ouro_serve::json;
 
+/// The append-only results store and regression gate behind
+/// `experiments compare` / `experiments regress`.
+pub mod store;
+
+pub use store::{
+    compare_rows, config_hash, parse_flat_rows, FlatRow, JsonValue, MetricDiff, Store, Verdict,
+    COMPARE_SCHEMA_VERSION, COMPARE_V1_KEYS,
+};
+
 /// Prefixes one flattened [`ouro_serve::RunReport`] row with its experiment
 /// and label tags — the shared shape of every serving-style JSON dump the
 /// `experiments` binary emits.

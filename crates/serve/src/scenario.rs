@@ -50,8 +50,8 @@ use ouro_kvcache::KvError;
 use ouro_noc::InterWaferLink;
 use ouro_sim::OuroborosSystem;
 use ouro_trace::{
-    Counters, EventKind, LoopProfile, TelemetryConfig, TelemetryRecorder, TelemetrySample, Trace, TraceEvent,
-    Tracer,
+    Analysis, Counters, EventKind, LoopProfile, TelemetryConfig, TelemetryRecorder, TelemetrySample, Trace,
+    TraceEvent, Tracer,
 };
 use ouro_workload::{Request, TimedTrace};
 use rand::rngs::StdRng;
@@ -320,6 +320,7 @@ impl Scenario {
             FaultInjector::new(system, total, cfg, FaultInjector::run_window_s(self.horizon_s, timed))
         });
         driver.drive(timed, self.horizon_s, injector.as_mut());
+        driver.telemetry_finish(timed, self.horizon_s);
         let report = driver.report(timed, &self.slo, self.horizon_s, self.deployment_info(), injector);
         let trace = self.trace.then(|| {
             // Per-wafer engine streams (in global wafer order) plus the
@@ -423,6 +424,15 @@ impl RunOutcome {
     /// armed).
     pub fn profile(&self) -> Option<&LoopProfile> {
         self.profile.as_ref()
+    }
+
+    /// The post-hoc latency attribution and utilization analysis of the
+    /// run, reconstructed from the merged trace plus whatever telemetry
+    /// was sampled (`None` unless [`Scenario::trace`] was armed).
+    /// Strictly observational: reads the finished run's records and
+    /// never feeds back into the report.
+    pub fn analysis(&self) -> Option<Analysis> {
+        self.trace.as_ref().map(|t| Analysis::from_run(t, &self.telemetry))
     }
 }
 
@@ -632,6 +642,34 @@ impl Driver {
                 rec.record(TelemetrySample { t_s, wafer, gauges, counters });
             }
             rec.advance();
+        }
+    }
+
+    /// Flushes the telemetry tail after the loop drains: any cadence
+    /// points still owed at the run's end instant, then — when that
+    /// instant sits strictly inside the next cadence window — one final
+    /// off-grid sample per wafer stamped at the end instant, so the last
+    /// partial window is represented instead of silently dropped. The
+    /// end instant is the same one the report uses (engine-clock
+    /// frontier, at least the last arrival, capped by the horizon).
+    fn telemetry_finish(&mut self, timed: &TimedTrace, horizon_s: f64) {
+        self.telemetry_tick();
+        let end_s =
+            self.engines.iter().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
+        let Some(rec) = self.telemetry.as_mut() else { return };
+        if !rec.tail_due(end_s) {
+            return;
+        }
+        let counters = Counters {
+            completions: self.completed,
+            migrations: self.migrations.len() as u64,
+            faults: self.faults_fired,
+            steps: self.engines.iter().map(|e| e.stats().steps).sum(),
+        };
+        for (wafer, engine) in self.engines.iter().enumerate() {
+            let mut gauges = engine.kv_gauges();
+            gauges.link_bytes_in_flight = engine.pending_imported_tokens() as u64 * self.kv_bytes_per_token;
+            rec.record(TelemetrySample { t_s: end_s, wafer, gauges, counters });
         }
     }
 

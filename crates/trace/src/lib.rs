@@ -28,6 +28,7 @@
 //! ([`TRACE_SCHEMA_VERSION`], [`TELEMETRY_SCHEMA_VERSION`],
 //! [`BENCH_SCHEMA_VERSION`]) so downstream tooling can detect drift.
 
+pub mod analyze;
 pub mod chrome;
 pub mod event;
 pub mod json;
@@ -35,6 +36,10 @@ pub mod profile;
 pub mod sink;
 pub mod telemetry;
 
+pub use analyze::{
+    Analysis, PhaseStats, RequestPhases, WaferUtilization, ANALYZE_PHASE_KEYS, ANALYZE_SCHEMA_VERSION,
+    ANALYZE_SUMMARY_KEYS, ANALYZE_WAFER_KEYS, PHASE_COUNT, PHASE_NAMES,
+};
 pub use chrome::{SpanPhase, Trace};
 pub use event::{EventKind, TraceEvent, TRACE_SCHEMA_VERSION};
 pub use profile::{LoopProfile, ProfileBucket, BENCH_SCHEMA_VERSION};

@@ -152,6 +152,16 @@ impl TelemetryRecorder {
         self.next_sample_s += self.config.cadence_s;
     }
 
+    /// Whether the run's final instant `now_s` sits strictly inside the
+    /// pending cadence window — i.e. the tail of the run would be
+    /// silently dropped unless the caller records one last off-grid
+    /// sample stamped at `now_s`. False when the run ends exactly on an
+    /// already-drained cadence point (or never advanced past zero), so a
+    /// grid-aligned horizon never duplicates its last sample.
+    pub fn tail_due(&self, now_s: f64) -> bool {
+        now_s > 0.0 && now_s > self.next_sample_s - self.config.cadence_s
+    }
+
     /// The samples recorded so far, in `(time, wafer)` order.
     pub fn samples(&self) -> &[TelemetrySample] {
         &self.samples
@@ -188,6 +198,23 @@ mod tests {
             r.advance();
         }
         assert_eq!(points, vec![0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn the_final_partial_window_is_owed_a_tail_sample() {
+        let mut r = TelemetryRecorder::new(TelemetryConfig::every(0.5));
+        // A run ending at 0 sampled nothing and owes nothing; one ending
+        // mid-window owes a tail even before the first grid point.
+        assert!(!r.tail_due(0.0));
+        assert!(r.tail_due(0.3));
+        // Drain the grid up to 1.7: points 0.5/1.0/1.5 recorded, next is
+        // 2.0. A run ending exactly on the drained point 1.5 owes no
+        // tail; one ending at 1.7 owes the partial window (1.5, 1.7].
+        while r.due(1.7) {
+            r.advance();
+        }
+        assert!(!r.tail_due(1.5));
+        assert!(r.tail_due(1.7));
     }
 
     #[test]

@@ -250,3 +250,43 @@ fn trace_and_telemetry_rows_carry_their_schema_versions() {
     assert!(profile.total_events() > 0);
     assert!(profile.events_per_s() > 0.0, "wall time accrues when profiling is armed");
 }
+
+#[test]
+fn telemetry_tail_window_is_flushed_not_dropped() {
+    // A cadence far beyond the run's duration used to record nothing:
+    // the final partial window was silently dropped. The tail flush owes
+    // exactly one closing sample per wafer, stamped at the run's end
+    // instant (the same instant the report uses).
+    let outcome = pinned_scenario().trace(true).telemetry_every(1e9).run_full(tiny_system()).unwrap();
+    let telemetry = outcome.telemetry();
+    let wafers = outcome.engines().len();
+    assert_eq!(telemetry.len(), wafers, "one tail sample per wafer, nothing else");
+    let end_s = outcome.report.serving.duration_s;
+    for s in telemetry {
+        assert!((s.t_s - end_s).abs() < 1e-12, "tail stamped at the run end, got {} vs {end_s}", s.t_s);
+    }
+    // The flush is still observational and deterministic.
+    assert_eq!(
+        outcome.report.json_object().render(),
+        pinned_scenario().run(tiny_system()).unwrap().json_object().render()
+    );
+}
+
+#[test]
+fn telemetry_series_ends_at_the_run_end_and_stays_monotone() {
+    let outcome = instrumented(pinned_scenario());
+    let telemetry = outcome.telemetry();
+    let last = telemetry.last().unwrap();
+    let end_s = outcome.report.serving.duration_s;
+    // The series now reaches the run's end instant: either the final
+    // cadence point landed exactly there or the tail flush covered the
+    // partial window.
+    assert!(
+        last.t_s <= end_s + 1e-12 && last.t_s > end_s - 0.005,
+        "series must reach the run end (last {} vs end {end_s})",
+        last.t_s
+    );
+    for pair in telemetry.windows(2) {
+        assert!(pair[1].t_s >= pair[0].t_s, "tail flush must not break time order");
+    }
+}
