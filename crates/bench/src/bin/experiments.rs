@@ -112,10 +112,12 @@ const SUBCOMMANDS: &[&str] = &[
 /// exit non-zero so CI catches it.
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: experiments [<subcommand>] [--requests N] [--out PATH] [--trace PATH]");
+    eprintln!("usage: experiments [<subcommand>] [--requests N] [--threads N] [--out PATH] [--trace PATH]");
     eprintln!("       experiments compare|regress [--requests N] [--baseline PATH] [--current PATH]");
     eprintln!("                                   [--store DIR] [--threshold F] [--warn-only] [--out PATH]");
     eprintln!("flags: --out writes the subcommand's JSON rows to PATH (--json is an alias);");
+    eprintln!("       --threads sets sweep worker threads (serving/disagg/faults; default: all cores;");
+    eprintln!("                 output is identical at any thread count);");
     eprintln!("       --trace writes a Chrome trace-event JSON (scenario subcommand only);");
     eprintln!("       --baseline/--current/--store/--threshold/--warn-only gate compare/regress");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
@@ -126,6 +128,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut requests = DEFAULT_REQUESTS;
+    let mut threads = ouro_serve::default_threads();
+    let mut threads_set = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -144,6 +148,16 @@ fn main() {
                     Ok(n) if n > 0 => n,
                     _ => usage_error(&format!("--requests expects a positive integer, got {value:?}")),
                 };
+                i += 2;
+            }
+            "--threads" => {
+                let value =
+                    args.get(i + 1).unwrap_or_else(|| usage_error("--threads expects a positive integer"));
+                threads = match value.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_error(&format!("--threads expects a positive integer, got {value:?}")),
+                };
+                threads_set = true;
                 i += 2;
             }
             // `--json` predates `--out` and stays as an alias so existing
@@ -205,6 +219,10 @@ fn main() {
     let which = which.unwrap_or_else(|| "all".to_string());
     if trace_path.is_some() && which != "scenario" && which != "all" {
         usage_error("--trace is only honored by the scenario subcommand (or all)");
+    }
+    let sweeping = which == "serving" || which == "disagg" || which == "faults" || which == "all";
+    if threads_set && !sweeping {
+        usage_error("--threads only applies to the sweep subcommands (serving/disagg/faults, or all)");
     }
     let gating = which == "compare" || which == "regress";
     if !gating
@@ -282,13 +300,13 @@ fn main() {
     // field disambiguates) instead of overwriting it per subcommand.
     let mut rows: Vec<ouro_bench::json::JsonObject> = Vec::new();
     if run("serving") {
-        rows.extend(serving(requests));
+        rows.extend(serving(requests, threads));
     }
     if run("disagg") {
-        rows.extend(disagg(requests));
+        rows.extend(disagg(requests, threads));
     }
     if run("faults") {
-        rows.extend(faults(requests));
+        rows.extend(faults(requests, threads));
     }
     if run("prefix") {
         rows.extend(prefix(requests));
@@ -566,7 +584,7 @@ fn fig21(requests: usize) {
 
 /// Online serving — load sweeps and routing policies on a 4-wafer cluster.
 /// Returns the JSON rows of every printed point.
-fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+fn serving(requests: usize, threads: usize) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_serve::{
         capacity_rps_estimate, format_sweep, ideal_latencies, routers, LoadSweep, Scenario, SloConfig,
     };
@@ -587,6 +605,7 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     let mut sweep = LoadSweep::around_capacity(capacity, wafers, lengths.clone(), slo);
     sweep.seed = SEED;
     sweep.requests = requests.min(400);
+    sweep.threads = threads;
     let points = sweep.run(&system);
     print!("{}", format_sweep(&points));
     let mut rows: Vec<ouro_bench::json::JsonObject> =
@@ -651,7 +670,7 @@ fn serving(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// Disaggregated serving — the pool-ratio sweep and the colocated-vs-
 /// disaggregated shootout at equal wafer count. Returns the JSON rows of
 /// every printed point.
-fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+fn disagg(requests: usize, threads: usize) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_disagg::{best_ratio, format_shootout, head_to_head, RatioPlanner, ShootoutConfig};
     use ouro_serve::{capacity_rps_estimate, ideal_latencies, SloConfig};
     use ouro_workload::{ArrivalConfig, TraceGenerator};
@@ -676,7 +695,8 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     eprintln!("\n--- pool-ratio sweep at {rate:.0} req/s (bursty cv=4, LP=512 LD=64) ---");
     let trace = TraceGenerator::new(SEED).generate(&lengths, requests);
     let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, SEED);
-    let planner = RatioPlanner::new(wafers);
+    let mut planner = RatioPlanner::new(wafers);
+    planner.threads = threads;
     let plans = planner.sweep(&system, &timed, &slo).expect("pools build");
     println!(
         "{:<10} {:>11} {:>11} {:>11} {:>11} {:>12}",
@@ -713,6 +733,7 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     shootout.lengths = lengths;
     shootout.seed = SEED;
     shootout.slo = slo;
+    shootout.threads = threads;
     let points = head_to_head(&system, &shootout).expect("clusters build");
     print!("{}", format_shootout(&points));
     for p in &points {
@@ -725,7 +746,7 @@ fn disagg(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// Runtime fault injection — availability and tail-latency inflation under
 /// a seeded MTBF process, plus a fault-enabled disagg-vs-colocated
 /// shootout. Returns the JSON rows of every printed point.
-fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
+fn faults(requests: usize, threads: usize) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_disagg::{format_shootout, head_to_head, ShootoutConfig};
     use ouro_serve::{capacity_rps_estimate, ideal_latencies, routers, FaultConfig, Scenario, SloConfig};
     use ouro_workload::{ArrivalConfig, TraceGenerator};
@@ -756,10 +777,13 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
         "mtbf", "faults", "chains", "recomp", "kv-evict", "availability", "ttft-p99", "tpot-p99"
     );
     // One scenario, re-armed per swept MTBF; the fault-free baseline runs
-    // once and anchors the inflation columns.
+    // once and anchors the inflation columns. The swept points are
+    // independent seeded runs, so they fan out across the worker threads
+    // and reassemble in input order.
     let base = Scenario::colocated(wafers).router(routers::least_kv_load()).slo(slo).workload(timed.clone());
     let clean = base.clone().run(&system).expect("cluster builds");
-    for (label, divisor) in [("none", 0.0), ("span/2", 2.0), ("span/6", 6.0)] {
+    let mtbf_points = [("none", 0.0), ("span/2", 2.0), ("span/6", 6.0)];
+    let swept = ouro_serve::parallel_map_indexed(mtbf_points.to_vec(), threads, |_, (label, divisor)| {
         let faulty = if divisor > 0.0 {
             base.clone().faults(FaultConfig::new(span / divisor, SEED)).run(&system).expect("cluster builds")
         } else {
@@ -775,6 +799,9 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
             r.faults = Some(injector.report(clean.serving.duration_s));
             r
         };
+        (label, faulty)
+    });
+    for (label, faulty) in swept {
         let f = faulty.faults.as_ref().expect("fault section populated");
         println!(
             "{:<12} {:>7} {:>7} {:>9} {:>10.2}MB {:>12.4}% {:>9.1}ms {:>9.3}ms",
@@ -801,6 +828,7 @@ fn faults(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
     shootout.lengths = lengths;
     shootout.seed = SEED;
     shootout.slo = slo;
+    shootout.threads = threads;
     shootout.fault = Some(FaultConfig::new(span / 4.0, SEED));
     let points = head_to_head(&system, &shootout).expect("clusters build");
     print!("{}", format_shootout(&points));

@@ -11,7 +11,7 @@
 //! deterministic and the argmax is meaningful.
 
 use ouro_kvcache::KvError;
-use ouro_serve::{placements, EngineConfig, Placement, RunReport, Scenario, SloConfig};
+use ouro_serve::{parallel_map_indexed, placements, EngineConfig, Placement, RunReport, Scenario, SloConfig};
 use ouro_sim::OuroborosSystem;
 use ouro_workload::TimedTrace;
 
@@ -44,6 +44,10 @@ pub struct RatioPlanner {
     pub engine: EngineConfig,
     /// Simulation horizon per split (bounds overloaded tails).
     pub horizon_s: f64,
+    /// Worker threads for the sweep (each split is an independent run on
+    /// the shared trace; results return in ascending-split order, so any
+    /// thread count produces identical output). `1` runs inline.
+    pub threads: usize,
 }
 
 impl RatioPlanner {
@@ -55,11 +59,13 @@ impl RatioPlanner {
             placement: placements::least_kv_load(),
             engine: EngineConfig::default(),
             horizon_s: f64::INFINITY,
+            threads: 1,
         }
     }
 
     /// Runs every split of the wafer budget against the same timed trace,
-    /// in ascending prefill-wafer order.
+    /// in ascending prefill-wafer order, on [`RatioPlanner::threads`]
+    /// workers.
     ///
     /// # Errors
     ///
@@ -70,18 +76,19 @@ impl RatioPlanner {
         timed: &TimedTrace,
         slo: &SloConfig,
     ) -> Result<Vec<PoolPlan>, KvError> {
-        (1..self.total_wafers)
-            .map(|prefill| {
-                let report = Scenario::disaggregated(prefill, self.total_wafers - prefill)
-                    .placement(self.placement.clone())
-                    .engine(self.engine)
-                    .slo(*slo)
-                    .horizon(self.horizon_s)
-                    .workload(timed.clone())
-                    .run(system)?;
-                Ok(PoolPlan { prefill_wafers: prefill, decode_wafers: self.total_wafers - prefill, report })
-            })
-            .collect()
+        let splits: Vec<usize> = (1..self.total_wafers).collect();
+        parallel_map_indexed(splits, self.threads, |_, prefill| {
+            let report = Scenario::disaggregated(prefill, self.total_wafers - prefill)
+                .placement(self.placement.clone())
+                .engine(self.engine)
+                .slo(*slo)
+                .horizon(self.horizon_s)
+                .workload(timed.clone())
+                .run(system)?;
+            Ok(PoolPlan { prefill_wafers: prefill, decode_wafers: self.total_wafers - prefill, report })
+        })
+        .into_iter()
+        .collect()
     }
 }
 

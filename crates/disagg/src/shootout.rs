@@ -16,7 +16,8 @@
 
 use ouro_kvcache::KvError;
 use ouro_serve::{
-    placements, routers, EngineConfig, FaultConfig, Placement, Router, RunReport, Scenario, SloConfig,
+    parallel_map_indexed, placements, routers, EngineConfig, FaultConfig, Placement, Router, RunReport,
+    Scenario, SloConfig,
 };
 use ouro_sim::OuroborosSystem;
 use ouro_workload::{ArrivalConfig, LengthConfig, TraceGenerator};
@@ -52,6 +53,10 @@ pub struct ShootoutConfig {
     /// Optional runtime fault process, applied identically (same MTBF,
     /// same seed, same wafer streams) to both deployments.
     pub fault: Option<FaultConfig>,
+    /// Worker threads for the load sweep (each point is an independent
+    /// pair of runs; results return in input order, so any thread count
+    /// produces identical output). `1` runs inline.
+    pub threads: usize,
 }
 
 impl ShootoutConfig {
@@ -72,6 +77,7 @@ impl ShootoutConfig {
             engine: EngineConfig::default(),
             horizon_s: f64::INFINITY,
             fault: None,
+            threads: 1,
         }
     }
 }
@@ -102,38 +108,32 @@ pub fn head_to_head(
         "the disaggregated split must leave wafers in both pools"
     );
     let trace = TraceGenerator::new(config.seed).generate(&config.lengths, config.requests);
-    config
-        .rates_rps
-        .iter()
-        .map(|&rate| {
-            let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: config.cv }.assign(&trace, config.seed);
-            // Both sides see the identical fault realisation: same wafer
-            // count, same seed, same window (the scenario derives the
-            // window from the shared horizon and trace).
-            let mut colocated = Scenario::colocated(config.wafers)
-                .router(config.colocated_router.clone())
+    parallel_map_indexed(config.rates_rps.clone(), config.threads, |_, rate| {
+        let timed = ArrivalConfig::Bursty { rate_rps: rate, cv: config.cv }.assign(&trace, config.seed);
+        // Both sides see the identical fault realisation: same wafer
+        // count, same seed, same window (the scenario derives the
+        // window from the shared horizon and trace).
+        let mut colocated = Scenario::colocated(config.wafers)
+            .router(config.colocated_router.clone())
+            .engine(config.engine)
+            .slo(config.slo)
+            .horizon(config.horizon_s)
+            .workload(timed.clone());
+        let mut disagg =
+            Scenario::disaggregated(config.prefill_wafers, config.wafers - config.prefill_wafers)
+                .placement(config.placement.clone())
                 .engine(config.engine)
                 .slo(config.slo)
                 .horizon(config.horizon_s)
-                .workload(timed.clone());
-            let mut disagg =
-                Scenario::disaggregated(config.prefill_wafers, config.wafers - config.prefill_wafers)
-                    .placement(config.placement.clone())
-                    .engine(config.engine)
-                    .slo(config.slo)
-                    .horizon(config.horizon_s)
-                    .workload(timed);
-            if let Some(fcfg) = config.fault {
-                colocated = colocated.faults(fcfg);
-                disagg = disagg.faults(fcfg);
-            }
-            Ok(ShootoutPoint {
-                rate_rps: rate,
-                colocated: colocated.run(system)?,
-                disagg: disagg.run(system)?,
-            })
-        })
-        .collect()
+                .workload(timed);
+        if let Some(fcfg) = config.fault {
+            colocated = colocated.faults(fcfg);
+            disagg = disagg.faults(fcfg);
+        }
+        Ok(ShootoutPoint { rate_rps: rate, colocated: colocated.run(system)?, disagg: disagg.run(system)? })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Formats the comparison as a fixed-width table: one row per load and

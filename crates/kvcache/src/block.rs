@@ -31,6 +31,12 @@ pub struct CrossbarBlocks {
     /// new allocations and contributes no capacity. Blocks still resident
     /// at failure time stay visible to the audit until released.
     failed: bool,
+    /// Count of `None` entries in `blocks`, maintained incrementally so
+    /// the admission paths' capacity queries are O(1) instead of a scan.
+    free: usize,
+    /// Sum of used token slots across all blocks, maintained incrementally
+    /// for the same reason.
+    used: usize,
 }
 
 impl CrossbarBlocks {
@@ -41,6 +47,8 @@ impl CrossbarBlocks {
             tokens_per_block: config.tokens_per_logical_block(head_dim, bytes_per_elem),
             blocks: vec![None; config.logical_blocks],
             failed: false,
+            free: config.logical_blocks,
+            used: 0,
         }
     }
 
@@ -66,7 +74,8 @@ impl CrossbarBlocks {
     /// Unallocated blocks regardless of the failed flag — the audit's view,
     /// which must keep counting blocks awaiting post-fault eviction.
     pub fn raw_free_blocks(&self) -> usize {
-        self.blocks.iter().filter(|b| b.is_none()).count()
+        debug_assert_eq!(self.free, self.blocks.iter().filter(|b| b.is_none()).count());
+        self.free
     }
 
     /// Whether a runtime fault has taken this crossbar.
@@ -88,11 +97,12 @@ impl CrossbarBlocks {
     /// Allocates one free block to `seq`, returning its index (`None` on a
     /// full or failed crossbar).
     pub fn allocate(&mut self, seq: u64) -> Option<usize> {
-        if self.failed {
+        if self.failed || self.free == 0 {
             return None;
         }
         let idx = self.blocks.iter().position(|b| b.is_none())?;
         self.blocks[idx] = Some((seq, 0));
+        self.free -= 1;
         Some(idx)
     }
 
@@ -109,6 +119,7 @@ impl CrossbarBlocks {
         let space = self.tokens_per_block - slot.1;
         let taken = tokens.min(space);
         slot.1 += taken;
+        self.used += taken;
         tokens - taken
     }
 
@@ -126,7 +137,14 @@ impl CrossbarBlocks {
     /// whose owner is a prefix group rather than a sequence and which must
     /// therefore not be swept by [`CrossbarBlocks::release`].
     pub fn free_at(&mut self, idx: usize) -> bool {
-        self.blocks[idx].take().is_some()
+        match self.blocks[idx].take() {
+            Some((_, used)) => {
+                self.free += 1;
+                self.used -= used;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Frees every block owned by `seq`, returning how many blocks were
@@ -134,9 +152,13 @@ impl CrossbarBlocks {
     pub fn release(&mut self, seq: u64) -> usize {
         let mut released = 0;
         for b in &mut self.blocks {
-            if matches!(b, Some((owner, _)) if *owner == seq) {
-                *b = None;
-                released += 1;
+            if let Some((owner, used)) = b {
+                if *owner == seq {
+                    self.free += 1;
+                    self.used -= *used;
+                    *b = None;
+                    released += 1;
+                }
             }
         }
         released
@@ -144,7 +166,8 @@ impl CrossbarBlocks {
 
     /// Total token slots used across all blocks.
     pub fn used_tokens(&self) -> usize {
-        self.blocks.iter().flatten().map(|(_, used)| *used).sum()
+        debug_assert_eq!(self.used, self.blocks.iter().flatten().map(|(_, used)| *used).sum::<usize>());
+        self.used
     }
 
     /// Total token capacity of the crossbar (0 once failed).

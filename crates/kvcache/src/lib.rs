@@ -26,12 +26,14 @@
 //!   ([`static_alloc`]).
 
 pub mod block;
+pub mod fasthash;
 pub mod manager;
 pub mod scheduler;
 pub mod static_alloc;
 pub mod translate;
 
 pub use block::{BlockAddress, CrossbarBlocks};
+pub use fasthash::{FastHasher, FastMap};
 pub use manager::{BlockAudit, KvCoreFailure, KvError, KvManager, KvManagerConfig, KvTransferStats};
 pub use scheduler::{KvScheduler, SchedulerOutcome, SchedulerStats};
 pub use static_alloc::StaticKvAllocator;

@@ -21,9 +21,9 @@
 //! holds under sharing too.
 
 use crate::block::CrossbarBlocks;
+use crate::fasthash::FastMap;
 use crate::translate::{CoreBitmap, PageTable};
 use ouro_hw::{CoreId, CrossbarConfig};
-use std::collections::HashMap;
 
 /// Which half of the attention computation a KV core serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -253,13 +253,19 @@ pub struct KvManager {
     page_table: PageTable,
     /// Ring pointer per role: index of the core after the last one assigned.
     ring_next: [usize; 2],
-    cursors: HashMap<(u64, usize, u8), Cursor>,
-    resident_tokens: HashMap<u64, usize>,
+    cursors: FastMap<(u64, usize, u8), Cursor>,
+    /// Every private block allocated to each sequence, recorded at
+    /// allocation time so [`KvManager::release`] frees exactly the
+    /// sequence's blocks instead of sweeping every crossbar of every
+    /// core. Shared prefix blocks are owned by their group, not the
+    /// sequence, and are not indexed here.
+    seq_blocks: FastMap<u64, Vec<(KvRole, Cursor)>>,
+    resident_tokens: FastMap<u64, usize>,
     transfers: KvTransferStats,
     /// Shared prefix chains by group id.
-    shared: HashMap<u64, SharedChain>,
+    shared: FastMap<u64, SharedChain>,
     /// How many leading chain nodes each resident sequence references.
-    seq_shared: HashMap<u64, (u64, usize)>,
+    seq_shared: FastMap<u64, (u64, usize)>,
     /// Lifetime logical-block allocations (audit counter).
     allocated_blocks: u64,
     /// Lifetime logical-block frees (audit counter).
@@ -295,11 +301,12 @@ impl KvManager {
             value_cores,
             page_table: PageTable::new(),
             ring_next: [0, 0],
-            cursors: HashMap::new(),
-            resident_tokens: HashMap::new(),
+            cursors: FastMap::default(),
+            seq_blocks: FastMap::default(),
+            resident_tokens: FastMap::default(),
             transfers: KvTransferStats::default(),
-            shared: HashMap::new(),
-            seq_shared: HashMap::new(),
+            shared: FastMap::default(),
+            seq_shared: FastMap::default(),
             allocated_blocks: 0,
             freed_blocks: 0,
         })
@@ -646,7 +653,9 @@ impl KvManager {
             core.bitmap.set(slot, (xb * core.crossbars[xb].num_blocks() + block) % 256);
         }
         self.allocated_blocks += 1;
-        self.cursors.insert((seq, head, role as u8), Cursor { core_index, crossbar: xb, block });
+        let cursor = Cursor { core_index, crossbar: xb, block };
+        self.seq_blocks.entry(seq).or_default().push((role, cursor));
+        self.cursors.insert((seq, head, role as u8), cursor);
         Ok(())
     }
 
@@ -705,6 +714,7 @@ impl KvManager {
                 match found {
                     Some(c) => {
                         self.allocated_blocks += 1;
+                        self.seq_blocks.entry(seq).or_default().push((role, c));
                         self.cursors.insert(key, c);
                     }
                     None => return Err(KvError::OutOfCapacity),
@@ -720,13 +730,32 @@ impl KvManager {
     /// releases.
     pub fn release(&mut self, seq: u64) -> usize {
         let tokens = self.resident_tokens.remove(&seq).unwrap_or(0);
-        for core in self.key_cores.iter_mut().chain(self.value_cores.iter_mut()) {
-            for xb in &mut core.crossbars {
-                self.freed_blocks += xb.release(seq) as u64;
+        // Free exactly the blocks the allocation paths indexed for this
+        // sequence — the only paths that ever free private blocks run
+        // through here, so every indexed block is still owned by `seq`.
+        for (role, c) in self.seq_blocks.remove(&seq).unwrap_or_default() {
+            let core = &mut self.cores_mut(role)[c.core_index];
+            if core.crossbars[c.crossbar].free_at(c.block) {
+                self.freed_blocks += 1;
             }
-            core.bitmap.clear_sequence(seq);
         }
-        self.cursors.retain(|(s, _, _), _| *s != seq);
+        // Bitmap slots and cursors exist only on cores where a cursor was
+        // bound; `clear_sequence` is a no-op (returns 0 without mutating)
+        // on cores the sequence never touched, so visiting the cursor
+        // cores is equivalent to the old every-core sweep.
+        for head in 0..self.config.heads {
+            for role in [KvRole::Key, KvRole::Value] {
+                if let Some(cursor) = self.cursors.remove(&(seq, head, role as u8)) {
+                    self.cores_mut(role)[cursor.core_index].bitmap.clear_sequence(seq);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        for core in self.key_cores.iter().chain(self.value_cores.iter()) {
+            for xb in &core.crossbars {
+                debug_assert!(!xb.owns_any(seq), "per-sequence block index missed a block");
+            }
+        }
         self.page_table.remove(seq);
         self.detach_shared(seq);
         tokens

@@ -10,13 +10,13 @@
 //! valid. The last level lives in [`crate::block`]; this module implements
 //! the first two.
 
+use crate::fasthash::FastMap;
 use ouro_hw::CoreId;
-use std::collections::HashMap;
 
 /// First level: sequence → the ordered list of cores storing its heads.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageTable {
-    entries: HashMap<u64, Vec<CoreId>>,
+    entries: FastMap<u64, Vec<CoreId>>,
 }
 
 impl PageTable {

@@ -24,12 +24,12 @@
 //! system replays a prefix. The offline replayer instead restarts decode from
 //! scratch, which would corrupt latency accounting here.
 
+use crate::arena::IndexQueue;
 use crate::metrics::RequestRecord;
 use ouro_kvcache::{KvError, KvManager, KvManagerConfig, KvTransferStats};
 use ouro_sim::HwStageTimes;
 use ouro_trace::{EventKind, Tracer};
 use ouro_workload::Request;
-use std::collections::VecDeque;
 
 /// Tuning knobs of one engine (one wafer's replica).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,7 +189,10 @@ pub struct Engine {
     manager: KvManager,
     config: EngineConfig,
     records: Vec<RequestRecord>,
-    pending: VecDeque<PendingReq>,
+    /// The waiting queue: a dense arena indexed by rank/readiness heaps
+    /// ([`crate::arena::IndexQueue`]), so admission and the idle
+    /// fast-forward query are O(log n) instead of linear scans.
+    pending: IndexQueue<PendingReq>,
     active: Vec<ActiveSeq>,
     admission_suspended: bool,
     clock_s: f64,
@@ -197,6 +200,9 @@ pub struct Engine {
     /// Token-demand of the pending queue (prompt + decoded per request),
     /// maintained incrementally for the `LeastKvLoad` router.
     pending_tokens: usize,
+    /// Wire-token demand of queued imported-KV entries, maintained
+    /// incrementally for [`Engine::pending_imported_tokens`].
+    pending_wire_tokens: usize,
     stats: EngineStats,
     order_counter: u64,
     /// Lifecycle event emission, disabled (and costless) by default.
@@ -219,12 +225,13 @@ impl Engine {
             manager: KvManager::new(kv)?,
             config,
             records: Vec::new(),
-            pending: VecDeque::new(),
+            pending: IndexQueue::new(),
             active: Vec::new(),
             admission_suspended: false,
             clock_s: 0.0,
             busy_s: 0.0,
             pending_tokens: 0,
+            pending_wire_tokens: 0,
             stats: EngineStats::default(),
             order_counter: 0,
             tracer: Tracer::off(),
@@ -284,7 +291,14 @@ impl Engine {
     /// Earliest instant at which any queued request becomes admissible
     /// (`None` with an empty queue).
     pub fn next_ready_s(&self) -> Option<f64> {
-        self.pending.iter().map(|p| p.ready_s).min_by(f64::total_cmp)
+        let next = self.pending.next_ready_s();
+        #[cfg(debug_assertions)]
+        {
+            // Differential check against the old linear min-scan.
+            let naive = self.pending.ordered().iter().map(|&(ready, _)| ready).min_by(f64::total_cmp);
+            debug_assert_eq!(next, naive, "arena next_ready_s diverged from the naive scan");
+        }
+        next
     }
 
     /// The engine's next event time: its clock while sequences are
@@ -320,7 +334,16 @@ impl Engine {
     /// tokens actually travelling — prefix-deduplicated tokens never enter
     /// the wire accounting.
     pub fn pending_imported_tokens(&self) -> usize {
-        self.pending.iter().filter(|p| p.imported).map(|p| p.wire_tokens).sum()
+        #[cfg(debug_assertions)]
+        {
+            let naive: usize =
+                self.pending.ordered().iter().filter(|(_, p)| p.imported).map(|(_, p)| p.wire_tokens).sum();
+            debug_assert_eq!(
+                self.pending_wire_tokens, naive,
+                "incremental wire-token counter diverged from the queue scan"
+            );
+        }
+        self.pending_wire_tokens
     }
 
     /// Tokens of `request`'s shared prefix already resident in this wafer's
@@ -564,16 +587,12 @@ impl Engine {
             cached_prefix_tokens: 0,
             shared_prefix: request.shared_prefix,
         });
-        self.pending.push_back(PendingReq {
-            rec,
-            decoded: 0,
+        self.pending.push_back(
             ready_s,
-            imported,
-            wire_tokens,
-            evicted: false,
-            prefill_only,
-        });
+            PendingReq { rec, decoded: 0, ready_s, imported, wire_tokens, evicted: false, prefill_only },
+        );
         self.pending_tokens += request.prompt_len;
+        self.pending_wire_tokens += wire_tokens;
         rec
     }
 
@@ -596,12 +615,26 @@ impl Engine {
             // with queue order for local arrivals, but not for imported KV
             // (a small migration submitted later can land before a large one
             // submitted earlier), so an unready head must not block a landed
-            // request behind it. The scan settles on the head after one
-            // comparison in the common ready-head case.
-            let Some(pos) = self.pending.iter().position(|p| p.ready_s <= self.clock_s) else {
+            // request behind it. The arena's readiness/rank heaps answer
+            // this in O(log n) where the deque took a linear scan.
+            let Some((slot, front)) = self.pending.peek_ready(self.clock_s) else {
                 break; // nothing has arrived (or finished migrating) yet
             };
-            let front = self.pending[pos];
+            #[cfg(debug_assertions)]
+            {
+                // Differential check against the old FCFS position scan.
+                let naive = self
+                    .pending
+                    .ordered()
+                    .iter()
+                    .find(|&&(ready, _)| ready <= self.clock_s)
+                    .map(|&(_, p)| p.rec);
+                debug_assert_eq!(
+                    Some(front.rec),
+                    naive,
+                    "arena admission pick diverged from the naive FCFS scan"
+                );
+            }
             let tokens = self.resident_demand(&front);
             let seq_id = front.rec as u64;
             let prefix = if self.config.prefix_caching {
@@ -616,8 +649,9 @@ impl Engine {
             };
             match admitted {
                 Ok(cached) => {
-                    self.pending.remove(pos);
+                    self.pending.remove(slot);
                     self.pending_tokens -= tokens;
+                    self.pending_wire_tokens -= front.wire_tokens;
                     self.stats.admissions += 1;
                     // Prefill is charged only for tokens that are neither in
                     // the prefix cache nor freshly arrived over the link.
@@ -675,8 +709,9 @@ impl Engine {
                         // Even an empty cache cannot hold it: drop to
                         // guarantee progress (the offline scheduler does the
                         // same).
-                        self.pending.remove(pos);
+                        self.pending.remove(slot);
                         self.pending_tokens -= tokens;
+                        self.pending_wire_tokens -= front.wire_tokens;
                         self.stats.dropped += 1;
                         if front.imported {
                             self.stats.dropped_imported_tokens += front.wire_tokens as u64;
@@ -725,15 +760,18 @@ impl Engine {
         // An evicted import loses its migrated KV: it re-enters as a local
         // recompute (imported = false). The eviction clock is already in the
         // past, so readiness never gates a requeue.
-        self.pending.push_front(PendingReq {
-            rec: victim.rec,
-            decoded: victim.decoded,
-            ready_s: self.clock_s,
-            imported: false,
-            wire_tokens: 0,
-            evicted: true,
-            prefill_only: victim.prefill_only,
-        });
+        self.pending.push_front(
+            self.clock_s,
+            PendingReq {
+                rec: victim.rec,
+                decoded: victim.decoded,
+                ready_s: self.clock_s,
+                imported: false,
+                wire_tokens: 0,
+                evicted: true,
+                prefill_only: victim.prefill_only,
+            },
+        );
         self.pending_tokens += resident;
     }
 

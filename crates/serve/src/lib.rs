@@ -61,9 +61,11 @@
 //! assert!(points[0].report.is_conserved());
 //! ```
 
+pub(crate) mod arena;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
+pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod scenario;
@@ -83,6 +85,7 @@ pub use ouro_trace::{
 pub use engine::{Admission, Engine, EngineConfig, EngineFaultImpact, EngineStats};
 pub use fault::{FaultComparison, FaultConfig, FaultInjector, FaultPoll, FaultReport};
 pub use metrics::{LatencyStats, RequestRecord, RunTotals, ServingReport, SloConfig};
+pub use parallel::{default_threads, parallel_map_indexed};
 pub use policy::{
     pick_min_index, pick_prefix_affine_index, pick_serviceable_min_index, pick_serviceable_min_index_by,
     placements, routers, Placement, Router,

@@ -1,0 +1,93 @@
+//! A dependency-free scoped worker pool for the embarrassingly-parallel
+//! sweep layers.
+//!
+//! Every sweep point (a load level, a pool ratio, an MTBF setting, a seed
+//! replication) is an independent seeded `Scenario` run, so the sweeps
+//! parallelise trivially: workers pull point indices from a shared atomic
+//! counter and write results into per-point slots, and the caller reads the
+//! slots back **in input order**. Determinism therefore survives threading —
+//! the set of runs and the order of the returned vector are independent of
+//! scheduling, and a `threads = 1` sweep produces byte-identical output to a
+//! `threads = N` one (pinned by the workspace determinism tests).
+
+/// Number of worker threads a sweep should use by default: the machine's
+/// available parallelism, with a serial fallback when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on `threads` scoped workers, returning the results
+/// in input order. `f` receives `(index, item)`. With `threads <= 1` (or a
+/// single item) the map runs inline on the caller's thread — the serial
+/// path, bit-identical to the parallel one.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once the scope joins.
+pub fn parallel_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let total = items.len();
+    let work: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|item| std::sync::Mutex::new(Some(item))).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> = (0..total).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(total);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let item = work[index].lock().expect("work slot").take().expect("each index claimed once");
+                let result = f(index, item);
+                *results[index].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("every index ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map_indexed(items, 4, |i, item| {
+            assert_eq!(i, item);
+            item * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = parallel_map_indexed((0..33).collect::<Vec<_>>(), 1, |i, x: i32| (i, x * x));
+        let parallel = parallel_map_indexed((0..33).collect::<Vec<_>>(), 8, |i, x: i32| (i, x * x));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_indexed(empty, 8, |_, x| x).is_empty());
+        assert_eq!(parallel_map_indexed(vec![9u8], 8, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

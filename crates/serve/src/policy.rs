@@ -26,7 +26,7 @@ use ouro_workload::Request;
 /// index into `engines`. Implementations may keep state (`&mut self`), but
 /// must stay deterministic — given the same call sequence they must make
 /// the same decisions, or seeded runs stop being reproducible.
-pub trait Router: std::fmt::Debug {
+pub trait Router: std::fmt::Debug + Send + Sync {
     /// Stable policy name for reports and tables (e.g. `"least-kv-load"`).
     fn name(&self) -> String;
 
@@ -52,7 +52,7 @@ impl Clone for Box<dyn Router> {
 /// the prefill pool, which together define optical distance on the wafer
 /// line (`(prefill_wafers - from_wafer) + decode_index` boundary
 /// crossings) for locality-aware policies.
-pub trait Placement: std::fmt::Debug {
+pub trait Placement: std::fmt::Debug + Send + Sync {
     /// Stable policy name for reports and tables (e.g. `"locality-aware"`).
     fn name(&self) -> String;
 

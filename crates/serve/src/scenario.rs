@@ -41,6 +41,7 @@
 //! assert!(report.is_conserved());
 //! ```
 
+use crate::arena::F64Key;
 use crate::engine::{Engine, EngineConfig};
 use crate::fault::{FaultConfig, FaultInjector, FaultPoll};
 use crate::metrics::{RequestRecord, RunTotals, ServingReport, SloConfig};
@@ -56,7 +57,8 @@ use ouro_trace::{
 use ouro_workload::{Request, TimedTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::Instant;
 
 /// The pool split of a disaggregated deployment.
@@ -301,6 +303,7 @@ impl Scenario {
                 engine.set_tracer(Tracer::ring(wafer));
             }
         }
+        let engine_gen = vec![0; total];
         let mut driver = Driver {
             engines,
             prefill_wafers,
@@ -315,7 +318,12 @@ impl Scenario {
             profile: self.profile.then(LoopProfile::default),
             completed: 0,
             faults_fired: 0,
+            calendar: BinaryHeap::new(),
+            engine_gen,
         };
+        for wafer in 0..total {
+            driver.refresh_engine(wafer);
+        }
         let mut injector = self.fault.map(|cfg| {
             FaultInjector::new(system, total, cfg, FaultInjector::run_window_s(self.horizon_s, timed))
         });
@@ -458,6 +466,16 @@ struct Driver {
     completed: u64,
     /// Runtime faults fired so far, for telemetry counters.
     faults_fired: u64,
+    /// The event calendar: one entry per (engine, generation) holding the
+    /// engine's next-event time at refresh. Entries whose generation no
+    /// longer matches [`Driver::engine_gen`] are stale and discarded
+    /// lazily when they surface at the heap top. Ties on time resolve
+    /// toward the lowest wafer index, matching the old linear scan.
+    calendar: BinaryHeap<Reverse<(F64Key, usize, u64)>>,
+    /// Per-engine generation counters, bumped by [`Driver::refresh_engine`]
+    /// after every engine mutation so earlier calendar entries for that
+    /// engine can be recognised as stale.
+    engine_gen: Vec<u64>,
 }
 
 impl Driver {
@@ -478,18 +496,55 @@ impl Driver {
     /// an earlier simulated time could still announce a migration that
     /// lands sooner, which would then be admitted late (see
     /// [`Engine::next_event_s`]).
-    fn next_event_engine(&self, horizon_s: f64) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, e) in self.engines.iter().enumerate() {
-            let event_s = e.next_event_s();
-            if !e.has_work() || event_s >= horizon_s {
-                continue;
+    ///
+    /// Answered from the event calendar: stale entries (generation
+    /// mismatch) are popped as they surface; the first live top is the
+    /// global minimum, because every engine mutation goes through
+    /// [`Driver::refresh_engine`]. Debug builds re-derive the answer with
+    /// the old linear scan and assert the two agree, so every debug test
+    /// run doubles as a differential test of the calendar.
+    fn next_event_engine(&mut self, horizon_s: f64) -> Option<(usize, f64)> {
+        let best = loop {
+            match self.calendar.peek() {
+                None => break None,
+                Some(&Reverse((F64Key(event_s), i, gen))) => {
+                    if gen != self.engine_gen[i] {
+                        self.calendar.pop();
+                        continue;
+                    }
+                    break if event_s < horizon_s { Some((i, event_s)) } else { None };
+                }
             }
-            if best.is_none_or(|(_, c)| event_s.total_cmp(&c).is_lt()) {
-                best = Some((i, event_s));
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut naive: Option<(usize, f64)> = None;
+            for (i, e) in self.engines.iter().enumerate() {
+                let event_s = e.next_event_s();
+                if !e.has_work() || event_s >= horizon_s {
+                    continue;
+                }
+                if naive.is_none_or(|(_, c)| event_s.total_cmp(&c).is_lt()) {
+                    naive = Some((i, event_s));
+                }
             }
+            debug_assert_eq!(best, naive, "event calendar diverged from the naive engine scan");
         }
         best
+    }
+
+    /// Re-indexes engine `i` in the event calendar after a mutation:
+    /// bumps its generation (invalidating every earlier calendar entry for
+    /// it) and, if it still has work, pushes a fresh entry at its current
+    /// next-event time. Must be called after *every* operation that can
+    /// change an engine's `next_event_s`/`has_work` answers — the
+    /// debug-build assert in [`Driver::next_event_engine`] catches any
+    /// missed site.
+    fn refresh_engine(&mut self, i: usize) {
+        self.engine_gen[i] += 1;
+        if self.engines[i].has_work() {
+            self.calendar.push(Reverse((F64Key(self.engines[i].next_event_s()), i, self.engine_gen[i])));
+        }
     }
 
     /// Serves the timed trace to completion (or to the horizon),
@@ -525,6 +580,7 @@ impl Driver {
                     FaultPoll::Fire(wafer) => {
                         let t0 = self.profile.is_some().then(Instant::now);
                         inj.inject(&mut self.engines[wafer]);
+                        self.refresh_engine(wafer);
                         if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
                             p.faults.add(t0.elapsed());
                         }
@@ -573,6 +629,7 @@ impl Driver {
                             } else {
                                 self.engines[wafer].submit(request, t, idx, wafer);
                             }
+                            self.refresh_engine(wafer);
                             if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
                                 p.arrivals.add(t0.elapsed());
                             }
@@ -600,6 +657,7 @@ impl Driver {
     ) {
         let t0 = self.profile.is_some().then(Instant::now);
         let completions = self.engines[i].step();
+        self.refresh_engine(i);
         if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
             p.engine_steps.add(t0.elapsed());
         }
@@ -709,6 +767,7 @@ impl Driver {
             EventKind::MigrateArrive { from_wafer: from, bytes },
         );
         self.engines[global_to].submit_imported(request, record.arrival_s, arrive_s, record.id, global_to);
+        self.refresh_engine(global_to);
         self.migrations.push(Migration {
             id: record.id,
             from_wafer: from,
@@ -775,12 +834,15 @@ impl Driver {
         let cached_prefix_tokens: u64 = self.engines.iter().map(|e| e.stats().cached_prefix_tokens).sum();
         let end_s =
             self.engines.iter().map(Engine::clock_s).fold(timed.last_arrival_s(), f64::max).min(horizon_s);
+        // Degenerate runs (no arrivals, zero horizon) end at `end_s == 0`:
+        // guard the span like `metrics.rs` does so per-wafer busy fractions
+        // — and with them `utilization` — stay finite in every report.
         let util = |engines: &[Engine]| -> f64 {
-            if end_s > 0.0 {
-                engines.iter().map(|e| e.busy_s().min(end_s) / end_s).sum::<f64>() / engines.len() as f64
-            } else {
-                0.0
+            if engines.is_empty() {
+                return 0.0;
             }
+            let span = end_s.max(1e-12);
+            engines.iter().map(|e| e.busy_s().min(end_s) / span).sum::<f64>() / engines.len() as f64
         };
         let (utilization, migration) = if self.disagg {
             let prefill = &self.engines[..self.prefill_wafers];

@@ -11,6 +11,7 @@
 
 use crate::engine::EngineConfig;
 use crate::metrics::SloConfig;
+use crate::parallel::parallel_map_indexed;
 use crate::policy::{routers, Router};
 use crate::report::RunReport;
 use crate::scenario::Scenario;
@@ -39,6 +40,10 @@ pub struct LoadSweep {
     pub slo: SloConfig,
     /// Simulation horizon per point (bounds the overloaded tail).
     pub horizon_s: f64,
+    /// Worker threads for the sweep (each point is an independent seeded
+    /// run; results return in input order, so any thread count produces
+    /// identical output). `1` runs inline.
+    pub threads: usize,
 }
 
 /// One point of a sweep: the offered load and the resulting report.
@@ -71,28 +76,26 @@ impl LoadSweep {
             engine: EngineConfig::default(),
             slo,
             horizon_s: f64::INFINITY,
+            threads: 1,
         }
     }
 
     /// Runs the sweep against replicas of `system`, one scenario per offered
-    /// load.
+    /// load, on [`LoadSweep::threads`] workers.
     pub fn run(&self, system: &OuroborosSystem) -> Vec<SweepPoint> {
         let trace = TraceGenerator::new(self.seed).generate(&self.lengths, self.requests);
-        self.rates_rps
-            .iter()
-            .map(|&rate| {
-                let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, self.seed);
-                let report = Scenario::colocated(self.wafers)
-                    .router(self.router.clone())
-                    .engine(self.engine)
-                    .slo(self.slo)
-                    .horizon(self.horizon_s)
-                    .workload(timed)
-                    .run(system)
-                    .expect("system was built with KV cores");
-                SweepPoint { offered_rps: rate, report }
-            })
-            .collect()
+        parallel_map_indexed(self.rates_rps.clone(), self.threads, |_, rate| {
+            let timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, self.seed);
+            let report = Scenario::colocated(self.wafers)
+                .router(self.router.clone())
+                .engine(self.engine)
+                .slo(self.slo)
+                .horizon(self.horizon_s)
+                .workload(timed)
+                .run(system)
+                .expect("system was built with KV cores");
+            SweepPoint { offered_rps: rate, report }
+        })
     }
 }
 

@@ -1,0 +1,125 @@
+//! Randomized differential tests of the fast simulator paths.
+//!
+//! Debug builds cross-check every fast path against its naive reference on
+//! every call — the driver's event calendar against a linear engine scan,
+//! and the KV block counters against full bitmap scans — so *running* a
+//! randomized scenario matrix under `cargo test` is itself a differential
+//! test: any divergence between the calendar and the scan panics at the
+//! first step that disagrees. On top of the structural asserts, every
+//! shape is run twice and the two [`ouro_serve::RunReport`]s must be
+//! bit-identical, and the threaded sweep drivers must render byte-identical
+//! JSON at any worker count.
+//!
+//! The shapes are drawn through the vendored `proptest` harness (seeded
+//! from the test name), so a failure reproduces exactly.
+
+use ouro_model::zoo;
+use ouro_serve::{FaultConfig, LoadSweep, Scenario, SloConfig};
+use ouro_sim::{OuroborosConfig, OuroborosSystem};
+use ouro_workload::{ArrivalConfig, LengthConfig, SessionConfig, TraceGenerator};
+use proptest::prelude::*;
+
+fn tiny_system() -> OuroborosSystem {
+    OuroborosSystem::new(OuroborosConfig::tiny_for_tests(), &zoo::bert_large()).unwrap()
+}
+
+/// A splitmix-style generator expanding one proptest-drawn seed into a
+/// full scenario shape (proptest strategies compose over scalars; the
+/// conditional shape structure is easier to draw imperatively).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick in `[lo, hi]`.
+    fn pick(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// One randomized shape: deployment × workload × arrival × faults ×
+/// prefix caching, all drawn from the LCG.
+fn random_scenario(rng: &mut Lcg) -> (String, Scenario) {
+    let wafers = rng.pick(1, 3) as usize;
+    let requests = rng.pick(10, 40) as usize;
+    let prompt = rng.pick(32, 160) as usize;
+    let decode = rng.pick(8, 32) as usize;
+    let rate = rng.pick(50, 600) as f64;
+    let seed = rng.next();
+    let sessions = rng.pick(0, 2) == 0;
+    let trace = if sessions {
+        SessionConfig::chat(4, 0.5).generate(requests, seed)
+    } else {
+        TraceGenerator::new(seed).generate(&LengthConfig::fixed(prompt, decode), requests)
+    };
+    let timed = if rng.pick(0, 1) == 0 {
+        ArrivalConfig::Poisson { rate_rps: rate }.assign(&trace, seed)
+    } else {
+        ArrivalConfig::Bursty { rate_rps: rate, cv: 4.0 }.assign(&trace, seed)
+    };
+    let disagg = wafers >= 2 && rng.pick(0, 1) == 0;
+    let mut scenario = if disagg {
+        let prefill = rng.pick(1, wafers as u64 - 1) as usize;
+        Scenario::disaggregated(prefill, wafers - prefill)
+    } else {
+        Scenario::colocated(wafers)
+    };
+    let faulty = rng.pick(0, 2) == 0;
+    if faulty {
+        scenario = scenario.faults(FaultConfig::new(0.02 + rng.pick(0, 100) as f64 * 1e-3, seed));
+    }
+    let prefix = sessions && rng.pick(0, 1) == 0;
+    scenario = scenario.prefix_caching(prefix).slo(SloConfig { ttft_s: 0.5, tpot_s: 0.05 }).workload(timed);
+    let label = format!(
+        "wafers={wafers} requests={requests} disagg={disagg} faulty={faulty} \
+         sessions={sessions} prefix={prefix} seed={seed}"
+    );
+    (label, scenario)
+}
+
+proptest! {
+    /// Any composed scenario shape survives the debug cross-checks and
+    /// replays bit-identically. Running at all exercises the
+    /// debug_assert differential checks of the event calendar and KV
+    /// counters on every simulated event; the repeat pins determinism.
+    #[test]
+    fn randomized_shapes_run_the_debug_cross_checks_and_repeat_bit_identically(
+        shape_seed in 0u64..u64::MAX
+    ) {
+        let sys = tiny_system();
+        let (label, scenario) = random_scenario(&mut Lcg(shape_seed));
+        let first = scenario.run(&sys).unwrap_or_else(|e| panic!("{label}: {e:?}"));
+        prop_assert!(first.is_conserved(), "{}", label);
+        prop_assert!(first.kv_bytes_conserved(), "{}", label);
+        let second = scenario.run(&sys).unwrap();
+        prop_assert_eq!(first, second, "{}: repeated run diverged", label);
+    }
+}
+
+#[test]
+fn sweep_json_is_byte_identical_at_any_thread_count() {
+    // The parallel sweep reassembles results in input order, so worker
+    // count must never leak into the output — checked at the strictest
+    // level: the rendered JSON rows.
+    let sys = tiny_system();
+    let slo = SloConfig { ttft_s: 0.5, tpot_s: 0.05 };
+    let mut sweep = LoadSweep::around_capacity(800.0, 2, LengthConfig::fixed(96, 24), slo);
+    sweep.requests = 30;
+    sweep.seed = 17;
+    let render = |points: &[ouro_serve::SweepPoint]| -> String {
+        let rows: Vec<_> = points.iter().map(|p| p.report.json_object()).collect();
+        ouro_serve::json::render_array(&rows)
+    };
+    sweep.threads = 1;
+    let serial = render(&sweep.run(&sys));
+    for threads in [2, 4, 8] {
+        sweep.threads = threads;
+        assert_eq!(serial, render(&sweep.run(&sys)), "threads={threads} changed the sweep JSON");
+    }
+}
