@@ -119,6 +119,9 @@ fn usage_error(message: &str) -> ! {
     eprintln!("       --threads sets sweep worker threads (serving/disagg/faults; default: all cores;");
     eprintln!("                 output is identical at any thread count);");
     eprintln!("       --trace writes a Chrome trace-event JSON (scenario subcommand only);");
+    eprintln!("       --via-snapshot routes every scenario cell through a midpoint checkpoint →");
+    eprintln!("                 JSON → parse → resume round trip (scenario subcommand only; the");
+    eprintln!("                 rows must be byte-identical to a straight run);");
     eprintln!("       --baseline/--current/--store/--threshold/--warn-only gate compare/regress");
     eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
     std::process::exit(2);
@@ -132,6 +135,7 @@ fn main() {
     let mut threads_set = false;
     let mut out_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut via_snapshot = false;
     let mut baseline_path: Option<String> = None;
     let mut current_path: Option<String> = None;
     let mut store_dir: Option<String> = None;
@@ -172,6 +176,10 @@ fn main() {
                 let value = args.get(i + 1).unwrap_or_else(|| usage_error("--trace expects a file path"));
                 trace_path = Some(value.clone());
                 i += 2;
+            }
+            "--via-snapshot" => {
+                via_snapshot = true;
+                i += 1;
             }
             "--baseline" => {
                 let value = args.get(i + 1).unwrap_or_else(|| usage_error("--baseline expects a file path"));
@@ -219,6 +227,15 @@ fn main() {
     let which = which.unwrap_or_else(|| "all".to_string());
     if trace_path.is_some() && which != "scenario" && which != "all" {
         usage_error("--trace is only honored by the scenario subcommand (or all)");
+    }
+    if via_snapshot && which != "scenario" {
+        usage_error("--via-snapshot is only honored by the scenario subcommand");
+    }
+    if via_snapshot && trace_path.is_some() {
+        // Lifecycle tracing is observational and restarts empty on resume,
+        // so a --via-snapshot Chrome trace would silently cover only the
+        // second half of the run.
+        usage_error("--via-snapshot cannot be combined with --trace");
     }
     let sweeping = which == "serving" || which == "disagg" || which == "faults" || which == "all";
     if threads_set && !sweeping {
@@ -312,7 +329,7 @@ fn main() {
         rows.extend(prefix(requests));
     }
     if run("scenario") {
-        rows.extend(scenario_matrix(requests, trace_path.as_deref()));
+        rows.extend(scenario_matrix(requests, trace_path.as_deref(), via_snapshot));
     }
     if let Some(path) = out_path.as_deref() {
         if rows.is_empty() {
@@ -917,9 +934,17 @@ fn prefix(requests: usize) -> Vec<ouro_bench::json::JsonObject> {
 /// caching — so a single fast run exercises every axis and emits one
 /// `RunReport` row per cell. Returns the JSON rows of every printed point;
 /// with `trace_path` set, also exports a Chrome trace of the richest cell.
-fn scenario_matrix(requests: usize, trace_path: Option<&str>) -> Vec<ouro_bench::json::JsonObject> {
+/// With `via_snapshot`, every cell runs through a midpoint checkpoint →
+/// JSON → parse → resume round trip instead of straight to the end — the
+/// CI smoke diffs the two row files to prove the snapshot is complete.
+fn scenario_matrix(
+    requests: usize,
+    trace_path: Option<&str>,
+    via_snapshot: bool,
+) -> Vec<ouro_bench::json::JsonObject> {
     use ouro_serve::{
         capacity_rps_estimate, ideal_latencies, placements, routers, FaultConfig, Scenario, SloConfig,
+        Snapshot,
     };
     use ouro_workload::{ArrivalConfig, SessionConfig, TraceGenerator};
 
@@ -941,6 +966,9 @@ fn scenario_matrix(requests: usize, trace_path: Option<&str>) -> Vec<ouro_bench:
     let session = SessionConfig::chat(4, 0.7).generate(requests, SEED);
     let session_timed = ArrivalConfig::Poisson { rate_rps: rate }.assign(&session, SEED);
     let mtbf = timed.last_arrival_s() / 2.0;
+    // Midpoint checkpoints for --via-snapshot: any event boundary is a
+    // valid checkpoint, the arrival midpoint just maximizes in-flight state.
+    let mid_s = timed.last_arrival_s() * 0.5;
 
     let cells: Vec<(&str, Scenario)> = vec![
         ("colocated", Scenario::colocated(wafers).slo(slo).workload(timed.clone())),
@@ -992,7 +1020,17 @@ fn scenario_matrix(requests: usize, trace_path: Option<&str>) -> Vec<ouro_bench:
         } else {
             scenario
         };
-        let outcome = scenario.run_full(&system).expect("deployment builds");
+        let outcome = if via_snapshot {
+            let mut run = scenario.start(&system).expect("deployment builds");
+            run.run_until(mid_s);
+            let json = scenario.checkpoint(&run).to_json();
+            let parsed = Snapshot::parse(&json).expect("snapshot JSON parses back");
+            let mut resumed = scenario.resume(&system, &parsed).expect("snapshot resumes");
+            resumed.run_to_end();
+            resumed.finish()
+        } else {
+            scenario.run_full(&system).expect("deployment builds")
+        };
         let r = &outcome.report;
         assert!(r.is_conserved(), "{label}: request conservation must hold");
         assert!(r.kv_bytes_conserved(), "{label}: migration bytes must be conserved");

@@ -52,6 +52,25 @@ impl CrossbarBlocks {
         }
     }
 
+    /// Rebuilds a crossbar block table from checkpointed state: the
+    /// per-block `(owner, used)` entries plus the failed flag. The
+    /// incremental `free` / `used` counters are recomputed from `blocks`.
+    pub fn from_snapshot(
+        tokens_per_block: usize,
+        blocks: Vec<Option<(u64, usize)>>,
+        failed: bool,
+    ) -> CrossbarBlocks {
+        let free = blocks.iter().filter(|b| b.is_none()).count();
+        let used = blocks.iter().flatten().map(|(_, used)| *used).sum();
+        CrossbarBlocks { tokens_per_block, blocks, failed, free, used }
+    }
+
+    /// The raw per-block `(owner, used_tokens)` table, for checkpointing.
+    /// `None` entries are free blocks.
+    pub fn block_table(&self) -> &[Option<(u64, usize)>] {
+        &self.blocks
+    }
+
     /// Number of logical blocks in the crossbar.
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()

@@ -34,7 +34,10 @@ pub mod translate;
 
 pub use block::{BlockAddress, CrossbarBlocks};
 pub use fasthash::{FastHasher, FastMap};
-pub use manager::{BlockAudit, KvCoreFailure, KvError, KvManager, KvManagerConfig, KvTransferStats};
+pub use manager::{
+    BlockAudit, CrossbarSnapshot, KvCoreFailure, KvError, KvManager, KvManagerConfig, KvManagerSnapshot,
+    KvTransferStats, SharedChainSnapshot, SnapshotChainNode, SnapshotSeqBlocks, SnapshotSlot,
+};
 pub use scheduler::{KvScheduler, SchedulerOutcome, SchedulerStats};
 pub use static_alloc::StaticKvAllocator;
 pub use translate::{CoreBitmap, PageTable};

@@ -244,6 +244,78 @@ pub struct KvCoreFailure {
     pub evicted_tokens: usize,
 }
 
+/// Serialized state of one crossbar block table inside a
+/// [`KvManagerSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarSnapshot {
+    /// Per-block `(owner, used_tokens)` entries; `None` is a free block.
+    pub blocks: Vec<Option<(u64, usize)>>,
+    /// Whether a runtime fault absorbed this crossbar.
+    pub failed: bool,
+}
+
+/// A block slot `(core_index, crossbar, block)` within a role-side core
+/// list, as serialized by [`KvManagerSnapshot`].
+pub type SnapshotSlot = (usize, usize, usize);
+
+/// One node of a serialized shared-prefix chain: `(refs, k_slots, v_slots)`.
+pub type SnapshotChainNode = (usize, Vec<SnapshotSlot>, Vec<SnapshotSlot>);
+
+/// A sequence's private block list inside a [`KvManagerSnapshot`]:
+/// `(seq, [(role, core_index, crossbar, block)])` with per-sequence
+/// allocation order preserved. Role 0 is K, 1 is V.
+pub type SnapshotSeqBlocks = (u64, Vec<(u8, usize, usize, usize)>);
+
+/// One shared-prefix chain inside a [`KvManagerSnapshot`]. Slots are
+/// `(core_index, crossbar, block)` triples within the role-side core list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedChainSnapshot {
+    /// Per-head core picks on the key side.
+    pub k_cores: Vec<usize>,
+    /// Per-head core picks on the value side.
+    pub v_cores: Vec<usize>,
+    /// Chain nodes in order: `(refs, k_slots, v_slots)`.
+    pub nodes: Vec<SnapshotChainNode>,
+}
+
+/// Complete mutable state of a [`KvManager`], captured by
+/// [`KvManager::snapshot`] and rebuilt by [`KvManager::restore`] against the
+/// same configuration. Map-backed state is stored as key-sorted vectors so
+/// the serialized form is deterministic regardless of hash-map history.
+///
+/// The per-core [`CoreBitmap`]s are deliberately *not* captured: they are
+/// write-only observability state (never read back for allocation or
+/// reporting decisions), so a restored manager starts with fresh bitmaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvManagerSnapshot {
+    /// Ring pointer per role (`[key, value]`).
+    pub ring_next: [usize; 2],
+    /// Lifetime logical-block allocations.
+    pub allocated_blocks: u64,
+    /// Lifetime logical-block frees.
+    pub freed_blocks: u64,
+    /// Export/import counters.
+    pub transfers: KvTransferStats,
+    /// Key-side crossbar tables, per core in order.
+    pub key_cores: Vec<Vec<CrossbarSnapshot>>,
+    /// Value-side crossbar tables, per core in order.
+    pub value_cores: Vec<Vec<CrossbarSnapshot>>,
+    /// Page-table entries `(seq, per-head key-side core ids)`, key-sorted.
+    pub page_table: Vec<(u64, Vec<u64>)>,
+    /// Append cursors `(seq, head, role, core_index, crossbar, block)`,
+    /// key-sorted. Role 0 is K, 1 is V.
+    pub cursors: Vec<(u64, usize, u8, usize, usize, usize)>,
+    /// Private block index ([`SnapshotSeqBlocks`] entries), key-sorted with
+    /// per-sequence allocation order preserved.
+    pub seq_blocks: Vec<SnapshotSeqBlocks>,
+    /// Resident token counts `(seq, tokens)`, key-sorted.
+    pub resident_tokens: Vec<(u64, usize)>,
+    /// Shared prefix chains `(group, chain)`, key-sorted.
+    pub shared: Vec<(u64, SharedChainSnapshot)>,
+    /// Sequence → `(group, referenced leading nodes)`, key-sorted.
+    pub seq_shared: Vec<(u64, u64, usize)>,
+}
+
 /// The distributed dynamic KV cache manager.
 #[derive(Debug, Clone)]
 pub struct KvManager {
@@ -310,6 +382,169 @@ impl KvManager {
             allocated_blocks: 0,
             freed_blocks: 0,
         })
+    }
+
+    /// Captures the manager's complete mutable state for checkpointing.
+    /// Restoring the snapshot with [`KvManager::restore`] against the same
+    /// configuration yields a manager whose every observable behavior —
+    /// admission, growth, eviction, faults, audits — continues exactly as
+    /// this one's would.
+    pub fn snapshot(&self) -> KvManagerSnapshot {
+        let side = |cores: &[CoreState]| -> Vec<Vec<CrossbarSnapshot>> {
+            cores
+                .iter()
+                .map(|core| {
+                    core.crossbars
+                        .iter()
+                        .map(|xb| CrossbarSnapshot {
+                            blocks: xb.block_table().to_vec(),
+                            failed: xb.is_failed(),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let mut page_table: Vec<(u64, Vec<u64>)> = self
+            .page_table
+            .iter()
+            .map(|(&seq, cores)| (seq, cores.iter().map(|c| c.0 as u64).collect()))
+            .collect();
+        page_table.sort_unstable_by_key(|(seq, _)| *seq);
+        let mut cursors: Vec<(u64, usize, u8, usize, usize, usize)> = self
+            .cursors
+            .iter()
+            .map(|(&(seq, head, role), c)| (seq, head, role, c.core_index, c.crossbar, c.block))
+            .collect();
+        cursors.sort_unstable_by_key(|&(seq, head, role, ..)| (seq, head, role));
+        let mut seq_blocks: Vec<SnapshotSeqBlocks> = self
+            .seq_blocks
+            .iter()
+            .map(|(&seq, blocks)| {
+                (
+                    seq,
+                    blocks.iter().map(|&(role, c)| (role as u8, c.core_index, c.crossbar, c.block)).collect(),
+                )
+            })
+            .collect();
+        seq_blocks.sort_unstable_by_key(|(seq, _)| *seq);
+        let mut resident_tokens: Vec<(u64, usize)> =
+            self.resident_tokens.iter().map(|(&seq, &tokens)| (seq, tokens)).collect();
+        resident_tokens.sort_unstable_by_key(|(seq, _)| *seq);
+        let slot_tuples =
+            |slots: &[SharedSlot]| slots.iter().map(|s| (s.core_index, s.crossbar, s.block)).collect();
+        let mut shared: Vec<(u64, SharedChainSnapshot)> = self
+            .shared
+            .iter()
+            .map(|(&group, chain)| {
+                (
+                    group,
+                    SharedChainSnapshot {
+                        k_cores: chain.k_cores.clone(),
+                        v_cores: chain.v_cores.clone(),
+                        nodes: chain
+                            .nodes
+                            .iter()
+                            .map(|n| (n.refs, slot_tuples(&n.k_slots), slot_tuples(&n.v_slots)))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        shared.sort_unstable_by_key(|(group, _)| *group);
+        let mut seq_shared: Vec<(u64, u64, usize)> =
+            self.seq_shared.iter().map(|(&seq, &(group, n))| (seq, group, n)).collect();
+        seq_shared.sort_unstable_by_key(|&(seq, ..)| seq);
+        KvManagerSnapshot {
+            ring_next: self.ring_next,
+            allocated_blocks: self.allocated_blocks,
+            freed_blocks: self.freed_blocks,
+            transfers: self.transfers,
+            key_cores: side(&self.key_cores),
+            value_cores: side(&self.value_cores),
+            page_table,
+            cursors,
+            seq_blocks,
+            resident_tokens,
+            shared,
+            seq_shared,
+        }
+    }
+
+    /// Rebuilds a manager from a [`KvManagerSnapshot`] and the configuration
+    /// it was captured under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvError::NoKvCores`] when the configuration has no KV
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's core/crossbar geometry does not match the
+    /// configuration — snapshots are only meaningful against the system that
+    /// produced them.
+    pub fn restore(config: KvManagerConfig, snap: &KvManagerSnapshot) -> Result<KvManager, KvError> {
+        let mut m = KvManager::new(config)?;
+        let restore_side = |cores: &mut Vec<CoreState>, side: &[Vec<CrossbarSnapshot>]| {
+            assert_eq!(cores.len(), side.len(), "snapshot core count mismatch");
+            for (core, xbs) in cores.iter_mut().zip(side) {
+                assert_eq!(core.crossbars.len(), xbs.len(), "snapshot crossbar count mismatch");
+                for (xb, s) in core.crossbars.iter_mut().zip(xbs) {
+                    assert_eq!(xb.num_blocks(), s.blocks.len(), "snapshot block count mismatch");
+                    *xb = CrossbarBlocks::from_snapshot(xb.tokens_per_block(), s.blocks.clone(), s.failed);
+                }
+            }
+        };
+        restore_side(&mut m.key_cores, &snap.key_cores);
+        restore_side(&mut m.value_cores, &snap.value_cores);
+        m.ring_next = snap.ring_next;
+        m.allocated_blocks = snap.allocated_blocks;
+        m.freed_blocks = snap.freed_blocks;
+        m.transfers = snap.transfers;
+        for (seq, cores) in &snap.page_table {
+            m.page_table.insert(*seq, cores.iter().map(|&c| CoreId(c as usize)).collect());
+        }
+        let role_of = |r: u8| if r == 0 { KvRole::Key } else { KvRole::Value };
+        for &(seq, head, role, core_index, crossbar, block) in &snap.cursors {
+            m.cursors.insert((seq, head, role), Cursor { core_index, crossbar, block });
+        }
+        for (seq, blocks) in &snap.seq_blocks {
+            m.seq_blocks.insert(
+                *seq,
+                blocks
+                    .iter()
+                    .map(|&(role, core_index, crossbar, block)| {
+                        (role_of(role), Cursor { core_index, crossbar, block })
+                    })
+                    .collect(),
+            );
+        }
+        for &(seq, tokens) in &snap.resident_tokens {
+            m.resident_tokens.insert(seq, tokens);
+        }
+        for (group, chain) in &snap.shared {
+            let slots = |v: &[(usize, usize, usize)]| {
+                v.iter()
+                    .map(|&(core_index, crossbar, block)| SharedSlot { core_index, crossbar, block })
+                    .collect()
+            };
+            m.shared.insert(
+                *group,
+                SharedChain {
+                    k_cores: chain.k_cores.clone(),
+                    v_cores: chain.v_cores.clone(),
+                    nodes: chain
+                        .nodes
+                        .iter()
+                        .map(|(refs, k, v)| SharedNode { refs: *refs, k_slots: slots(k), v_slots: slots(v) })
+                        .collect(),
+                },
+            );
+        }
+        for &(seq, group, n) in &snap.seq_shared {
+            m.seq_shared.insert(seq, (group, n));
+        }
+        Ok(m)
     }
 
     fn cores(&self, role: KvRole) -> &[CoreState] {
@@ -986,6 +1221,36 @@ mod tests {
     fn manager(cores: usize, heads: usize) -> KvManager {
         let ids = (0..cores).map(CoreId).collect();
         KvManager::new(KvManagerConfig::new(ids, heads, 128)).unwrap()
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_every_observable() {
+        let mut m = manager(8, 2);
+        m.admit_with_prefix(1, 300, Some((42, 256))).unwrap();
+        m.admit_with_prefix(2, 280, Some((42, 256))).unwrap();
+        m.admit(3, 100).unwrap();
+        m.append_tokens(1, 5).unwrap();
+        let failure = m.fail_kv_core(1).expect("healthy crossbars remain");
+        for seq in failure.evicted_sequences {
+            m.release(seq);
+        }
+        let snap = m.snapshot();
+        let mut r = KvManager::restore(m.config.clone(), &snap).unwrap();
+        assert_eq!(r.snapshot(), snap, "restore is lossless");
+        assert_eq!(r.used_tokens(), m.used_tokens());
+        assert_eq!(r.capacity_tokens(), m.capacity_tokens());
+        assert_eq!(r.block_audit(), m.block_audit());
+        assert_eq!(r.transfer_stats(), m.transfer_stats());
+        assert_eq!(r.failed_kv_units(), m.failed_kv_units());
+        // Both managers evolve identically from the restored state.
+        assert_eq!(
+            m.admit_with_prefix(7, 400, Some((42, 256))),
+            r.admit_with_prefix(7, 400, Some((42, 256)))
+        );
+        assert_eq!(m.append_tokens(7, 12), r.append_tokens(7, 12));
+        assert_eq!(m.release(3), r.release(3));
+        assert_eq!(m.fail_kv_core(0), r.fail_kv_core(0));
+        assert_eq!(r.snapshot(), m.snapshot());
     }
 
     #[test]

@@ -46,6 +46,12 @@ impl PageTable {
         self.entries.remove(&seq)
     }
 
+    /// Iterates every `(sequence, per-head cores)` mapping, in arbitrary
+    /// order (checkpointing sorts by sequence id before serializing).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Vec<CoreId>)> {
+        self.entries.iter()
+    }
+
     /// Number of mapped sequences.
     pub fn len(&self) -> usize {
         self.entries.len()

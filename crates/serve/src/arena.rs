@@ -68,9 +68,9 @@ struct Slot<T> {
 #[derive(Debug, Clone)]
 struct Entry<T> {
     rank: i64,
-    /// Only read by the debug-build reference view ([`IndexQueue::ordered`]);
-    /// the heaps carry their own copy of the readiness key.
-    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    /// Read by the checkpoint view ([`IndexQueue::entries`]) and the
+    /// debug-build reference view ([`IndexQueue::ordered`]); the heaps
+    /// carry their own copy of the readiness key.
     ready_s: f64,
     value: T,
 }
@@ -212,13 +212,23 @@ impl<T: Copy> IndexQueue<T> {
         }
     }
 
+    /// Live entries in queue order with their readiness times — the
+    /// checkpoint view. Rebuilding a fresh queue by `push_back`ing these
+    /// entries in order reproduces the same admission order (ranks are
+    /// renumbered, but their relative order — the only thing any query
+    /// observes — is preserved), and the unready/admissible split is
+    /// re-derived lazily from `ready_s` against the monotone clock.
+    pub(crate) fn entries(&self) -> Vec<(f64, T)> {
+        let mut live: Vec<&Entry<T>> = self.slots.iter().filter_map(|s| s.entry.as_ref()).collect();
+        live.sort_by_key(|e| e.rank);
+        live.iter().map(|e| (e.ready_s, e.value)).collect()
+    }
+
     /// Live entries in queue order — the reference view for the
     /// debug-build differential checks against the old linear scans.
     #[cfg(debug_assertions)]
     pub(crate) fn ordered(&self) -> Vec<(f64, T)> {
-        let mut live: Vec<&Entry<T>> = self.slots.iter().filter_map(|s| s.entry.as_ref()).collect();
-        live.sort_by_key(|e| e.rank);
-        live.iter().map(|e| (e.ready_s, e.value)).collect()
+        self.entries()
     }
 }
 

@@ -11,6 +11,13 @@
 //! charges the step's wall-clock duration from the hardware-derived
 //! [`HwStageTimes`].
 //!
+//! The per-stage logic lives in [`crate::stage`]: [`Engine::step`] is the
+//! orchestrator that sequences the Admission → Prefill/Decode → Complete
+//! stages over this wafer's queues. Prefill and decode advance in a single
+//! interleaved pass — a continuous-batching iteration moves prefill chunks
+//! and decode tokens through the *same* pipeline pass, and their trace
+//! events (`prefill_end`, `first_token`) interleave in active-set order.
+//!
 //! A step that moves `T` tokens through the token-grained pipeline with mean
 //! context `c̄` takes `max(L(c̄), T · b(c̄))` seconds, where `L` is the full
 //! pipeline latency of one token and `b` the bottleneck stage interval: with
@@ -26,6 +33,7 @@
 
 use crate::arena::IndexQueue;
 use crate::metrics::RequestRecord;
+use crate::stage::{self, ActiveSeq, PendingReq, Stage};
 use ouro_kvcache::{KvError, KvManager, KvManagerConfig, KvTransferStats};
 use ouro_sim::HwStageTimes;
 use ouro_trace::{EventKind, Tracer};
@@ -110,50 +118,6 @@ pub struct EngineFaultImpact {
     pub serviceable: bool,
 }
 
-/// A sequence resident in the KV cache.
-#[derive(Debug, Clone, Copy)]
-struct ActiveSeq {
-    /// Index into the engine's record table.
-    rec: usize,
-    /// Prefill (or recompute) tokens still to stream through the pipeline.
-    prefill_remaining: usize,
-    /// Decode tokens emitted so far.
-    decoded: usize,
-    /// Monotone admission stamp; the eviction victim is the largest.
-    admission_order: u64,
-    /// Disaggregated prefill: the sequence completes (and exports its KV)
-    /// when prefill finishes, emitting no decode tokens here.
-    prefill_only: bool,
-}
-
-/// A request waiting for admission (fresh, evicted with progress, or an
-/// imported-KV arrival waiting out its migration).
-#[derive(Debug, Clone, Copy)]
-struct PendingReq {
-    rec: usize,
-    /// Decode tokens already emitted before an eviction (0 for fresh).
-    decoded: usize,
-    /// Earliest admission time: the arrival for local requests, the
-    /// migration-completion instant for imported KV. Evicted requeues use
-    /// the eviction clock (already in the past). Queue-wait accounting
-    /// measures from this instant, so migration transit never counts as
-    /// queueing.
-    ready_s: f64,
-    /// The sequence's KV was prefilled on another wafer: admission imports
-    /// it (allocation without recompute). Cleared on eviction, because the
-    /// migrated KV is lost and must be recomputed locally.
-    imported: bool,
-    /// Tokens of the import that actually travelled the link (the rest was
-    /// deduplicated against this wafer's prefix cache at announce time).
-    /// 0 for local requests.
-    wire_tokens: usize,
-    /// This entry re-entered the queue through an eviction: its admission
-    /// charge counts as recompute.
-    evicted: bool,
-    /// Prefill-only service (disaggregated prefill wafer).
-    prefill_only: bool,
-}
-
 /// A request completion event: `(record index, completion time)`.
 pub type Completion = (usize, f64);
 
@@ -183,32 +147,37 @@ pub enum Admission {
 }
 
 /// One wafer's online serving engine.
+///
+/// Fields are crate-visible: the stage units in [`crate::stage`] operate
+/// directly on the engine's queues, and [`crate::snapshot`] serializes
+/// them. Together with the KV manager they are the engine's *complete*
+/// mutable state — the checkpoint/resume identity test holds the proof.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    times: HwStageTimes,
-    manager: KvManager,
-    config: EngineConfig,
-    records: Vec<RequestRecord>,
+    pub(crate) times: HwStageTimes,
+    pub(crate) manager: KvManager,
+    pub(crate) config: EngineConfig,
+    pub(crate) records: Vec<RequestRecord>,
     /// The waiting queue: a dense arena indexed by rank/readiness heaps
     /// ([`crate::arena::IndexQueue`]), so admission and the idle
     /// fast-forward query are O(log n) instead of linear scans.
-    pending: IndexQueue<PendingReq>,
-    active: Vec<ActiveSeq>,
-    admission_suspended: bool,
-    clock_s: f64,
-    busy_s: f64,
+    pub(crate) pending: IndexQueue<PendingReq>,
+    pub(crate) active: Vec<ActiveSeq>,
+    pub(crate) admission_suspended: bool,
+    pub(crate) clock_s: f64,
+    pub(crate) busy_s: f64,
     /// Token-demand of the pending queue (prompt + decoded per request),
     /// maintained incrementally for the `LeastKvLoad` router.
-    pending_tokens: usize,
+    pub(crate) pending_tokens: usize,
     /// Wire-token demand of queued imported-KV entries, maintained
     /// incrementally for [`Engine::pending_imported_tokens`].
-    pending_wire_tokens: usize,
-    stats: EngineStats,
-    order_counter: u64,
+    pub(crate) pending_wire_tokens: usize,
+    pub(crate) stats: EngineStats,
+    pub(crate) order_counter: u64,
     /// Lifecycle event emission, disabled (and costless) by default.
     /// Strictly observational: nothing the tracer does feeds back into
     /// admission, timing or eviction decisions.
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
 }
 
 impl Engine {
@@ -428,7 +397,8 @@ impl Engine {
         self.stats.fault_evicted_seqs += failure.evicted_sequences.len() as u64;
         self.stats.fault_evicted_tokens += failure.evicted_tokens as u64;
         let evicted = failure.evicted_sequences.len();
-        self.tracer.emit(
+        Stage::Fault.emit(
+            &mut self.tracer,
             self.clock_s,
             None,
             EventKind::Fault { kv_core: failure.index, evicted_seqs: evicted },
@@ -440,7 +410,7 @@ impl Engine {
                 unreachable!("sequence {seq} is resident but not active");
             };
             let victim = self.active.swap_remove(pos);
-            self.requeue_evicted(victim, true);
+            stage::admission::requeue_evicted(self, victim, true);
         }
         // A fault that evicted sequences freed capacity, so a pre-fault
         // admission suspension no longer reflects reality. A fault that
@@ -480,11 +450,12 @@ impl Engine {
                     .position(|a| a.rec as u64 == seq)
                     .expect("a resident sequence is always active");
                 let victim = self.active.swap_remove(pos);
-                self.requeue_evicted(victim, true);
+                stage::admission::requeue_evicted(self, victim, true);
                 evicted_seqs += 1;
             }
         }
-        self.tracer.emit(
+        Stage::Fault.emit(
+            &mut self.tracer,
             self.clock_s,
             None,
             EventKind::Fault { kv_core: first_core.unwrap_or(0), evicted_seqs },
@@ -511,12 +482,17 @@ impl Engine {
     /// Submits a request for full local service — a convenience for
     /// [`Engine::submit_with`] with [`Admission::Local`]. Returns the
     /// engine-local record index.
+    #[deprecated(since = "0.9.0", note = "call submit_with(request, arrival_s, Admission::Local, id, wafer)")]
     pub fn submit(&mut self, request: Request, arrival_s: f64, id: usize, wafer: usize) -> usize {
         self.submit_with(request, arrival_s, Admission::Local, id, wafer)
     }
 
     /// Submits a request for prefill-only service — a convenience for
     /// [`Engine::submit_with`] with [`Admission::PrefillOnly`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "call submit_with(request, arrival_s, Admission::PrefillOnly, id, wafer)"
+    )]
     pub fn submit_prefill_only(
         &mut self,
         request: Request,
@@ -530,6 +506,10 @@ impl Engine {
     /// Submits a request with imported KV landing at `ready_s` — a
     /// convenience for [`Engine::submit_with`] with
     /// [`Admission::Imported`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "call submit_with(request, arrival_s, Admission::Imported { ready_s }, id, wafer)"
+    )]
     pub fn submit_imported(
         &mut self,
         request: Request,
@@ -596,187 +576,11 @@ impl Engine {
         rec
     }
 
-    /// Tokens a pending request will occupy at admission (prompt plus any
-    /// decode progress that survives an eviction).
-    fn resident_demand(&self, p: &PendingReq) -> usize {
-        self.records[p.rec].prompt_len + p.decoded
-    }
-
-    /// Admission phase of one iteration: FCFS continuous batching with the
-    /// offline scheduler's eviction rules.
-    fn admit_waiting(&mut self) {
-        // Nothing resident means nothing can complete, so a suspension would
-        // deadlock; lift it.
-        if self.active.is_empty() {
-            self.admission_suspended = false;
-        }
-        while !self.admission_suspended && self.active.len() < self.config.max_batch {
-            // Earliest-submitted *admissible* request. Readiness is monotone
-            // with queue order for local arrivals, but not for imported KV
-            // (a small migration submitted later can land before a large one
-            // submitted earlier), so an unready head must not block a landed
-            // request behind it. The arena's readiness/rank heaps answer
-            // this in O(log n) where the deque took a linear scan.
-            let Some((slot, front)) = self.pending.peek_ready(self.clock_s) else {
-                break; // nothing has arrived (or finished migrating) yet
-            };
-            #[cfg(debug_assertions)]
-            {
-                // Differential check against the old FCFS position scan.
-                let naive = self
-                    .pending
-                    .ordered()
-                    .iter()
-                    .find(|&&(ready, _)| ready <= self.clock_s)
-                    .map(|&(_, p)| p.rec);
-                debug_assert_eq!(
-                    Some(front.rec),
-                    naive,
-                    "arena admission pick diverged from the naive FCFS scan"
-                );
-            }
-            let tokens = self.resident_demand(&front);
-            let seq_id = front.rec as u64;
-            let prefix = if self.config.prefix_caching {
-                self.records[front.rec].shared_prefix.map(|p| (p.group, p.tokens))
-            } else {
-                None
-            };
-            let admitted = if front.imported {
-                self.manager.import_with_prefix(seq_id, tokens, prefix, front.wire_tokens.min(tokens))
-            } else {
-                self.manager.admit_with_prefix(seq_id, tokens, prefix)
-            };
-            match admitted {
-                Ok(cached) => {
-                    self.pending.remove(slot);
-                    self.pending_tokens -= tokens;
-                    self.pending_wire_tokens -= front.wire_tokens;
-                    self.stats.admissions += 1;
-                    // Prefill is charged only for tokens that are neither in
-                    // the prefix cache nor freshly arrived over the link.
-                    // (An import can still owe recompute if the chain it was
-                    // deduplicated against died while the bytes were in
-                    // flight.)
-                    let materialized = if front.imported { front.wire_tokens + cached } else { cached };
-                    let prefill_charge = tokens.saturating_sub(materialized);
-                    self.stats.prefilled_tokens += prefill_charge as u64;
-                    self.stats.cached_prefix_tokens += cached as u64;
-                    if cached > 0 {
-                        self.stats.prefix_hits += 1;
-                    }
-                    if front.evicted {
-                        self.stats.recomputed_tokens += prefill_charge as u64;
-                    }
-                    let r = &mut self.records[front.rec];
-                    if r.admitted_s.is_nan() {
-                        r.admitted_s = self.clock_s;
-                    }
-                    r.queue_wait_s += (self.clock_s - front.ready_s).max(0.0);
-                    r.cached_prefix_tokens = cached;
-                    let req = Some(r.id);
-                    self.tracer.emit(
-                        self.clock_s,
-                        req,
-                        EventKind::Admission { cached_tokens: cached, recompute: front.evicted },
-                    );
-                    if front.imported {
-                        self.tracer.emit(
-                            self.clock_s,
-                            req,
-                            EventKind::KvImport { wire_tokens: front.wire_tokens, deduped_tokens: cached },
-                        );
-                    }
-                    if prefill_charge > 0 {
-                        self.tracer.emit(
-                            self.clock_s,
-                            req,
-                            EventKind::PrefillStart { tokens: prefill_charge },
-                        );
-                    }
-                    self.active.push(ActiveSeq {
-                        rec: front.rec,
-                        prefill_remaining: prefill_charge,
-                        decoded: front.decoded,
-                        admission_order: self.order_counter,
-                        prefill_only: front.prefill_only,
-                    });
-                    self.order_counter += 1;
-                }
-                Err(KvError::OutOfCapacity) => {
-                    self.manager.release(seq_id);
-                    if self.active.is_empty() {
-                        // Even an empty cache cannot hold it: drop to
-                        // guarantee progress (the offline scheduler does the
-                        // same).
-                        self.pending.remove(slot);
-                        self.pending_tokens -= tokens;
-                        self.pending_wire_tokens -= front.wire_tokens;
-                        self.stats.dropped += 1;
-                        if front.imported {
-                            self.stats.dropped_imported_tokens += front.wire_tokens as u64;
-                        }
-                        self.tracer.emit(self.clock_s, Some(self.records[front.rec].id), EventKind::Drop);
-                        continue;
-                    }
-                    self.evict_most_recent();
-                    self.admission_suspended = true;
-                    break;
-                }
-                Err(e) => panic!("unexpected kv error during admission: {e}"),
-            }
-        }
-    }
-
-    /// Evicts the most recently admitted sequence back to the queue front.
-    fn evict_most_recent(&mut self) {
-        let victim_pos = self
-            .active
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, a)| a.admission_order)
-            .map(|(i, _)| i)
-            .expect("evict_most_recent requires a resident sequence");
-        let victim = self.active.swap_remove(victim_pos);
-        self.requeue_evicted(victim, false);
-    }
-
-    /// Shared eviction bookkeeping: the victim's resident KV (prompt plus
-    /// decode progress) is released and the request returns to the *front*
-    /// of the queue keeping its progress. The recompute charge lands at
-    /// re-admission (see [`EngineStats::recomputed_tokens`]), so a victim
-    /// touched by both the capacity path and the fault path in one step is
-    /// counted once, when the replay is actually scheduled.
-    fn requeue_evicted(&mut self, victim: ActiveSeq, fault: bool) {
-        let resident = self.records[victim.rec].prompt_len + victim.decoded;
-        self.stats.evictions += 1;
-        self.records[victim.rec].evictions += 1;
-        self.manager.release(victim.rec as u64);
-        self.tracer.emit(
-            self.clock_s,
-            Some(self.records[victim.rec].id),
-            EventKind::Evict { resident_tokens: resident, fault },
-        );
-        // An evicted import loses its migrated KV: it re-enters as a local
-        // recompute (imported = false). The eviction clock is already in the
-        // past, so readiness never gates a requeue.
-        self.pending.push_front(
-            self.clock_s,
-            PendingReq {
-                rec: victim.rec,
-                decoded: victim.decoded,
-                ready_s: self.clock_s,
-                imported: false,
-                wire_tokens: 0,
-                evicted: true,
-                prefill_only: victim.prefill_only,
-            },
-        );
-        self.pending_tokens += resident;
-    }
-
-    /// Runs one continuous-batching iteration: admit, move one unit of work
-    /// per resident sequence, advance the clock, retire completions.
+    /// Runs one continuous-batching iteration through the stage pipeline:
+    /// Admission admits FCFS, Prefill and Decode advance every resident
+    /// sequence by one unit of work in a single interleaved pass, the
+    /// clock advances by the step duration, and Complete retires finished
+    /// sequences (a completion lifts the admission suspension).
     ///
     /// Returns the completions that occurred, stamped with their times.
     pub fn step(&mut self) -> Vec<Completion> {
@@ -790,7 +594,7 @@ impl Engine {
                 }
             }
         }
-        self.admit_waiting();
+        stage::admission::admit_waiting(self);
         if self.active.is_empty() {
             return Vec::new();
         }
@@ -798,109 +602,31 @@ impl Engine {
         self.stats.steps += 1;
         self.stats.peak_resident = self.stats.peak_resident.max(self.active.len());
 
-        // Work selection: a chunk of prefill tokens per prefilling sequence,
-        // one decode token per decoding sequence — all interleaved in the
-        // same token-grained pipeline pass.
-        let mut step_tokens = 0usize;
-        let mut ctx_sum = 0.0f64;
-        for a in &self.active {
-            let r = &self.records[a.rec];
-            let resident = r.prompt_len + a.decoded;
-            ctx_sum += resident as f64;
-            if a.prefill_remaining > 0 {
-                step_tokens += a.prefill_remaining.min(self.config.prefill_chunk);
-            } else if !a.prefill_only && a.decoded < r.decode_len {
-                step_tokens += 1;
-            }
-        }
-        let mean_ctx = (ctx_sum / self.active.len() as f64).max(1.0) as usize;
-        let pipeline_s = self.times.token_pipeline_latency_s(mean_ctx);
-        let bottleneck_s = self.times.bottleneck_stage_s(mean_ctx);
-        let step_s = if step_tokens == 0 {
-            // Every resident sequence finished prefill with zero decode
-            // tokens requested; charge one drain pass so completion time is
-            // well defined.
-            pipeline_s
-        } else {
-            pipeline_s.max(step_tokens as f64 * bottleneck_s)
-        };
+        let (step_tokens, step_s) = stage::decode::plan_step(self);
         let end_s = self.clock_s + step_s;
         self.busy_s += step_s;
-        self.tracer.emit(
-            end_s,
-            None,
-            EventKind::DecodeStep { batch: self.active.len(), tokens: step_tokens },
-        );
+        stage::decode::emit_step(self, end_s, step_tokens);
 
-        // Advance every resident sequence by its unit of work.
+        // Advance every resident sequence by its unit of work — ONE
+        // interleaved prefill/decode pass in active-set order (two separate
+        // passes would reorder `prefill_end` relative to `first_token`).
         let mut evicted_now: Vec<usize> = Vec::new();
         for i in 0..self.active.len() {
-            let a = self.active[i];
-            if a.prefill_remaining > 0 {
-                let left = a.prefill_remaining.saturating_sub(self.config.prefill_chunk);
-                self.active[i].prefill_remaining = left;
-                if left == 0 {
-                    self.tracer.emit(end_s, Some(self.records[a.rec].id), EventKind::PrefillEnd);
-                }
+            if stage::prefill::advance_one(self, i, end_s) {
                 continue;
             }
-            if a.prefill_only {
-                continue; // completes below; decode happens on another wafer
-            }
-            let r = &self.records[a.rec];
-            if a.decoded >= r.decode_len {
-                continue; // zero-decode request: completes below
-            }
-            match self.manager.append_tokens(a.rec as u64, 1) {
-                Ok(()) => {
-                    self.active[i].decoded += 1;
-                    let rec = &mut self.records[a.rec];
-                    if rec.first_token_s.is_nan() {
-                        rec.first_token_s = end_s;
-                        let id = rec.id;
-                        self.tracer.emit(end_s, Some(id), EventKind::FirstToken);
-                    }
-                }
-                Err(KvError::OutOfCapacity) => evicted_now.push(i),
-                Err(e) => panic!("unexpected kv error during decode: {e}"),
-            }
+            stage::decode::advance_one(self, i, end_s, &mut evicted_now);
         }
         // Decode-growth failures evict (highest index first so swap_remove
         // keeps earlier indices valid).
         evicted_now.sort_unstable_by(|a, b| b.cmp(a));
         for i in evicted_now {
             let victim = self.active.swap_remove(i);
-            self.requeue_evicted(victim, false);
+            stage::admission::requeue_evicted(self, victim, false);
         }
 
-        // Retire completed sequences; a completion lifts the admission
-        // suspension.
         self.clock_s = end_s;
-        let mut completions = Vec::new();
-        let records = &mut self.records;
-        let manager = &mut self.manager;
-        let tracer = &mut self.tracer;
-        self.active.retain(|a| {
-            let r = &mut records[a.rec];
-            let done = a.prefill_remaining == 0 && (a.prefill_only || a.decoded >= r.decode_len);
-            if done {
-                r.completed_s = end_s;
-                if a.prefill_only {
-                    // A disaggregated prefill hands its KV off instead of
-                    // discarding it; the export counter feeds migration
-                    // byte accounting.
-                    manager.export_sequence(a.rec as u64).expect("prefill-only sequence is resident");
-                    tracer.emit(end_s, Some(r.id), EventKind::KvExport { tokens: r.prompt_len });
-                } else {
-                    manager.release(a.rec as u64);
-                    tracer.emit(end_s, Some(r.id), EventKind::Complete);
-                }
-                completions.push((a.rec, end_s));
-                false
-            } else {
-                true
-            }
-        });
+        let completions = stage::complete::retire(self, end_s);
         if !completions.is_empty() {
             self.admission_suspended = false;
         }
@@ -937,7 +663,7 @@ mod tests {
     #[test]
     fn single_request_runs_to_completion() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 64, 8), 0.5, 0, 0);
+        e.submit_with(Request::new(0, 64, 8), 0.5, Admission::Local, 0, 0);
         let mut completions = Vec::new();
         while e.has_work() {
             completions.extend(e.step());
@@ -953,11 +679,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn submit_wrappers_are_equivalent_to_the_admission_enum_path() {
-        // The three named submissions are conveniences over the single
-        // `submit_with` admission path; both spellings must be
-        // bit-identical. Compared via Debug because the records carry NaN
-        // sentinels (a prefill-only record never emits a first token).
+        // The three named submissions are deprecated conveniences over the
+        // single `submit_with` admission path; both spellings must be
+        // bit-identical for as long as the wrappers exist. Compared via
+        // Debug because the records carry NaN sentinels (a prefill-only
+        // record never emits a first token).
         let run = |via_enum: bool| -> String {
             let mut e = engine(8);
             if via_enum {
@@ -980,7 +708,7 @@ mod tests {
     #[test]
     fn idle_engine_fast_forwards_to_arrivals() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 32, 4), 10.0, 0, 0);
+        e.submit_with(Request::new(0, 32, 4), 10.0, Admission::Local, 0, 0);
         e.step();
         assert!(e.clock_s() >= 10.0, "the first step jumps an idle engine to the arrival");
         while e.has_work() {
@@ -995,8 +723,8 @@ mod tests {
     #[test]
     fn later_arrival_waits_for_its_timestamp() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 32, 64), 0.0, 0, 0);
-        e.submit(Request::new(1, 32, 4), 1e9, 1, 0);
+        e.submit_with(Request::new(0, 32, 64), 0.0, Admission::Local, 0, 0);
+        e.submit_with(Request::new(1, 32, 4), 1e9, Admission::Local, 1, 0);
         // The first request completes long before the second arrives.
         let mut steps = 0;
         while e.records()[0].completed_s.is_nan() && steps < 10_000 {
@@ -1017,7 +745,7 @@ mod tests {
         // demand ~80k, so decode growth must evict.
         let mut e = engine(2);
         for i in 0..40 {
-            e.submit(Request::new(i, 1000, 1000), 0.0, i, 0);
+            e.submit_with(Request::new(i, 1000, 1000), 0.0, Admission::Local, i, 0);
         }
         let mut completions = 0;
         let mut guard = 0;
@@ -1037,7 +765,7 @@ mod tests {
     fn eviction_preserves_decode_progress() {
         let mut e = engine(2);
         for i in 0..40 {
-            e.submit(Request::new(i, 800, 800), 0.0, i, 0);
+            e.submit_with(Request::new(i, 800, 800), 0.0, Admission::Local, i, 0);
         }
         while e.has_work() {
             e.step();
@@ -1056,8 +784,8 @@ mod tests {
     fn oversized_request_is_dropped_not_spun_on() {
         let mut e = engine(2);
         let cap = 100_000; // far beyond two cores of KV
-        e.submit(Request::new(0, cap, 4), 0.0, 0, 0);
-        e.submit(Request::new(1, 64, 4), 0.0, 1, 0);
+        e.submit_with(Request::new(0, cap, 4), 0.0, Admission::Local, 0, 0);
+        e.submit_with(Request::new(1, 64, 4), 0.0, Admission::Local, 1, 0);
         while e.has_work() {
             e.step();
         }
@@ -1068,7 +796,7 @@ mod tests {
     #[test]
     fn zero_decode_requests_complete_after_prefill() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 128, 0), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 128, 0), 0.0, Admission::Local, 0, 0);
         while e.has_work() {
             e.step();
         }
@@ -1086,7 +814,7 @@ mod tests {
         let run = |n: usize| -> f64 {
             let mut e = engine(16);
             for i in 0..n {
-                e.submit(Request::new(i, 32, 64), 0.0, i, 0);
+                e.submit_with(Request::new(i, 32, 64), 0.0, Admission::Local, i, 0);
             }
             while e.has_work() {
                 e.step();
@@ -1102,7 +830,7 @@ mod tests {
     #[test]
     fn prefill_only_completes_at_prefill_end_and_exports_kv() {
         let mut e = engine(8);
-        e.submit_prefill_only(Request::new(0, 256, 64), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 256, 64), 0.0, Admission::PrefillOnly, 0, 0);
         let mut completions = Vec::new();
         while e.has_work() {
             completions.extend(e.step());
@@ -1121,11 +849,8 @@ mod tests {
     fn prefill_only_is_faster_than_full_service() {
         let run = |prefill_only: bool| -> f64 {
             let mut e = engine(8);
-            if prefill_only {
-                e.submit_prefill_only(Request::new(0, 256, 64), 0.0, 0, 0);
-            } else {
-                e.submit(Request::new(0, 256, 64), 0.0, 0, 0);
-            }
+            let admission = if prefill_only { Admission::PrefillOnly } else { Admission::Local };
+            e.submit_with(Request::new(0, 256, 64), 0.0, admission, 0, 0);
             while e.has_work() {
                 e.step();
             }
@@ -1139,7 +864,7 @@ mod tests {
         let mut e = engine(8);
         // KV for the 256-token prompt was prefilled elsewhere; migration
         // lands at t = 5.0 although the request arrived at t = 1.0.
-        e.submit_imported(Request::new(0, 256, 16), 1.0, 5.0, 0, 0);
+        e.submit_with(Request::new(0, 256, 16), 1.0, Admission::Imported { ready_s: 5.0 }, 0, 0);
         let mut completions = Vec::new();
         while e.has_work() {
             completions.extend(e.step());
@@ -1160,11 +885,8 @@ mod tests {
     fn imported_sequence_starts_decoding_faster_than_full_service() {
         let run = |imported: bool| -> f64 {
             let mut e = engine(8);
-            if imported {
-                e.submit_imported(Request::new(0, 512, 8), 0.0, 0.0, 0, 0);
-            } else {
-                e.submit(Request::new(0, 512, 8), 0.0, 0, 0);
-            }
+            let admission = if imported { Admission::Imported { ready_s: 0.0 } } else { Admission::Local };
+            e.submit_with(Request::new(0, 512, 8), 0.0, admission, 0, 0);
             while e.has_work() {
                 e.step();
             }
@@ -1179,8 +901,8 @@ mod tests {
         // almost immediately: admission order must follow readiness, not
         // submission order, or the early migration idles for ~1 s.
         let mut e = engine(8);
-        e.submit_imported(Request::new(0, 256, 4), 0.0, 1.0, 0, 0);
-        e.submit_imported(Request::new(1, 64, 4), 0.0, 0.001, 1, 0);
+        e.submit_with(Request::new(0, 256, 4), 0.0, Admission::Imported { ready_s: 1.0 }, 0, 0);
+        e.submit_with(Request::new(1, 64, 4), 0.0, Admission::Imported { ready_s: 0.001 }, 1, 0);
         let mut guard = 0;
         while e.records()[1].admitted_s.is_nan() && guard < 10_000 {
             e.step();
@@ -1203,7 +925,7 @@ mod tests {
     fn export_then_import_conserves_tokens_across_engines() {
         let mut prefill = engine(8);
         let mut decode = engine(8);
-        prefill.submit_prefill_only(Request::new(0, 300, 20), 0.0, 0, 0);
+        prefill.submit_with(Request::new(0, 300, 20), 0.0, Admission::PrefillOnly, 0, 0);
         let mut done = Vec::new();
         while prefill.has_work() {
             done.extend(prefill.step());
@@ -1211,10 +933,10 @@ mod tests {
         let (rec, t_done) = done[0];
         let tokens = prefill.kv_transfers().exported_tokens;
         assert_eq!(tokens, 300);
-        decode.submit_imported(
+        decode.submit_with(
             Request::new(0, prefill.records()[rec].prompt_len, 20),
             0.0,
-            t_done + 0.001,
+            Admission::Imported { ready_s: t_done + 0.001 },
             0,
             1,
         );
@@ -1228,7 +950,7 @@ mod tests {
     #[test]
     fn a_fault_evicts_resident_kv_and_recomputes_it() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 256, 512), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 256, 512), 0.0, Admission::Local, 0, 0);
         // Run until decode is underway, then fail the core holding the KV.
         while e.records()[0].first_token_s.is_nan() {
             e.step();
@@ -1264,7 +986,7 @@ mod tests {
         // the same work strictly later (stall + mean-hops penalty).
         let run = |fault: bool| -> f64 {
             let mut e = engine(8);
-            e.submit(Request::new(0, 128, 256), 0.0, 0, 0);
+            e.submit_with(Request::new(0, 128, 256), 0.0, Admission::Local, 0, 0);
             e.step();
             if fault {
                 let t = e.clock_s();
@@ -1290,7 +1012,7 @@ mod tests {
         assert_eq!(e.healthy_kv_fraction(), 0.0);
         assert!(e.apply_fault(0.0, 0.0, 0, 0.0).is_none(), "a dead wafer absorbs no more faults");
         // Requests routed here anyway are dropped, not spun on.
-        e.submit(Request::new(0, 64, 8), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 64, 8), 0.0, Admission::Local, 0, 0);
         while e.has_work() {
             e.step();
         }
@@ -1301,7 +1023,7 @@ mod tests {
     fn kv_load_tracks_queue_and_residency() {
         let mut e = engine(4);
         assert_eq!(e.kv_load(), 0.0);
-        e.submit(Request::new(0, 512, 64), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 512, 64), 0.0, Admission::Local, 0, 0);
         let queued = e.kv_load();
         assert!(queued > 0.0, "queued demand counts toward load");
         e.step();
@@ -1314,8 +1036,8 @@ mod tests {
         let mut e = engine(8);
         // Two concurrent requests sharing a 256-token system prompt with
         // 64-token unique tails.
-        e.submit(Request::new(0, 320, 8).with_shared_prefix(1, 256), 0.0, 0, 0);
-        e.submit(Request::new(1, 320, 8).with_shared_prefix(1, 256), 0.0, 1, 0);
+        e.submit_with(Request::new(0, 320, 8).with_shared_prefix(1, 256), 0.0, Admission::Local, 0, 0);
+        e.submit_with(Request::new(1, 320, 8).with_shared_prefix(1, 256), 0.0, Admission::Local, 1, 0);
         while e.has_work() {
             e.step();
         }
@@ -1340,7 +1062,13 @@ mod tests {
             )
             .unwrap();
             for i in 0..6 {
-                e.submit(Request::new(i, 520, 8).with_shared_prefix(9, 512), 0.0, i, 0);
+                e.submit_with(
+                    Request::new(i, 520, 8).with_shared_prefix(9, 512),
+                    0.0,
+                    Admission::Local,
+                    i,
+                    0,
+                );
             }
             while e.has_work() {
                 e.step();
@@ -1366,7 +1094,7 @@ mod tests {
     fn post_eviction_queueing_is_accounted_as_queue_wait() {
         let mut e = engine(2);
         for i in 0..40 {
-            e.submit(Request::new(i, 800, 800), 0.0, i, 0);
+            e.submit_with(Request::new(i, 800, 800), 0.0, Admission::Local, i, 0);
         }
         while e.has_work() {
             e.step();
@@ -1397,7 +1125,7 @@ mod tests {
     #[test]
     fn fault_plus_capacity_eviction_charges_recompute_once() {
         let mut e = engine(8);
-        e.submit(Request::new(0, 256, 512), 0.0, 0, 0);
+        e.submit_with(Request::new(0, 256, 512), 0.0, Admission::Local, 0, 0);
         while e.records()[0].first_token_s.is_nan() {
             e.step();
         }

@@ -77,6 +77,36 @@ impl WaferFaultState {
     }
 }
 
+/// One wafer's remap state in a run checkpoint (core ids flattened to
+/// integers so the serialized form stays dependency-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferFaultSnapshot {
+    /// The live weight assignment, as flat core ids.
+    pub assignment: Vec<u64>,
+    /// KV cores still available to absorb replacement chains.
+    pub kv_cores: Vec<u64>,
+    /// Cores failed on this wafer so far.
+    pub failed: Vec<u64>,
+    /// Instant the wafer stopped being serviceable (`NaN` while alive).
+    pub death_s: f64,
+    /// Stall time charged to this wafer.
+    pub stall_s: f64,
+}
+
+/// The complete mutable state of a [`FaultInjector`], captured by
+/// [`FaultInjector::snapshot`] and reapplied by [`FaultInjector::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjectorSnapshot {
+    /// Pending fault events as `(wafer, at_s, draw)`, in schedule order.
+    pub events: Vec<(usize, f64, u64)>,
+    /// Per-wafer remap state.
+    pub wafers: Vec<WaferFaultSnapshot>,
+    /// The eight lifetime counters, in declaration order: faults injected,
+    /// chains built, tiles moved, chain cores, KV cores lost, sequences
+    /// recomputed, KV tokens evicted, unrepaired faults.
+    pub counters: [u64; 8],
+}
+
 /// Aggregate outcome of one fault-injected serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultReport {
@@ -259,6 +289,34 @@ impl FaultInjector {
         }
     }
 
+    /// Non-destructive variant of [`FaultInjector::poll`] for pause-point
+    /// scheduling ([`crate::scenario::RunState::run_until`]): the instant
+    /// the next fault would fire given the same arbitration inputs, or
+    /// `None` when the verdict would be [`FaultPoll::Wait`] or
+    /// [`FaultPoll::Drained`]. Shares poll's one mutation — events at or
+    /// beyond the horizon are discarded — which is idempotent, so peeking
+    /// then polling gives the same answer as polling directly.
+    pub fn peek_fire_s(
+        &mut self,
+        next_arrival_s: Option<f64>,
+        next_engine_event_s: Option<f64>,
+        horizon_s: f64,
+    ) -> Option<f64> {
+        loop {
+            let (t_fault, _) = self.next_fault()?;
+            if next_arrival_s.is_none() && next_engine_event_s.is_none() {
+                return None; // poll would report Drained
+            }
+            if t_fault >= horizon_s {
+                self.discard_next();
+                continue;
+            }
+            let before_arrival = next_arrival_s.is_none_or(|t| t_fault <= t);
+            let before_engines = next_engine_event_s.is_none_or(|t| t_fault <= t);
+            return if before_arrival && before_engines { Some(t_fault) } else { None };
+        }
+    }
+
     /// The fault window of one serving run: the horizon when it is finite,
     /// otherwise twice the trace's arrival span (bounded below by one
     /// second). Shared by [`FaultComparison::measure`] and `ouro-disagg`'s
@@ -310,7 +368,8 @@ impl FaultInjector {
                 self.chains_built += 1;
                 self.chain_cores += outcome.chain.len() as u64;
                 self.tiles_moved += outcome.moved_tiles as u64;
-                engine.tracer_mut().emit(
+                crate::stage::Stage::Fault.emit(
+                    engine.tracer_mut(),
                     event.at_s,
                     None,
                     EventKind::Remap { chain_len: outcome.chain.len(), moved_tiles: outcome.moved_tiles },
@@ -358,6 +417,77 @@ impl FaultInjector {
                 unreachable!("victims are drawn from live on-wafer cores: {e}");
             }
         }
+    }
+
+    /// Captures the injector's complete mutable state for a run
+    /// checkpoint: the pending event schedule, every wafer's remap state,
+    /// and the lifetime counters. Geometry, per-token KV bytes and the
+    /// config are *not* captured — they are pure functions of the system
+    /// and scenario, recomputed by [`FaultInjector::restore`].
+    pub fn snapshot(&self) -> FaultInjectorSnapshot {
+        FaultInjectorSnapshot {
+            events: self.events.iter().map(|e| (e.wafer, e.at_s, e.draw)).collect(),
+            wafers: self
+                .wafers
+                .iter()
+                .map(|w| WaferFaultSnapshot {
+                    assignment: w.assignment.core.iter().map(|c| c.0 as u64).collect(),
+                    kv_cores: w.kv_cores.iter().map(|c| c.0 as u64).collect(),
+                    failed: w.failed.iter().map(|c| c.0 as u64).collect(),
+                    death_s: w.death_s,
+                    stall_s: w.stall_s,
+                })
+                .collect(),
+            counters: [
+                self.faults_injected,
+                self.chains_built,
+                self.tiles_moved,
+                self.chain_cores,
+                self.kv_cores_lost,
+                self.sequences_recomputed,
+                self.kv_tokens_evicted,
+                self.unrepaired_faults,
+            ],
+        }
+    }
+
+    /// Rebuilds an injector from a checkpoint: constructs a fresh injector
+    /// over the same system/config/window (restoring the derived geometry
+    /// and byte constants), then overwrites the mutable state with the
+    /// snapshot's. The resumed injector continues the identical fault
+    /// realisation from the checkpoint's pending event.
+    pub fn restore(
+        system: &OuroborosSystem,
+        wafers: usize,
+        config: FaultConfig,
+        fault_horizon_s: f64,
+        snap: &FaultInjectorSnapshot,
+    ) -> FaultInjector {
+        let mut inj = FaultInjector::new(system, wafers, config, fault_horizon_s);
+        inj.events =
+            snap.events.iter().map(|&(wafer, at_s, draw)| FaultEvent { wafer, at_s, draw }).collect();
+        assert_eq!(snap.wafers.len(), wafers, "snapshot wafer count must match the deployment");
+        inj.wafers = snap
+            .wafers
+            .iter()
+            .map(|w| WaferFaultState {
+                assignment: Assignment { core: w.assignment.iter().map(|&c| CoreId(c as usize)).collect() },
+                kv_cores: w.kv_cores.iter().map(|&c| CoreId(c as usize)).collect(),
+                failed: w.failed.iter().map(|&c| CoreId(c as usize)).collect(),
+                death_s: w.death_s,
+                stall_s: w.stall_s,
+            })
+            .collect();
+        let [fi, cb, tm, cc, kl, sr, te, uf] = snap.counters;
+        inj.faults_injected = fi;
+        inj.chains_built = cb;
+        inj.tiles_moved = tm;
+        inj.chain_cores = cc;
+        inj.kv_cores_lost = kl;
+        inj.sequences_recomputed = sr;
+        inj.kv_tokens_evicted = te;
+        inj.unrepaired_faults = uf;
+        inj
     }
 
     /// Assembles the fault report after a run spanning `duration_s`.

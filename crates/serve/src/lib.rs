@@ -69,6 +69,8 @@ pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod scenario;
+pub mod snapshot;
+pub mod stage;
 pub mod sweep;
 
 /// The workspace's dependency-free JSON writer (re-exported from
@@ -91,5 +93,7 @@ pub use policy::{
     placements, routers, Placement, Router,
 };
 pub use report::{DeploymentInfo, Migration, MigrationStats, RunReport, SCHEMA_VERSION};
-pub use scenario::{Deployment, DisaggConfig, RunOutcome, Scenario};
+pub use scenario::{Deployment, DisaggConfig, RunOutcome, RunState, Scenario};
+pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use stage::{event_kind, Stage, EVENT_OWNERS};
 pub use sweep::{capacity_rps_estimate, format_sweep, ideal_latencies, LoadSweep, SweepPoint};

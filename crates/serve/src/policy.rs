@@ -37,6 +37,17 @@ pub trait Router: std::fmt::Debug + Send + Sync {
 
     /// Boxed clone, so scenarios holding a router stay cloneable.
     fn clone_box(&self) -> Box<dyn Router>;
+
+    /// The policy's mutable state, flattened to one integer for run
+    /// checkpoints. Stateless policies (every built-in except round-robin)
+    /// keep the default `0`.
+    fn checkpoint_state(&self) -> u64 {
+        0
+    }
+
+    /// Reapplies a [`Router::checkpoint_state`] value on resume. A no-op
+    /// for stateless policies.
+    fn restore_state(&mut self, _state: u64) {}
 }
 
 impl Clone for Box<dyn Router> {
@@ -68,6 +79,17 @@ pub trait Placement: std::fmt::Debug + Send + Sync {
 
     /// Boxed clone, so scenarios holding a placement stay cloneable.
     fn clone_box(&self) -> Box<dyn Placement>;
+
+    /// The policy's mutable state, flattened to one integer for run
+    /// checkpoints. Every built-in placement is stateless and keeps the
+    /// default `0`.
+    fn checkpoint_state(&self) -> u64 {
+        0
+    }
+
+    /// Reapplies a [`Placement::checkpoint_state`] value on resume. A
+    /// no-op for stateless policies.
+    fn restore_state(&mut self, _state: u64) {}
 }
 
 impl Clone for Box<dyn Placement> {
@@ -131,6 +153,14 @@ pub mod routers {
 
         fn clone_box(&self) -> Box<dyn Router> {
             Box::new(self.clone())
+        }
+
+        fn checkpoint_state(&self) -> u64 {
+            self.next as u64
+        }
+
+        fn restore_state(&mut self, state: u64) {
+            self.next = state as usize;
         }
     }
 

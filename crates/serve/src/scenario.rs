@@ -20,6 +20,12 @@
 //! completion ships the finished KV to a decode wafer over the optical
 //! fabric and the decode side retires it.
 //!
+//! The per-stage logic of the loop lives in [`crate::stage`]; the driver
+//! here owns only event arbitration. A run can also be held open as an
+//! explicit [`RunState`] ([`Scenario::start`]), stepped event by event,
+//! checkpointed mid-flight ([`Scenario::checkpoint`]) and resumed
+//! ([`Scenario::resume`]) with a byte-identical final [`RunReport`].
+//!
 //! # Example
 //!
 //! ```
@@ -47,18 +53,18 @@ use crate::fault::{FaultConfig, FaultInjector, FaultPoll};
 use crate::metrics::{RequestRecord, RunTotals, ServingReport, SloConfig};
 use crate::policy::{placements, routers, Placement, Router};
 use crate::report::{DeploymentInfo, Migration, MigrationStats, RunReport, SCHEMA_VERSION};
+use crate::snapshot::Snapshot;
+use crate::stage::{self, StageQueues};
 use ouro_kvcache::KvError;
 use ouro_noc::InterWaferLink;
 use ouro_sim::OuroborosSystem;
 use ouro_trace::{
-    Analysis, Counters, EventKind, LoopProfile, TelemetryConfig, TelemetryRecorder, TelemetrySample, Trace,
-    TraceEvent, Tracer,
+    Analysis, Counters, LoopProfile, TelemetryConfig, TelemetryRecorder, TelemetrySample, Trace, TraceEvent,
+    Tracer,
 };
-use ouro_workload::{Request, TimedTrace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ouro_workload::TimedTrace;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 /// The pool split of a disaggregated deployment.
@@ -107,17 +113,17 @@ pub enum Deployment {
 /// same scenario twice yields byte-identical reports.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    deployment: Deployment,
-    workload: Option<TimedTrace>,
-    router: Box<dyn Router>,
-    placement: Box<dyn Placement>,
-    engine: EngineConfig,
-    slo: SloConfig,
-    horizon_s: f64,
-    fault: Option<FaultConfig>,
-    trace: bool,
-    telemetry: Option<TelemetryConfig>,
-    profile: bool,
+    pub(crate) deployment: Deployment,
+    pub(crate) workload: Option<TimedTrace>,
+    pub(crate) router: Box<dyn Router>,
+    pub(crate) placement: Box<dyn Placement>,
+    pub(crate) engine: EngineConfig,
+    pub(crate) slo: SloConfig,
+    pub(crate) horizon_s: f64,
+    pub(crate) fault: Option<FaultConfig>,
+    pub(crate) trace: bool,
+    pub(crate) telemetry: Option<TelemetryConfig>,
+    pub(crate) profile: bool,
 }
 
 impl Scenario {
@@ -290,6 +296,27 @@ impl Scenario {
     ///
     /// Panics when no workload was set.
     pub fn run_full(&self, system: &OuroborosSystem) -> Result<RunOutcome, KvError> {
+        let mut run = self.start(system)?;
+        run.run_to_end();
+        Ok(run.finish())
+    }
+
+    /// Starts the scenario against replicas of `system` without driving
+    /// it: the returned [`RunState`] is the run's complete simulator
+    /// state, advanced explicitly via [`RunState::step_once`] /
+    /// [`RunState::run_until`] / [`RunState::run_to_end`] and closed with
+    /// [`RunState::finish`]. `start → run_to_end → finish` is exactly
+    /// [`Scenario::run_full`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError::NoKvCores`] when the deployment leaves no KV
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workload was set.
+    pub fn start(&self, system: &OuroborosSystem) -> Result<RunState, KvError> {
         let timed = self.workload.as_ref().expect("Scenario needs a workload: call .workload(timed) first");
         let (prefill_wafers, total) = match self.deployment {
             Deployment::Colocated { wafers } => (0, wafers),
@@ -324,31 +351,41 @@ impl Scenario {
         for wafer in 0..total {
             driver.refresh_engine(wafer);
         }
-        let mut injector = self.fault.map(|cfg| {
+        let injector = self.fault.map(|cfg| {
             FaultInjector::new(system, total, cfg, FaultInjector::run_window_s(self.horizon_s, timed))
         });
-        driver.drive(timed, self.horizon_s, injector.as_mut());
-        driver.telemetry_finish(timed, self.horizon_s);
-        let report = driver.report(timed, &self.slo, self.horizon_s, self.deployment_info(), injector);
-        let trace = self.trace.then(|| {
-            // Per-wafer engine streams (in global wafer order) plus the
-            // driver's own stream (arrivals, migrations); the merge sorts
-            // by time with stream order breaking ties.
-            let mut streams: Vec<(&[TraceEvent], u64)> =
-                driver.engines.iter().map(|e| (e.tracer().events(), e.tracer().dropped())).collect();
-            streams.push((driver.tracer.events(), driver.tracer.dropped()));
-            Trace::from_streams(&streams)
-        });
-        Ok(RunOutcome {
-            report,
-            telemetry: driver.telemetry.map(|r| r.samples().to_vec()).unwrap_or_default(),
-            profile: driver.profile,
-            trace,
-            engines: driver.engines,
-            prefill_wafers,
-            disagg: driver.disagg,
-            migrations: driver.migrations,
-        })
+        let queues = StageQueues::new(timed);
+        Ok(RunState { driver, queues, injector, scenario: self.clone(), horizon_s: self.horizon_s })
+    }
+
+    /// Captures a mid-run checkpoint of `run`: the stage queues, every
+    /// engine's records, pending arena, active set and KV manager, the
+    /// policy and think-stream state, the migration log and the fault
+    /// injector — together the *complete* simulator state. Resuming the
+    /// snapshot via [`Scenario::resume`] and driving to the end produces a
+    /// byte-identical [`RunReport`] to the uninterrupted run.
+    ///
+    /// Tracing, telemetry and the loop profile are deliberately *not*
+    /// captured: they are observational sinks that never feed back into
+    /// the simulation, and a resumed run restarts them empty.
+    pub fn checkpoint(&self, run: &RunState) -> Snapshot {
+        crate::snapshot::capture(self, run)
+    }
+
+    /// Rebuilds a [`RunState`] from a [`Scenario::checkpoint`] snapshot
+    /// against replicas of `system`, continuing the identical simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvError`] from KV-manager reconstruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot carries an incompatible schema version or
+    /// was captured by a differently-configured scenario (a config hash
+    /// guards against resuming foreign state).
+    pub fn resume(&self, system: &OuroborosSystem, snapshot: &Snapshot) -> Result<RunState, KvError> {
+        crate::snapshot::rebuild(self, system, snapshot)
     }
 
     fn deployment_info(&self) -> DeploymentInfo {
@@ -444,43 +481,216 @@ impl RunOutcome {
     }
 }
 
+/// The complete mutable state of one in-flight scenario run: the driver
+/// (engines, event calendar, policies, migration log), the arrival-stage
+/// queues, and the fault injector. Produced by [`Scenario::start`],
+/// advanced by [`RunState::step_once`] / [`RunState::run_until`] /
+/// [`RunState::run_to_end`], closed by [`RunState::finish`], and captured
+/// whole by [`Scenario::checkpoint`].
+#[derive(Debug)]
+pub struct RunState {
+    pub(crate) driver: Driver,
+    pub(crate) queues: StageQueues,
+    pub(crate) injector: Option<FaultInjector>,
+    /// The configuration the run was started from (cloned, so the state
+    /// stays self-contained); `finish` and `checkpoint` read it.
+    pub(crate) scenario: Scenario,
+    pub(crate) horizon_s: f64,
+}
+
+impl RunState {
+    /// Processes the single earliest pending event — one fault injection,
+    /// one engine iteration, or one arrival routing — exactly as the
+    /// uninterrupted loop would. Returns `false` once the run is drained
+    /// (no arrivals, engine work or faults left below the horizon);
+    /// calling it again then is a no-op.
+    pub fn step_once(&mut self) -> bool {
+        let horizon_s = self.horizon_s;
+        let next_arrival = self.queues.arrivals.front().map(|ev| ev.at_s);
+        let next_engine = self.driver.next_event_engine(horizon_s);
+
+        // Faults share the timeline with arrivals (the arbitration
+        // protocol lives in [`FaultInjector::poll`]); the injector's wafer
+        // index space is global, so a fault can strike either side of a
+        // disaggregation split.
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.poll(next_arrival, next_engine.map(|(_, t)| t), horizon_s) {
+                FaultPoll::Fire(wafer) => {
+                    let t0 = self.driver.profile.is_some().then(Instant::now);
+                    inj.inject(&mut self.driver.engines[wafer]);
+                    self.driver.refresh_engine(wafer);
+                    if let (Some(p), Some(t0)) = (self.driver.profile.as_mut(), t0) {
+                        p.faults.add(t0.elapsed());
+                    }
+                    self.driver.faults_fired += 1;
+                    self.driver.telemetry_tick();
+                    return true;
+                }
+                FaultPoll::Drained => return false,
+                FaultPoll::Wait => {}
+            }
+        }
+
+        let timed = self.scenario.workload.as_ref().expect("a started run always has a workload");
+        match (next_arrival, next_engine) {
+            (None, None) => false,
+            (Some(t_arr), engine) => {
+                if t_arr >= horizon_s {
+                    // Arrivals beyond the horizon are never injected.
+                    let Some((i, _)) = engine else { return false };
+                    self.driver.step_engine(i, &mut self.queues);
+                    return true;
+                }
+                match engine {
+                    // Route the arrival once every busy engine has
+                    // simulated past it, so routing sees current state.
+                    Some((i, event_s)) if event_s < t_arr => {
+                        self.driver.step_engine(i, &mut self.queues);
+                    }
+                    _ => stage::arrival::route_next(&mut self.driver, timed, &mut self.queues),
+                }
+                true
+            }
+            (None, Some((i, _))) => {
+                self.driver.step_engine(i, &mut self.queues);
+                true
+            }
+        }
+    }
+
+    /// The simulated instant the *next* [`RunState::step_once`] call will
+    /// process (fault, engine iteration, or sub-horizon arrival), or
+    /// `None` when the run is drained. Mirrors the arbitration in
+    /// `step_once`; its only mutations (lazy calendar scrubbing, discard
+    /// of past-horizon fault events) are idempotent, so peeking then
+    /// stepping equals stepping directly.
+    fn next_event_time(&mut self) -> Option<f64> {
+        let next_arrival = self.queues.arrivals.front().map(|ev| ev.at_s);
+        let next_engine = self.driver.next_event_engine(self.horizon_s).map(|(_, t)| t);
+        if let Some(inj) = self.injector.as_mut() {
+            if let Some(fire_s) = inj.peek_fire_s(next_arrival, next_engine, self.horizon_s) {
+                return Some(fire_s);
+            }
+        }
+        match (next_arrival, next_engine) {
+            (None, None) => None,
+            (Some(a), None) => (a < self.horizon_s).then_some(a),
+            (None, Some(e)) => Some(e),
+            (Some(a), Some(e)) => {
+                if a >= self.horizon_s {
+                    Some(e)
+                } else {
+                    Some(a.min(e))
+                }
+            }
+        }
+    }
+
+    /// Drives the run until the next pending event would be at or past
+    /// `t_s` (or the run drains). The state left behind is exactly the
+    /// uninterrupted run's state at that event boundary, so
+    /// `run_until(t)` → [`Scenario::checkpoint`] → [`Scenario::resume`] →
+    /// [`RunState::run_to_end`] reproduces the full run byte-for-byte.
+    pub fn run_until(&mut self, t_s: f64) {
+        while let Some(next_s) = self.next_event_time() {
+            if next_s >= t_s {
+                break;
+            }
+            self.step_once();
+        }
+    }
+
+    /// Drives the run until it drains (the whole workload is served, or
+    /// the horizon cuts it off).
+    pub fn run_to_end(&mut self) {
+        while self.step_once() {}
+    }
+
+    /// Every engine in global wafer order, for mid-run invariant checks.
+    pub fn engines(&self) -> &[Engine] {
+        &self.driver.engines
+    }
+
+    /// Requests retired so far (decode-side completions).
+    pub fn completed(&self) -> u64 {
+        self.driver.completed
+    }
+
+    /// Requests not yet handed to any engine (open arrivals plus gated
+    /// closed-loop users).
+    pub fn waiting(&self) -> usize {
+        self.queues.waiting()
+    }
+
+    /// Closes the run: flushes the telemetry tail, assembles the unified
+    /// report, and merges the lifecycle trace.
+    pub fn finish(self) -> RunOutcome {
+        let RunState { mut driver, injector, scenario, horizon_s, queues: _ } = self;
+        let timed = scenario.workload.as_ref().expect("a started run always has a workload");
+        driver.telemetry_finish(timed, horizon_s);
+        let report = driver.report(timed, &scenario.slo, horizon_s, scenario.deployment_info(), injector);
+        let trace = scenario.trace.then(|| {
+            // Per-wafer engine streams (in global wafer order) plus the
+            // driver's own stream (arrivals, migrations); the merge sorts
+            // by time with stream order breaking ties.
+            let mut streams: Vec<(&[TraceEvent], u64)> =
+                driver.engines.iter().map(|e| (e.tracer().events(), e.tracer().dropped())).collect();
+            streams.push((driver.tracer.events(), driver.tracer.dropped()));
+            Trace::from_streams(&streams)
+        });
+        RunOutcome {
+            report,
+            telemetry: driver.telemetry.map(|r| r.samples().to_vec()).unwrap_or_default(),
+            profile: driver.profile,
+            trace,
+            prefill_wafers: driver.prefill_wafers,
+            disagg: driver.disagg,
+            engines: driver.engines,
+            migrations: driver.migrations,
+        }
+    }
+}
+
 /// The shared discrete-event loop both deployment shapes run through.
-struct Driver {
+#[derive(Debug)]
+pub(crate) struct Driver {
     /// All engines in global wafer order: for disaggregated deployments
     /// wafers `0..prefill_wafers` are the prefill pool and the rest the
     /// decode pool (the fault injector's wafer index space matches).
-    engines: Vec<Engine>,
-    prefill_wafers: usize,
-    disagg: bool,
-    router: Box<dyn Router>,
-    placement: Box<dyn Placement>,
-    link: InterWaferLink,
-    kv_bytes_per_token: u64,
-    migrations: Vec<Migration>,
+    pub(crate) engines: Vec<Engine>,
+    pub(crate) prefill_wafers: usize,
+    pub(crate) disagg: bool,
+    pub(crate) router: Box<dyn Router>,
+    pub(crate) placement: Box<dyn Placement>,
+    pub(crate) link: InterWaferLink,
+    pub(crate) kv_bytes_per_token: u64,
+    pub(crate) migrations: Vec<Migration>,
     /// The driver's own event stream: arrivals and migration endpoints,
     /// stamped onto the wafer they concern via `emit_for`.
-    tracer: Tracer,
-    telemetry: Option<TelemetryRecorder>,
-    profile: Option<LoopProfile>,
+    pub(crate) tracer: Tracer,
+    pub(crate) telemetry: Option<TelemetryRecorder>,
+    pub(crate) profile: Option<LoopProfile>,
     /// Requests retired (decode-side completions), for telemetry counters.
-    completed: u64,
+    pub(crate) completed: u64,
     /// Runtime faults fired so far, for telemetry counters.
-    faults_fired: u64,
+    pub(crate) faults_fired: u64,
     /// The event calendar: one entry per (engine, generation) holding the
     /// engine's next-event time at refresh. Entries whose generation no
     /// longer matches [`Driver::engine_gen`] are stale and discarded
     /// lazily when they surface at the heap top. Ties on time resolve
     /// toward the lowest wafer index, matching the old linear scan.
-    calendar: BinaryHeap<Reverse<(F64Key, usize, u64)>>,
+    /// Never checkpointed: it is a pure cache over the engines, rebuilt by
+    /// [`Driver::refresh_engine`] on resume.
+    pub(crate) calendar: BinaryHeap<Reverse<(F64Key, usize, u64)>>,
     /// Per-engine generation counters, bumped by [`Driver::refresh_engine`]
     /// after every engine mutation so earlier calendar entries for that
     /// engine can be recognised as stale.
-    engine_gen: Vec<u64>,
+    pub(crate) engine_gen: Vec<u64>,
 }
 
 impl Driver {
     /// Size of the entry pool the router selects over.
-    fn entry_len(&self) -> usize {
+    pub(crate) fn entry_len(&self) -> usize {
         if self.disagg {
             self.prefill_wafers
         } else {
@@ -503,7 +713,7 @@ impl Driver {
     /// [`Driver::refresh_engine`]. Debug builds re-derive the answer with
     /// the old linear scan and assert the two agree, so every debug test
     /// run doubles as a differential test of the calendar.
-    fn next_event_engine(&mut self, horizon_s: f64) -> Option<(usize, f64)> {
+    pub(crate) fn next_event_engine(&mut self, horizon_s: f64) -> Option<(usize, f64)> {
         let best = loop {
             match self.calendar.peek() {
                 None => break None,
@@ -540,121 +750,18 @@ impl Driver {
     /// change an engine's `next_event_s`/`has_work` answers — the
     /// debug-build assert in [`Driver::next_event_engine`] catches any
     /// missed site.
-    fn refresh_engine(&mut self, i: usize) {
+    pub(crate) fn refresh_engine(&mut self, i: usize) {
         self.engine_gen[i] += 1;
         if self.engines[i].has_work() {
             self.calendar.push(Reverse((F64Key(self.engines[i].next_event_s()), i, self.engine_gen[i])));
         }
     }
 
-    /// Serves the timed trace to completion (or to the horizon),
-    /// interleaving faults from `injector` on the same timeline.
-    fn drive(&mut self, timed: &TimedTrace, horizon_s: f64, mut injector: Option<&mut FaultInjector>) {
-        // Open arrivals, sorted ascending; gated (closed-loop) requests
-        // wait in submission order.
-        let mut arrivals: VecDeque<(f64, usize)> = timed
-            .arrivals
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| !r.is_gated())
-            .map(|(i, r)| (r.arrival_s, i))
-            .collect();
-        let mut gated: VecDeque<usize> =
-            timed.arrivals.iter().enumerate().filter(|(_, r)| r.is_gated()).map(|(i, _)| i).collect();
-        let think_time_s = match timed.config {
-            ouro_workload::ArrivalConfig::ClosedLoop { think_time_s, .. } => think_time_s,
-            _ => 0.0,
-        };
-        let mut think_rng = StdRng::seed_from_u64(timed.seed ^ 0x7417_1e5e_ed00_0002);
-
-        loop {
-            let next_arrival = arrivals.front().map(|&(t, _)| t);
-            let next_engine = self.next_event_engine(horizon_s);
-
-            // Faults share the timeline with arrivals (the arbitration
-            // protocol lives in [`FaultInjector::poll`]); the injector's
-            // wafer index space is global, so a fault can strike either
-            // side of a disaggregation split.
-            if let Some(inj) = injector.as_deref_mut() {
-                match inj.poll(next_arrival, next_engine.map(|(_, t)| t), horizon_s) {
-                    FaultPoll::Fire(wafer) => {
-                        let t0 = self.profile.is_some().then(Instant::now);
-                        inj.inject(&mut self.engines[wafer]);
-                        self.refresh_engine(wafer);
-                        if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
-                            p.faults.add(t0.elapsed());
-                        }
-                        self.faults_fired += 1;
-                        self.telemetry_tick();
-                        continue;
-                    }
-                    FaultPoll::Drained => break,
-                    FaultPoll::Wait => {}
-                }
-            }
-
-            match (next_arrival, next_engine) {
-                (None, None) => break,
-                (Some(t_arr), engine) => {
-                    if t_arr >= horizon_s {
-                        // Arrivals beyond the horizon are never injected.
-                        let Some((i, _)) = engine else { break };
-                        self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
-                        continue;
-                    }
-                    match engine {
-                        // Route the arrival once every busy engine has
-                        // simulated past it, so routing sees current state.
-                        Some((i, event_s)) if event_s < t_arr => {
-                            self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
-                        }
-                        _ => {
-                            let t0 = self.profile.is_some().then(Instant::now);
-                            let (t, idx) = arrivals.pop_front().expect("peeked above");
-                            let request = timed.arrivals[idx].request;
-                            let entry = self.entry_len();
-                            let wafer = self.router.route(&self.engines[..entry], &request);
-                            assert!(wafer < entry, "router returned wafer {wafer} of an {entry}-wafer pool");
-                            self.tracer.emit_for(
-                                wafer,
-                                t,
-                                Some(idx),
-                                EventKind::Arrival {
-                                    prompt_tokens: request.prompt_len,
-                                    decode_tokens: request.decode_len,
-                                },
-                            );
-                            if self.disagg {
-                                self.engines[wafer].submit_prefill_only(request, t, idx, wafer);
-                            } else {
-                                self.engines[wafer].submit(request, t, idx, wafer);
-                            }
-                            self.refresh_engine(wafer);
-                            if let (Some(p), Some(t0)) = (self.profile.as_mut(), t0) {
-                                p.arrivals.add(t0.elapsed());
-                            }
-                            self.telemetry_tick();
-                        }
-                    }
-                }
-                (None, Some((i, _))) => {
-                    self.step_engine(i, &mut arrivals, &mut gated, think_time_s, &mut think_rng);
-                }
-            }
-        }
-    }
-
     /// Advances one engine by one iteration. Entry-pool completions of a
-    /// disaggregated run become KV migrations; all other completions
-    /// retire the request and feed closed-loop releases.
-    fn step_engine(
-        &mut self,
-        i: usize,
-        arrivals: &mut VecDeque<(f64, usize)>,
-        gated: &mut VecDeque<usize>,
-        think_time_s: f64,
-        think_rng: &mut StdRng,
-    ) {
+    /// disaggregated run become KV migrations ([`crate::stage::migrate`]);
+    /// all other completions retire the request and feed closed-loop
+    /// releases back into the arrival queues.
+    pub(crate) fn step_engine(&mut self, i: usize, queues: &mut StageQueues) {
         let t0 = self.profile.is_some().then(Instant::now);
         let completions = self.engines[i].step();
         self.refresh_engine(i);
@@ -664,12 +771,12 @@ impl Driver {
         let t1 = (self.profile.is_some() && !completions.is_empty()).then(Instant::now);
         if self.disagg && i < self.prefill_wafers {
             for (rec, t_done) in completions {
-                self.migrate(i, rec, t_done);
+                stage::migrate::migrate(self, i, rec, t_done);
             }
         } else {
             for (_, t_done) in completions {
                 self.completed += 1;
-                release_gated(arrivals, gated, t_done, think_time_s, think_rng);
+                stage::arrival::release_gated(queues, t_done);
             }
         }
         if let (Some(p), Some(t1)) = (self.profile.as_mut(), t1) {
@@ -682,7 +789,7 @@ impl Driver {
     /// the frontier of the engine clocks, and a large jump emits all the
     /// intermediate samples rather than skipping them. A no-op without a
     /// recorder.
-    fn telemetry_tick(&mut self) {
+    pub(crate) fn telemetry_tick(&mut self) {
         let Some(rec) = self.telemetry.as_mut() else { return };
         let now = self.engines.iter().map(Engine::clock_s).fold(0.0, f64::max);
         while rec.due(now) {
@@ -729,57 +836,6 @@ impl Driver {
             gauges.link_bytes_in_flight = engine.pending_imported_tokens() as u64 * self.kv_bytes_per_token;
             rec.record(TelemetrySample { t_s: end_s, wafer, gauges, counters });
         }
-    }
-
-    /// Ships one finished prefill's KV to a decode wafer: places the
-    /// sequence (prefix-aware policies steer toward resident prefixes),
-    /// deduplicates the bytes already cached on the target, charges the
-    /// remaining transfer from the link model, and submits it for
-    /// imported-KV decode gated on the migration's landing time.
-    fn migrate(&mut self, from: usize, rec: usize, t_done: f64) {
-        let record = self.engines[from].records()[rec];
-        let mut request = Request::new(record.id, record.prompt_len, record.decode_len);
-        if let Some(p) = record.shared_prefix {
-            request = request.with_shared_prefix(p.group, p.tokens);
-        }
-        let decode = &self.engines[self.prefill_wafers..];
-        let to = self.placement.place(decode, from, self.prefill_wafers, &request);
-        assert!(to < decode.len(), "placement returned wafer {to} of a {}-wafer pool", decode.len());
-        // Bytes already resident on the target's prefix cache never touch
-        // the wire; `Engine::submit_imported` performs the identical lookup
-        // at this same instant, so the wire accounting matches.
-        let deduped = decode[to].prefix_cached_tokens(&request).min(record.prompt_len);
-        let wire_tokens = record.prompt_len - deduped;
-        let bytes = wire_tokens as u64 * self.kv_bytes_per_token;
-        let hops = (self.prefill_wafers - from) + to;
-        let arrive_s = t_done + self.link.transfer_time_s(bytes, hops);
-        let global_to = self.prefill_wafers + to;
-        self.tracer.emit_for(
-            from,
-            t_done,
-            Some(record.id),
-            EventKind::MigrateStart { to_wafer: global_to, bytes },
-        );
-        self.tracer.emit_for(
-            global_to,
-            arrive_s,
-            Some(record.id),
-            EventKind::MigrateArrive { from_wafer: from, bytes },
-        );
-        self.engines[global_to].submit_imported(request, record.arrival_s, arrive_s, record.id, global_to);
-        self.refresh_engine(global_to);
-        self.migrations.push(Migration {
-            id: record.id,
-            from_wafer: from,
-            to_wafer: global_to,
-            tokens: wire_tokens as u64,
-            deduped_tokens: deduped as u64,
-            bytes,
-            start_s: t_done,
-            arrive_s,
-            wafer_hops: hops,
-            energy_j: self.link.transfer_energy_j(bytes, hops),
-        });
     }
 
     /// Assembles the unified report. Disaggregated per-request records are
@@ -902,35 +958,13 @@ impl Driver {
     }
 }
 
-/// Feeds one closed-loop release back into a sorted arrival queue after a
-/// completion at `t_done`: the next gated request (if any) is released
-/// after an exponential think time drawn from `think_rng`.
-fn release_gated(
-    arrivals: &mut VecDeque<(f64, usize)>,
-    gated: &mut VecDeque<usize>,
-    t_done: f64,
-    think_time_s: f64,
-    think_rng: &mut StdRng,
-) {
-    let Some(next) = gated.pop_front() else { return };
-    let think: f64 = if think_time_s > 0.0 {
-        ouro_workload::arrival::exponential(think_rng, 1.0 / think_time_s)
-    } else {
-        0.0
-    };
-    let release = t_done + think;
-    // Released arrivals are appended in completion order; engine clocks
-    // only move forward, so later releases sort later.
-    let pos = arrivals.partition_point(|&(t, _)| t <= release);
-    arrivals.insert(pos, (release, next));
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{placements, routers};
     use ouro_model::zoo;
     use ouro_sim::OuroborosConfig;
+    use ouro_workload::Request;
     use ouro_workload::{ArrivalConfig, LengthConfig, SessionConfig, TraceGenerator};
 
     fn tiny_system() -> OuroborosSystem {

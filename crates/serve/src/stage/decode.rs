@@ -1,0 +1,79 @@
+//! The decode stage: work selection over the active set and autoregressive
+//! token growth. Owns the `decode_step` and `first_token` trace kinds.
+
+use super::Stage;
+use crate::engine::Engine;
+use ouro_kvcache::KvError;
+use ouro_trace::EventKind;
+
+/// Work selection for one iteration: a chunk of prefill tokens per
+/// prefilling sequence, one decode token per decoding sequence — all
+/// interleaved in the same token-grained pipeline pass. Returns the step's
+/// token count and wall-clock duration.
+///
+/// A step that moves `T` tokens with mean context `c̄` takes
+/// `max(L(c̄), T · b(c̄))` seconds: with few tokens in flight the pipeline
+/// drains before it refills, with many it streams one token per bottleneck
+/// interval. The context accumulation is order-sensitive floating point
+/// over the active set, so it stays one loop — splitting it per-stage
+/// would reorder the sum and perturb every golden.
+pub(crate) fn plan_step(e: &Engine) -> (usize, f64) {
+    let mut step_tokens = 0usize;
+    let mut ctx_sum = 0.0f64;
+    for a in &e.active {
+        let r = &e.records[a.rec];
+        let resident = r.prompt_len + a.decoded;
+        ctx_sum += resident as f64;
+        if a.prefill_remaining > 0 {
+            step_tokens += a.prefill_remaining.min(e.config.prefill_chunk);
+        } else if !a.prefill_only && a.decoded < r.decode_len {
+            step_tokens += 1;
+        }
+    }
+    let mean_ctx = (ctx_sum / e.active.len() as f64).max(1.0) as usize;
+    let pipeline_s = e.times.token_pipeline_latency_s(mean_ctx);
+    let bottleneck_s = e.times.bottleneck_stage_s(mean_ctx);
+    let step_s = if step_tokens == 0 {
+        // Every resident sequence finished prefill with zero decode
+        // tokens requested; charge one drain pass so completion time is
+        // well defined.
+        pipeline_s
+    } else {
+        pipeline_s.max(step_tokens as f64 * bottleneck_s)
+    };
+    (step_tokens, step_s)
+}
+
+/// Emits the step's `decode_step` event (one per iteration, covering the
+/// whole interleaved batch).
+pub(crate) fn emit_step(e: &mut Engine, end_s: f64, step_tokens: usize) {
+    let batch = e.active.len();
+    Stage::Decode.emit(&mut e.tracer, end_s, None, EventKind::DecodeStep { batch, tokens: step_tokens });
+}
+
+/// Advances active sequence `i` by one decode token (no-op for prefill-only
+/// or finished sequences). A KV-growth failure marks the sequence for
+/// eviction instead.
+pub(crate) fn advance_one(e: &mut Engine, i: usize, end_s: f64, evicted_now: &mut Vec<usize>) {
+    let a = e.active[i];
+    if a.prefill_only {
+        return; // completes in the Complete stage; decode happens on another wafer
+    }
+    let r = &e.records[a.rec];
+    if a.decoded >= r.decode_len {
+        return; // zero-decode request: completes in the Complete stage
+    }
+    match e.manager.append_tokens(a.rec as u64, 1) {
+        Ok(()) => {
+            e.active[i].decoded += 1;
+            let rec = &mut e.records[a.rec];
+            if rec.first_token_s.is_nan() {
+                rec.first_token_s = end_s;
+                let id = rec.id;
+                Stage::Decode.emit(&mut e.tracer, end_s, Some(id), EventKind::FirstToken);
+            }
+        }
+        Err(KvError::OutOfCapacity) => evicted_now.push(i),
+        Err(err) => panic!("unexpected kv error during decode: {err}"),
+    }
+}

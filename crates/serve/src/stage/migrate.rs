@@ -1,0 +1,75 @@
+//! The migrate stage: ships a finished prefill's KV across the inter-wafer
+//! fabric to a decode wafer. Owns the `migrate_start`, `migrate_arrive`,
+//! `kv_export` (emitted at the Complete-stage handoff) and `kv_import`
+//! (emitted at the receiving engine's admission) trace kinds.
+//!
+//! The stage's in-flight queue is the imported subset of the decode
+//! engines' pending arenas: announcing a migration submits a
+//! [`crate::stage::PendingReq`] gated on the landing time, so the transfer
+//! needs no extra state to be checkpointable.
+
+use super::Stage;
+use crate::engine::Admission;
+use crate::report::Migration;
+use crate::scenario::Driver;
+use ouro_trace::EventKind;
+use ouro_workload::Request;
+
+/// Ships one finished prefill's KV to a decode wafer: places the
+/// sequence (prefix-aware policies steer toward resident prefixes),
+/// deduplicates the bytes already cached on the target, charges the
+/// remaining transfer from the link model, and submits it for
+/// imported-KV decode gated on the migration's landing time.
+pub(crate) fn migrate(d: &mut Driver, from: usize, rec: usize, t_done: f64) {
+    let record = d.engines[from].records()[rec];
+    let mut request = Request::new(record.id, record.prompt_len, record.decode_len);
+    if let Some(p) = record.shared_prefix {
+        request = request.with_shared_prefix(p.group, p.tokens);
+    }
+    let decode = &d.engines[d.prefill_wafers..];
+    let to = d.placement.place(decode, from, d.prefill_wafers, &request);
+    assert!(to < decode.len(), "placement returned wafer {to} of a {}-wafer pool", decode.len());
+    // Bytes already resident on the target's prefix cache never touch
+    // the wire; the imported submission performs the identical lookup
+    // at this same instant, so the wire accounting matches.
+    let deduped = decode[to].prefix_cached_tokens(&request).min(record.prompt_len);
+    let wire_tokens = record.prompt_len - deduped;
+    let bytes = wire_tokens as u64 * d.kv_bytes_per_token;
+    let hops = (d.prefill_wafers - from) + to;
+    let arrive_s = t_done + d.link.transfer_time_s(bytes, hops);
+    let global_to = d.prefill_wafers + to;
+    Stage::Migrate.emit_for(
+        &mut d.tracer,
+        from,
+        t_done,
+        Some(record.id),
+        EventKind::MigrateStart { to_wafer: global_to, bytes },
+    );
+    Stage::Migrate.emit_for(
+        &mut d.tracer,
+        global_to,
+        arrive_s,
+        Some(record.id),
+        EventKind::MigrateArrive { from_wafer: from, bytes },
+    );
+    d.engines[global_to].submit_with(
+        request,
+        record.arrival_s,
+        Admission::Imported { ready_s: arrive_s },
+        record.id,
+        global_to,
+    );
+    d.refresh_engine(global_to);
+    d.migrations.push(Migration {
+        id: record.id,
+        from_wafer: from,
+        to_wafer: global_to,
+        tokens: wire_tokens as u64,
+        deduped_tokens: deduped as u64,
+        bytes,
+        start_s: t_done,
+        arrive_s,
+        wafer_hops: hops,
+        energy_j: d.link.transfer_energy_j(bytes, hops),
+    });
+}

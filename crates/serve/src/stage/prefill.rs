@@ -1,0 +1,23 @@
+//! The prefill stage: streams prompt (or recompute) chunks through the
+//! token-grained pipeline. Owns the `prefill_start` (emitted at admission,
+//! where the charge is computed) and `prefill_end` trace kinds.
+
+use super::Stage;
+use crate::engine::Engine;
+use ouro_trace::EventKind;
+
+/// Advances the prefill of active sequence `i` by one chunk if it is still
+/// prefilling; returns whether the prefill stage handled the sequence this
+/// iteration (the decode stage then skips it).
+pub(crate) fn advance_one(e: &mut Engine, i: usize, end_s: f64) -> bool {
+    let a = e.active[i];
+    if a.prefill_remaining == 0 {
+        return false;
+    }
+    let left = a.prefill_remaining.saturating_sub(e.config.prefill_chunk);
+    e.active[i].prefill_remaining = left;
+    if left == 0 {
+        Stage::Prefill.emit(&mut e.tracer, end_s, Some(e.records[a.rec].id), EventKind::PrefillEnd);
+    }
+    true
+}

@@ -3,7 +3,7 @@
 //! replacement-chain remap (§4.3.3).
 
 use ouroboros::model::zoo;
-use ouroboros::serve::{routers, EngineConfig, FaultComparison, FaultConfig, Scenario, SloConfig};
+use ouroboros::serve::{routers, Admission, EngineConfig, FaultComparison, FaultConfig, Scenario, SloConfig};
 use ouroboros::sim::{OuroborosConfig, OuroborosSystem};
 use ouroboros::workload::{ArrivalConfig, LengthConfig, TimedTrace, TraceGenerator};
 
@@ -61,7 +61,7 @@ fn kv_blocks_are_conserved_after_every_remap() {
     )
     .unwrap();
     for i in 0..24 {
-        engine.submit(ouroboros::workload::Request::new(i, 96, 64), 0.0, i, 0);
+        engine.submit_with(ouroboros::workload::Request::new(i, 96, 64), 0.0, Admission::Local, i, 0);
     }
     let mut faults_applied = 0;
     let mut step = 0u64;

@@ -156,6 +156,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256\*\* state words, for checkpointing a stream
+        /// mid-flight. Restoring via [`StdRng::from_state`] continues the
+        /// stream exactly where [`StdRng::state`] captured it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -216,6 +230,18 @@ mod tests {
             let f = rng.gen_range(-2.0f64..3.0);
             assert!((-2.0..3.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(123);
+        for _ in 0..5 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(va, vb);
     }
 
     #[test]
