@@ -1,0 +1,55 @@
+//! Standalone entry point for the workspace audit — `experiments audit`
+//! drives the same library; this binary exists so the lint pass can run
+//! before (or without) building the simulator crates.
+//!
+//! ```text
+//! cargo run -p ouro-audit --bin ouro-audit -- [--root DIR] [--out PATH] [--fix-list]
+//! ```
+//!
+//! Exit status: 0 when every finding is suppressed, 1 on unsuppressed
+//! violations, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: ouro-audit [--root DIR] [--out PATH] [--fix-list]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut out: Option<String> = None;
+    let mut fix_list = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage("--root needs a path"))))
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
+            "--fix-list" => fix_list = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root
+        .or_else(|| ouro_audit::find_root(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))))
+        .unwrap_or_else(|| usage("no workspace root found (run inside the repo or pass --root)"));
+    let report = match ouro_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => usage(&format!("cannot scan {}: {e}", root.display())),
+    };
+    if fix_list {
+        print!("{}", report.fix_list());
+    } else {
+        print!("{}", report.table());
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote {} finding row(s) to {path}", report.findings.len());
+    }
+    std::process::exit(if report.violations() == 0 { 0 } else { 1 });
+}

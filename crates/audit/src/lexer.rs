@@ -1,0 +1,412 @@
+//! A token-accurate lexer for the subset of Rust the audit rules need.
+//!
+//! The rules match identifier/punctuation shapes (`Instant :: now`,
+//! `. partial_cmp (`), so the one thing this lexer must get exactly right
+//! is *what is code and what is not*: line comments, nested block
+//! comments, cooked strings with escapes, raw strings with arbitrary hash
+//! fences (`r##"…"##`, `br#"…"#`, `c"…"`), char literals, and the
+//! char-vs-lifetime ambiguity (`'a'` vs `'a`). Everything else — numbers,
+//! identifiers (including `r#raw` identifiers), single-byte punctuation —
+//! is tokenized loosely; a lint never needs to evaluate a literal, only to
+//! know its span.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`): lexing never
+//! panics on any input, token spans are in-bounds and strictly ascending,
+//! adjacent tokens never overlap, and every non-whitespace byte of the
+//! input is covered by exactly one token.
+
+/// What a token is — exactly as much classification as the rules consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including `r#raw` identifiers).
+    Ident,
+    /// A numeric literal (loosely consumed; suffixes included).
+    Num,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// One byte of punctuation (`::` is two `Punct(b':')` tokens).
+    Punct(u8),
+    /// `// …` to end of line.
+    LineComment,
+    /// `/* … */`, nesting handled; unterminated runs to end of input.
+    BlockComment,
+    /// A cooked string or byte/C string (`"…"`, `b"…"`, `c"…"`).
+    Str,
+    /// A raw string of any fence width (`r"…"`, `br##"…"##`).
+    RawStr,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+}
+
+/// One token: kind plus byte span plus the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Total: every input, however malformed, produces a
+/// token stream (unterminated literals and comments extend to the end of
+/// the input rather than failing).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' => self.slash(),
+                b'"' => self.cooked_string(self.pos),
+                b'\'' => self.quote(),
+                b'r' | b'b' | b'c' => self.maybe_prefixed_literal(),
+                _ if is_ident_start(b) => self.ident(self.pos),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokKind::Punct(b), self.pos, self.pos + 1);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.toks.push(Tok { kind, start, end, line: self.line });
+    }
+
+    /// Emits a token and advances `line` past the newlines it contains.
+    fn push_multiline(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.toks.push(Tok { kind, start, end, line: self.line });
+        self.line += self.src[start..end].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    fn at(&self, pos: usize) -> Option<u8> {
+        self.src.get(pos).copied()
+    }
+
+    fn slash(&mut self) {
+        let start = self.pos;
+        match self.at(start + 1) {
+            Some(b'/') => {
+                let end =
+                    self.src[start..].iter().position(|&b| b == b'\n').map_or(self.src.len(), |i| start + i);
+                self.push(TokKind::LineComment, start, end);
+                self.pos = end;
+            }
+            Some(b'*') => {
+                let mut depth = 1usize;
+                let mut i = start + 2;
+                while i < self.src.len() && depth > 0 {
+                    match (self.src[i], self.at(i + 1)) {
+                        (b'/', Some(b'*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (b'*', Some(b'/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                self.push_multiline(TokKind::BlockComment, start, i);
+                self.pos = i;
+            }
+            _ => {
+                self.push(TokKind::Punct(b'/'), start, start + 1);
+                self.pos = start + 1;
+            }
+        }
+    }
+
+    /// A cooked string starting at the opening `"` (which may be preceded
+    /// by a `b`/`c` prefix — `start` is the prefix position then).
+    fn cooked_string(&mut self, start: usize) {
+        let mut i = self.pos + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = i.min(self.src.len());
+        self.push_multiline(TokKind::Str, start, end);
+        self.pos = end;
+    }
+
+    /// A raw string starting at its `r` (possibly after a `b` prefix at
+    /// `start`): `r`, zero or more `#`, `"`, body, `"`, same `#` count.
+    fn raw_string(&mut self, start: usize, r_pos: usize) {
+        let mut hashes = 0usize;
+        let mut i = r_pos + 1;
+        while self.at(i) == Some(b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(self.at(i), Some(b'"'));
+        i += 1;
+        let end = loop {
+            match self.at(i) {
+                None => break self.src.len(),
+                Some(b'"')
+                    if self.src[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes =>
+                {
+                    break i + 1 + hashes;
+                }
+                _ => i += 1,
+            }
+        };
+        self.push_multiline(TokKind::RawStr, start, end);
+        self.pos = end;
+    }
+
+    /// `'` starts either a lifetime or a char literal. A lifetime is `'`
+    /// followed by an identifier run *not* closed by another `'`.
+    fn quote(&mut self) {
+        let start = self.pos;
+        if self.at(start + 1).is_some_and(is_ident_start) && self.at(start + 1) != Some(b'\\') {
+            let mut i = start + 2;
+            while self.at(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.at(i) != Some(b'\'') {
+                self.push(TokKind::Lifetime, start, i);
+                self.pos = i;
+                return;
+            }
+        }
+        // A char literal; it cannot span a line, so an unterminated one
+        // ends at the newline rather than swallowing the file.
+        let mut i = start + 1;
+        while i < self.src.len() {
+            match self.src[i] {
+                b'\\' => i += 2,
+                b'\'' => {
+                    i += 1;
+                    break;
+                }
+                b'\n' => break,
+                _ => i += 1,
+            }
+        }
+        let end = i.min(self.src.len());
+        self.push(TokKind::Char, start, end);
+        self.pos = end;
+    }
+
+    /// `r`/`b`/`c` may prefix a literal (`r"…"`, `r#"…"#`, `b"…"`, `b'x'`,
+    /// `br#"…"#`, `c"…"`) or just start an identifier (`rate`). `r#ident`
+    /// is a raw identifier.
+    fn maybe_prefixed_literal(&mut self) {
+        let start = self.pos;
+        let b = self.src[start];
+        let next = self.at(start + 1);
+        match (b, next) {
+            (b'r', Some(b'"')) => {
+                self.raw_string(start, start);
+            }
+            (b'r', Some(b'#')) => {
+                // r#… — raw string (hashes then `"`) or raw identifier.
+                let mut i = start + 1;
+                while self.at(i) == Some(b'#') {
+                    i += 1;
+                }
+                if self.at(i) == Some(b'"') {
+                    self.raw_string(start, start);
+                } else {
+                    self.ident(start);
+                }
+            }
+            (b'b' | b'c', Some(b'"')) => {
+                self.pos = start + 1;
+                self.cooked_string(start);
+            }
+            (b'b', Some(b'\'')) => {
+                self.pos = start + 1;
+                self.quote();
+                // Re-stamp the token to include the `b` prefix.
+                if let Some(t) = self.toks.last_mut() {
+                    t.start = start;
+                }
+            }
+            (b'b', Some(b'r')) if matches!(self.at(start + 2), Some(b'"' | b'#')) => {
+                // br"…" / br#"…"# — but `br#ident` would be `br` + raw
+                // ident; only treat as raw string when hashes end in `"`.
+                let mut i = start + 2;
+                while self.at(i) == Some(b'#') {
+                    i += 1;
+                }
+                if self.at(i) == Some(b'"') {
+                    self.raw_string(start, start + 1);
+                } else {
+                    self.ident(start);
+                }
+            }
+            _ => self.ident(start),
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        let mut i = start;
+        if self.at(i) == Some(b'r') && self.at(i + 1) == Some(b'#') {
+            i += 2; // raw identifier prefix
+        }
+        while self.at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        let end = i.max(start + 1).min(self.src.len());
+        self.push(TokKind::Ident, start, end);
+        self.pos = end;
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let mut i = start;
+        while let Some(b) = self.at(i) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                i += 1;
+            } else if b == b'.' && self.at(i + 1).is_some_and(|d| d.is_ascii_digit()) && i > start {
+                // `1.5` consumes the dot; `0..5` leaves `..` as punctuation.
+                i += 1;
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.src[i - 1], b'e' | b'E')
+                && self.at(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1; // exponent sign: 1e-5
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, i);
+        self.pos = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_are_not_code() {
+        let src = r##"let x = "HashMap"; // HashMap
+/* HashMap /* nested */ still comment */ 'H' r#"HashMap"# 'a"##;
+        let idents: Vec<String> =
+            lex(src).iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text(src).to_string()).collect();
+        assert_eq!(idents, vec!["let", "x"], "HashMap only appears in non-code tokens");
+        let has = |k: TokKind| lex(src).iter().any(|t| t.kind == k);
+        assert!(has(TokKind::LineComment));
+        assert!(has(TokKind::BlockComment));
+        assert!(has(TokKind::Str));
+        assert!(has(TokKind::RawStr));
+        assert!(has(TokKind::Char));
+        assert!(has(TokKind::Lifetime));
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation() {
+        let one = |src: &str| {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexes to {toks:?}");
+            toks[0].kind
+        };
+        assert_eq!(one("'a'"), TokKind::Char);
+        assert_eq!(one("'\\''"), TokKind::Char);
+        assert_eq!(one("'\\u{1F600}'"), TokKind::Char);
+        assert_eq!(one("'static"), TokKind::Lifetime);
+        assert_eq!(one("b'x'"), TokKind::Char);
+        let src = "&'a str";
+        assert!(lex(src).iter().any(|t| t.kind == TokKind::Lifetime && t.text(src) == "'a"));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_fences() {
+        let src = r####"r###"inner "# quote "## still"### after"####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert!(toks[0].1.ends_with("\"###"));
+        assert_eq!(toks[1], (TokKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "r#match rate";
+        assert_eq!(
+            kinds(src),
+            vec![(TokKind::Ident, "r#match".to_string()), (TokKind::Ident, "rate".to_string())]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* x\n y */\nb \"s\nt\" c";
+        let at = |name: &str| lex(src).iter().find(|t| t.text(src) == name).unwrap().line;
+        assert_eq!(at("a"), 1);
+        assert_eq!(at("b"), 4);
+        assert_eq!(at("c"), 5, "the newline inside the string advances the count");
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_end_without_panicking() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"", "'\\"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert!(toks.iter().all(|t| t.end <= src.len()));
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_float_literals() {
+        let src = "0..5 1.5 1e-5 0x1f";
+        let nums: Vec<String> =
+            lex(src).iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text(src).to_string()).collect();
+        assert_eq!(nums, vec!["0", "5", "1.5", "1e-5", "0x1f"]);
+    }
+}

@@ -1,0 +1,364 @@
+//! `ouro-audit` — the workspace determinism & invariant lint pass.
+//!
+//! The reproduction's value rests on contracts the compiler cannot see:
+//! bit-identical seed-pinned runs, checkpoint/resume byte-identity,
+//! thread-count-invariant sweeps, and pinned JSON schemas. This crate
+//! makes those contracts machine-checked: it lexes every Rust source in
+//! the workspace token-accurately (comments, strings, raw strings, and
+//! char literals can never trigger a rule) and runs the rule catalog in
+//! [`rules::RULES`] over the token streams, producing file/line findings,
+//! a human table, and a pinned flat-JSON report
+//! ([`AUDIT_SCHEMA_VERSION`] 1, [`AUDIT_V1_KEYS`]).
+//!
+//! # Suppressions
+//!
+//! A finding is suppressed per site with a plain line comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // audit: allow(wall-clock, "profile-gated; never reaches simulated results")
+//! let t0 = self.profile.is_some().then(Instant::now);
+//! ```
+//!
+//! The rule id must be one of the catalog's and the reason must be
+//! non-empty — anything else is itself reported under `allow-syntax`.
+//! Doc comments (`///`, `//!`) never parse as directives, so rule
+//! documentation can show the syntax without arming it. Suppressed
+//! findings stay in the report (marked, with their reason); only
+//! unsuppressed ones fail the run.
+//!
+//! # Entry points
+//!
+//! [`audit_workspace`] walks a workspace root (skipping `vendor/`,
+//! `target/`, and VCS metadata) and is what `experiments audit` and the
+//! `ouro-audit` binary call; [`audit_sources`] runs the same engine over
+//! in-memory `(path, text)` pairs and is what the per-rule fixture tests
+//! drive.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{Allow, RawFinding, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the flat JSON finding-row schema. Bumped on any key change.
+pub const AUDIT_SCHEMA_VERSION: u32 = 1;
+
+/// Pinned key list of one finding row (null-padded: `reason` is `null`
+/// unless the finding is suppressed).
+pub const AUDIT_V1_KEYS: &[&str] =
+    &["schema_version", "rule", "path", "line", "message", "suppressed", "reason"];
+
+/// One rule hit, after suppression matching.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id from [`rules::RULES`].
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// What is wrong and what to use instead.
+    pub message: String,
+    /// `Some(reason)` when an `audit: allow` directive covers the site.
+    pub suppressed: Option<String>,
+}
+
+/// An `audit: allow` directive that matched no finding — surfaced so
+/// stale suppressions get cleaned up rather than silently armed.
+#[derive(Debug, Clone)]
+pub struct UnusedAllow {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The rule the directive names.
+    pub rule: String,
+}
+
+/// The audit's complete result over one file set.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Every finding (suppressed and not), sorted by path, line, rule.
+    pub findings: Vec<Finding>,
+    /// Directives that suppressed nothing.
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Findings not covered by a suppression — the CI-gating count.
+    pub fn violations(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed.is_none()).count()
+    }
+
+    /// Suppressed findings.
+    pub fn suppressed(&self) -> usize {
+        self.findings.len() - self.violations()
+    }
+
+    /// The human report: one row per finding, then the per-rule tally.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<52} {}\n{:-<18} {:-<52} {:-<40}\n",
+            "rule", "site", "finding", "", "", ""
+        ));
+        for f in &self.findings {
+            let site = format!("{}:{}", f.path, f.line);
+            let mark = if f.suppressed.is_some() { " [allowed]" } else { "" };
+            out.push_str(&format!("{:<18} {:<52} {}{}\n", f.rule, site, f.message, mark));
+            if let Some(reason) = &f.suppressed {
+                out.push_str(&format!("{:<18} {:<52}   reason: {}\n", "", "", reason));
+            }
+        }
+        for &(rule, _) in rules::RULES {
+            let hits = self.findings.iter().filter(|f| f.rule == rule).count();
+            let open = self.findings.iter().filter(|f| f.rule == rule && f.suppressed.is_none()).count();
+            out.push_str(&format!("{rule:<18} {hits:>3} finding(s), {open} unsuppressed\n"));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned: {} violation(s), {} allowed\n",
+            self.files_scanned,
+            self.violations(),
+            self.suppressed()
+        ));
+        for u in &self.unused_allows {
+            out.push_str(&format!("note: unused allow({}) at {}:{}\n", u.rule, u.path, u.line));
+        }
+        out
+    }
+
+    /// `path:line rule` per unsuppressed finding — pipeable to an editor.
+    pub fn fix_list(&self) -> String {
+        self.findings
+            .iter()
+            .filter(|f| f.suppressed.is_none())
+            .map(|f| format!("{}:{} {}\n", f.path, f.line, f.rule))
+            .collect()
+    }
+
+    /// One flat JSON row per finding, keys pinned to [`AUDIT_V1_KEYS`].
+    pub fn json_rows(&self) -> Vec<String> {
+        self.findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"schema_version\": {}, \"rule\": {}, \"path\": {}, \"line\": {}, \
+                     \"message\": {}, \"suppressed\": {}, \"reason\": {}}}",
+                    AUDIT_SCHEMA_VERSION,
+                    json_str(f.rule),
+                    json_str(&f.path),
+                    f.line,
+                    json_str(&f.message),
+                    f.suppressed.is_some(),
+                    f.suppressed.as_deref().map_or_else(|| "null".to_string(), json_str),
+                )
+            })
+            .collect()
+    }
+
+    /// The rows as one JSON array document.
+    pub fn json(&self) -> String {
+        let rows: Vec<String> = self.json_rows().iter().map(|r| format!("  {r}")).collect();
+        if rows.is_empty() {
+            "[]\n".to_string()
+        } else {
+            format!("[\n{}\n]\n", rows.join(",\n"))
+        }
+    }
+}
+
+/// JSON string escaping, matching the house emitter exactly.
+fn json_str(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len() + 2);
+    escaped.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped.push('"');
+    escaped
+}
+
+/// Runs the whole rule catalog over in-memory `(relative path, source)`
+/// pairs — the pure core behind [`audit_workspace`] and the fixture tests.
+pub fn audit_sources(sources: &[(String, String)]) -> AuditReport {
+    let files: Vec<SourceFile<'_>> = sources.iter().map(|(rel, text)| SourceFile::new(rel, text)).collect();
+
+    // Per-file raw findings and directives.
+    let mut raw: Vec<Vec<RawFinding>> = Vec::with_capacity(files.len());
+    let mut allows: Vec<Vec<Allow>> = Vec::with_capacity(files.len());
+    for f in &files {
+        let mut file_raw = Vec::new();
+        rules::check_file(f, &mut file_raw);
+        let file_allows = rules::parse_allows(f, &mut file_raw);
+        raw.push(file_raw);
+        allows.push(file_allows);
+    }
+    // The cross-file registry rule.
+    for (fi, finding) in rules::schema_pin(&files) {
+        raw[fi].push(finding);
+    }
+
+    // Suppression matching: a trailing directive covers its own line, a
+    // standalone directive covers the line directly below.
+    let mut report = AuditReport { files_scanned: files.len(), ..AuditReport::default() };
+    for (fi, file) in files.iter().enumerate() {
+        for r in &raw[fi] {
+            let covering = allows[fi].iter_mut().find(|a| a.rule == r.rule && a.target == r.line);
+            let suppressed = covering.map(|a| {
+                a.used = true;
+                a.reason.clone()
+            });
+            report.findings.push(Finding {
+                rule: r.rule,
+                path: file.rel.to_string(),
+                line: r.line,
+                message: r.message.clone(),
+                suppressed,
+            });
+        }
+        for a in &allows[fi] {
+            if !a.used {
+                report.unused_allows.push(UnusedAllow {
+                    path: file.rel.to_string(),
+                    line: a.line,
+                    rule: a.rule.clone(),
+                });
+            }
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Collects every `.rs` file under `root`, skipping `vendor/`, `target/`,
+/// and VCS/CI metadata. Paths are returned workspace-relative with `/`
+/// separators, sorted, so the report order is machine-independent.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk and file reads.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, fs::read_to_string(&path)?));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Audits the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`collect_workspace_files`].
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    Ok(audit_sources(&collect_workspace_files(root)?))
+}
+
+/// Finds the workspace root at or above `start`: the nearest ancestor
+/// holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> (String, String) {
+        (path.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn suppression_covers_same_line_and_line_above_only() {
+        let text = "// audit: allow(default-hash-map, \"above\")\n\
+                    let a: HashMap<u32, u32> = HashMap::new();\n\
+                    let b: HashMap<u32, u32> = HashMap::new(); // audit: allow(default-hash-map, \"trailing\")\n\
+                    let c: HashMap<u32, u32> = HashMap::new();\n";
+        let r = audit_sources(&[src("crates/serve/src/x.rs", text)]);
+        // Lines 2 and 3 hold two HashMap tokens each; one allow covers both
+        // on its line. Line 4 is uncovered.
+        assert_eq!(r.findings.len(), 6, "{:?}", r.findings);
+        assert_eq!(r.violations(), 2);
+        assert!(r.findings.iter().filter(|f| f.line == 2).all(|f| f.suppressed.as_deref() == Some("above")));
+        assert!(r
+            .findings
+            .iter()
+            .filter(|f| f.line == 3)
+            .all(|f| f.suppressed.as_deref() == Some("trailing")));
+        assert!(r.findings.iter().filter(|f| f.line == 4).all(|f| f.suppressed.is_none()));
+        assert!(r.unused_allows.is_empty());
+    }
+
+    #[test]
+    fn unused_allows_are_surfaced_not_silently_armed() {
+        let text = "// audit: allow(wall-clock, \"nothing here\")\nlet x = 1;\n";
+        let r = audit_sources(&[src("crates/serve/src/x.rs", text)]);
+        assert_eq!(r.violations(), 0);
+        assert_eq!(r.unused_allows.len(), 1);
+        assert_eq!(r.unused_allows[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn json_rows_follow_the_pinned_key_set() {
+        let r = audit_sources(&[src("crates/serve/src/x.rs", "let a: HashSet<u32> = HashSet::new();\n")]);
+        for row in r.json_rows() {
+            let mut at = 0usize;
+            for key in AUDIT_V1_KEYS {
+                let needle = format!("\"{key}\": ");
+                let pos = row[at..].find(&needle).unwrap_or_else(|| panic!("{key} missing in {row}"));
+                at += pos;
+            }
+            assert!(row.starts_with(&format!("{{\"schema_version\": {AUDIT_SCHEMA_VERSION}")));
+        }
+        assert_eq!(r.json(), format!("[\n  {},\n  {}\n]\n", r.json_rows()[0], r.json_rows()[1]));
+    }
+
+    #[test]
+    fn empty_report_renders_an_empty_array() {
+        let r = audit_sources(&[src("crates/serve/src/x.rs", "fn main() {}\n")]);
+        assert_eq!(r.violations(), 0);
+        assert_eq!(r.json(), "[]\n");
+    }
+}

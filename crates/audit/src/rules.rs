@@ -1,0 +1,402 @@
+//! The rule catalog: every contract in this workspace that the compiler
+//! cannot see, checked token-accurately.
+//!
+//! Each rule is a pure function over the lexed code-token stream of one
+//! file (or, for the cross-file `schema-pin` registry, of the whole
+//! workspace). Comments, strings, and char literals are already stripped
+//! by the lexer, so a rule matching `HashMap` can never fire on prose or
+//! on a fixture embedded in a string literal.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Rule identifiers with one-line rationales, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "default-hash-map",
+        "simulator crates must not use randomly-seeded std HashMap/HashSet: iteration order can \
+         reach reports; use kvcache::fasthash::FastMap or BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "Instant::now/SystemTime outside bench code breaks seed-pinned bit-identity unless the \
+         site is profile-gated and allow-tagged",
+    ),
+    (
+        "deprecated-submit",
+        "the deprecated submit/submit_prefill_only/submit_imported wrappers must not be called \
+         in-tree; use submit_with(Admission::…)",
+    ),
+    (
+        "stage-emit",
+        "trace emissions in crates/serve/src/stage/ must route through Stage::emit so the \
+         EVENT_OWNERS table cannot drift from the code",
+    ),
+    (
+        "float-sort",
+        "partial_cmp().unwrap()/expect() ordering in simulator crates panics on NaN and hides \
+         total-order intent; use f64::total_cmp or F64Key",
+    ),
+    (
+        "schema-pin",
+        "every *SCHEMA_VERSION const must be referenced by a test (a tests/ file or a \
+         #[cfg(test)] module) pinning its key set against silent drift",
+    ),
+    (
+        "allow-syntax",
+        "a comment that looks like an audit directive but does not parse as \
+         `audit: allow(<known-rule>, \"<non-empty reason>\")` is reported, never ignored",
+    ),
+];
+
+/// Crates whose simulated results must be bit-identical per seed — the
+/// scope of the `default-hash-map` and `float-sort` rules.
+pub const SIM_CRATES: &[&str] = &["serve", "kvcache", "disagg", "workload", "trace"];
+
+/// One raw rule hit, before suppression matching.
+#[derive(Debug, Clone)]
+pub(crate) struct RawFinding {
+    pub(crate) rule: &'static str,
+    pub(crate) line: u32,
+    pub(crate) message: String,
+}
+
+/// A parsed `// audit: allow(rule, "reason")` directive.
+#[derive(Debug, Clone)]
+pub(crate) struct Allow {
+    /// Line of the directive comment itself.
+    pub(crate) line: u32,
+    /// The line the directive covers: its own when it trails code, the
+    /// one below when it stands alone.
+    pub(crate) target: u32,
+    pub(crate) rule: String,
+    pub(crate) reason: String,
+    pub(crate) used: bool,
+}
+
+/// One lexed source file plus its code-token view (comments, strings,
+/// chars, and lifetimes filtered out — what the shape rules scan).
+pub(crate) struct SourceFile<'a> {
+    pub(crate) rel: &'a str,
+    pub(crate) text: &'a str,
+    pub(crate) toks: Vec<Tok>,
+    /// Indices into `toks` of code tokens (idents, numbers, punctuation).
+    pub(crate) code: Vec<usize>,
+}
+
+impl<'a> SourceFile<'a> {
+    pub(crate) fn new(rel: &'a str, text: &'a str) -> SourceFile<'a> {
+        let toks = lex(text);
+        let code = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.kind, TokKind::Ident | TokKind::Num | TokKind::Punct(_)))
+            .map(|(i, _)| i)
+            .collect();
+        SourceFile { rel, text, toks, code }
+    }
+
+    /// The `i`-th code token's text, when it is an identifier.
+    fn ident(&self, i: usize) -> Option<&str> {
+        let t = self.toks.get(*self.code.get(i)?)?;
+        (t.kind == TokKind::Ident).then(|| t.text(self.text))
+    }
+
+    /// Whether the `i`-th code token is the punctuation byte `b`.
+    fn punct(&self, i: usize, b: u8) -> bool {
+        self.code.get(i).and_then(|&j| self.toks.get(j)).is_some_and(|t| t.kind == TokKind::Punct(b))
+    }
+
+    /// 1-based line of the `i`-th code token.
+    fn line(&self, i: usize) -> u32 {
+        self.toks[self.code[i]].line
+    }
+
+    /// The crate this file belongs to (`crates/<name>/…`), if any.
+    pub(crate) fn crate_name(&self) -> Option<&str> {
+        self.rel.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// Bench code is exempt from the wall-clock rule: the bench crate and
+    /// any `benches/` directory measure wall time on purpose.
+    fn is_bench_context(&self) -> bool {
+        self.crate_name() == Some("bench") || self.rel.split('/').any(|c| c == "benches")
+    }
+
+    fn is_sim_crate(&self) -> bool {
+        self.crate_name().is_some_and(|c| SIM_CRATES.contains(&c))
+    }
+
+    fn is_stage_file(&self) -> bool {
+        self.rel.starts_with("crates/serve/src/stage/")
+    }
+
+    /// Whether this file is test code by path (`tests/` anywhere).
+    fn is_test_file(&self) -> bool {
+        self.rel.split('/').any(|c| c == "tests")
+    }
+
+    /// The code index of the first `mod tests` in this file, if any —
+    /// everything after it counts as test context for `schema-pin`.
+    fn mod_tests_start(&self) -> Option<usize> {
+        (0..self.code.len()).find(|&i| {
+            self.ident(i) == Some("mod") && self.ident(i + 1).is_some_and(|n| n.starts_with("test"))
+        })
+    }
+}
+
+/// Runs every per-file rule over `file`, appending raw findings.
+pub(crate) fn check_file(file: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    default_hash_map(file, out);
+    wall_clock(file, out);
+    deprecated_submit(file, out);
+    stage_emit(file, out);
+    float_sort(file, out);
+}
+
+fn default_hash_map(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    if !f.is_sim_crate() {
+        return;
+    }
+    for i in 0..f.code.len() {
+        if let Some(name @ ("HashMap" | "HashSet")) = f.ident(i) {
+            out.push(RawFinding {
+                rule: "default-hash-map",
+                line: f.line(i),
+                message: format!(
+                    "{name} in simulator crate `{}`: SipHash is randomly seeded per process, so \
+                     iteration order can reach output; use kvcache::fasthash::FastMap or BTreeMap/BTreeSet",
+                    f.crate_name().unwrap_or("?")
+                ),
+            });
+        }
+    }
+}
+
+fn wall_clock(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    if f.is_bench_context() {
+        return;
+    }
+    for i in 0..f.code.len() {
+        if f.ident(i) == Some("Instant")
+            && f.punct(i + 1, b':')
+            && f.punct(i + 2, b':')
+            && f.ident(i + 3) == Some("now")
+        {
+            out.push(RawFinding {
+                rule: "wall-clock",
+                line: f.line(i),
+                message: "Instant::now outside bench code: wall time must never reach simulated \
+                          results; gate behind the profiler and allow-tag, or move to bench code"
+                    .to_string(),
+            });
+        }
+        if f.ident(i) == Some("SystemTime") {
+            out.push(RawFinding {
+                rule: "wall-clock",
+                line: f.line(i),
+                message: "SystemTime outside bench code: simulated time is the only clock".to_string(),
+            });
+        }
+    }
+}
+
+const DEPRECATED_SUBMIT: &[&str] = &["submit", "submit_prefill_only", "submit_imported"];
+
+fn deprecated_submit(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    for i in 1..f.code.len() {
+        let Some(name) = f.ident(i) else { continue };
+        if !DEPRECATED_SUBMIT.contains(&name) || !f.punct(i + 1, b'(') {
+            continue;
+        }
+        // A call shape: `.name(` or `::name(` — `fn name(` definitions and
+        // bare words do not match.
+        let method = f.punct(i - 1, b'.');
+        let path = i >= 2 && f.punct(i - 1, b':') && f.punct(i - 2, b':');
+        if method || path {
+            out.push(RawFinding {
+                rule: "deprecated-submit",
+                line: f.line(i),
+                message: format!(
+                    "call to removed submit wrapper `{name}`; use submit_with(request, arrival_s, \
+                     Admission::…, id, wafer)"
+                ),
+            });
+        }
+    }
+}
+
+fn stage_emit(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    if !f.is_stage_file() {
+        return;
+    }
+    for i in 1..f.code.len() {
+        let Some(name @ ("emit" | "emit_for")) = f.ident(i) else { continue };
+        if !f.punct(i - 1, b'.') || !f.punct(i + 1, b'(') {
+            continue;
+        }
+        // Blessed shape: `Stage::<Variant>.emit(…)` — receiver is a Stage
+        // variant path, which debug-asserts the EVENT_OWNERS table.
+        let blessed = i >= 5
+            && f.ident(i - 2).is_some()
+            && f.punct(i - 3, b':')
+            && f.punct(i - 4, b':')
+            && f.ident(i - 5) == Some("Stage");
+        if !blessed {
+            out.push(RawFinding {
+                rule: "stage-emit",
+                line: f.line(i),
+                message: format!(
+                    "raw `.{name}(` in a stage file bypasses the EVENT_OWNERS ownership table; \
+                     emit through Stage::<Variant>.{name}(…)"
+                ),
+            });
+        }
+    }
+}
+
+fn float_sort(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) {
+    if !f.is_sim_crate() {
+        return;
+    }
+    for i in 1..f.code.len() {
+        if f.ident(i) != Some("partial_cmp") || !f.punct(i - 1, b'.') || !f.punct(i + 1, b'(') {
+            continue;
+        }
+        // Walk to the matching `)` of the call, then look for a chained
+        // `.unwrap(` / `.expect(` — the NaN-panicking comparator shape.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < f.code.len() {
+            if f.punct(j, b'(') {
+                depth += 1;
+            } else if f.punct(j, b')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if f.punct(j + 1, b'.') {
+            if let Some(next @ ("unwrap" | "expect")) = f.ident(j + 2) {
+                out.push(RawFinding {
+                    rule: "float-sort",
+                    line: f.line(i),
+                    message: format!(
+                        "partial_cmp(..).{next}() comparator in simulator crate `{}`: panics on NaN \
+                         and hides ordering intent; use f64::total_cmp or arena::F64Key",
+                        f.crate_name().unwrap_or("?")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The cross-file `schema-pin` registry: collect every `const *SCHEMA_VERSION`
+/// definition and require at least one reference from test context (a file
+/// under `tests/`, or code after `mod tests` in any file).
+pub(crate) fn schema_pin(files: &[SourceFile<'_>]) -> Vec<(usize, RawFinding)> {
+    struct Def {
+        file: usize,
+        line: u32,
+        name: String,
+    }
+    let mut defs: Vec<Def> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for i in 0..f.code.len() {
+            if f.ident(i) == Some("const") {
+                if let Some(name) = f.ident(i + 1) {
+                    if name.ends_with("SCHEMA_VERSION") {
+                        defs.push(Def { file: fi, line: f.line(i), name: name.to_string() });
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for def in &defs {
+        let pinned = files.iter().any(|f| {
+            let test_start = if f.is_test_file() { Some(0) } else { f.mod_tests_start() };
+            let Some(start) = test_start else { return false };
+            (start..f.code.len()).any(|i| f.ident(i) == Some(def.name.as_str()))
+        });
+        if !pinned {
+            out.push((
+                def.file,
+                RawFinding {
+                    rule: "schema-pin",
+                    line: def.line,
+                    message: format!(
+                        "`{}` has no key-set golden: no test (tests/ file or #[cfg(test)] module) \
+                         references it, so the schema can drift silently",
+                        def.name
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the audit directives of one file: plain `//` line comments (not
+/// doc comments) containing `audit:`. Well-formed directives become
+/// [`Allow`]s; malformed ones become `allow-syntax` findings.
+pub(crate) fn parse_allows(f: &SourceFile<'_>, out: &mut Vec<RawFinding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in &f.toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(f.text);
+        // Doc comments (`///`, `//!`) are prose — the syntax examples in
+        // rustdoc must not parse as live directives.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let body = text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("audit:") else { continue };
+        match parse_allow_body(rest.trim()) {
+            Ok((rule, reason)) => {
+                if RULES.iter().any(|&(r, _)| r == rule) {
+                    let trails_code = f.code.iter().any(|&j| f.toks[j].line == t.line);
+                    let target = if trails_code { t.line } else { t.line + 1 };
+                    allows.push(Allow { line: t.line, target, rule: rule.to_string(), reason, used: false });
+                } else {
+                    out.push(RawFinding {
+                        rule: "allow-syntax",
+                        line: t.line,
+                        message: format!("audit directive names unknown rule `{rule}`"),
+                    });
+                }
+            }
+            Err(why) => out.push(RawFinding {
+                rule: "allow-syntax",
+                line: t.line,
+                message: format!(
+                    "malformed audit directive ({why}); expected audit: allow(<rule>, \"<reason>\")"
+                ),
+            }),
+        }
+    }
+    allows
+}
+
+fn parse_allow_body(body: &str) -> Result<(&str, String), &'static str> {
+    let inner = body.strip_prefix("allow(").ok_or("missing allow(")?;
+    let (rule, rest) = inner.split_once(',').ok_or("missing `, \"reason\"`")?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-') {
+        return Err("rule id must be kebab-case");
+    }
+    let rest = rest.trim();
+    let quoted = rest.strip_prefix('"').ok_or("reason must be quoted")?;
+    let (reason, tail) = quoted.split_once('"').ok_or("unterminated reason")?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty");
+    }
+    if !tail.trim_start().starts_with(')') {
+        return Err("missing closing )");
+    }
+    Ok((rule, reason.trim().to_string()))
+}

@@ -1,0 +1,92 @@
+//! Lexer property tests: `lex` is total over arbitrary input.
+//!
+//! The vendored proptest stand-in has no string strategies, so inputs are
+//! built two ways: random compositions of adversarial Rust fragments
+//! (comment openers, quote kinds, raw-string fences, escapes), and raw
+//! byte soup pushed through `from_utf8_lossy`. Either way the lexer must
+//! not panic, must cover every byte with in-bounds, char-aligned,
+//! non-overlapping spans, and must number lines consistently.
+
+use ouro_audit::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragments chosen to maximise nesting/termination trouble: every one is
+/// a prefix, suffix, or confusable of some literal or comment form.
+const FRAGMENTS: &[&str] = &[
+    "// line\n",
+    "//",
+    "/* block */",
+    "/* /* nested */",
+    "*/",
+    "/*",
+    "\"str\"",
+    "\"unterminated",
+    "\"esc \\\" \\\\ \\n\"",
+    "r\"raw\"",
+    "r#\"fenced\"#",
+    "r##\"double \"# still\"##",
+    "r#\"unterminated",
+    "br#\"bytes\"#",
+    "b\"bytes\"",
+    "'c'",
+    "'\\n'",
+    "'\\''",
+    "'lifetime",
+    "'a ",
+    "r#match",
+    "ident_0",
+    "0..5",
+    "1.5e-3",
+    "\n",
+    "\r\n",
+    "#",
+    "r",
+    "b",
+    "'",
+    "\"",
+    "\\",
+    "{}()[];,.::->=>",
+    "é∂字",
+];
+
+fn check_invariants(src: &str) {
+    let toks = lex(src);
+    let lines = src.split('\n').count() as u32;
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in &toks {
+        assert!(t.start <= t.end && t.end <= src.len(), "span {}..{} out of {}", t.start, t.end, src.len());
+        assert!(src.get(t.start..t.end).is_some(), "span {}..{} splits a char", t.start, t.end);
+        assert!(t.start >= prev_end, "tokens overlap at {}", t.start);
+        assert!(t.kind != TokKind::Ident || t.start < t.end, "empty ident");
+        assert!((1..=lines).contains(&t.line), "line {} outside 1..={lines}", t.line);
+        assert!(t.line >= prev_line, "line numbers went backwards");
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+}
+
+proptest! {
+    #[test]
+    fn lexing_fragment_soup_never_panics(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        check_invariants(&src);
+    }
+
+    #[test]
+    fn lexing_byte_soup_never_panics(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..200),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_invariants(&src);
+    }
+}
+
+#[test]
+fn every_adversarial_fragment_lexes_alone() {
+    for f in FRAGMENTS {
+        check_invariants(f);
+    }
+}

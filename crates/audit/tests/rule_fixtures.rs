@@ -1,0 +1,288 @@
+//! Fixture proof that every rule in the catalog is live: for each rule, a
+//! violating snippet fires it, the corrected/out-of-scope spelling does
+//! not, and an `audit: allow` directive suppresses it without hiding it.
+//!
+//! Every fixture lives in a raw string literal, so the workspace audit
+//! scanning *this* file sees only string tokens — the fixtures can spell
+//! `HashMap` or directives freely without tripping the real run.
+
+use ouro_audit::{audit_sources, AuditReport};
+
+fn audit_one(rel: &str, src: &str) -> AuditReport {
+    audit_sources(&[(rel.to_string(), src.to_string())])
+}
+
+/// Unsuppressed `(rule, line)` pairs of a report.
+fn open(r: &AuditReport) -> Vec<(&'static str, u32)> {
+    r.findings.iter().filter(|f| f.suppressed.is_none()).map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn default_hash_map_fires_in_sim_crates_only() {
+    let src = r#"
+use std::collections::HashMap;
+"#;
+    assert_eq!(open(&audit_one("crates/serve/src/x.rs", src)), vec![("default-hash-map", 2)]);
+    assert_eq!(open(&audit_one("crates/kvcache/src/x.rs", src)), vec![("default-hash-map", 2)]);
+    // The model crate computes static shapes — out of the bit-identity scope.
+    assert_eq!(open(&audit_one("crates/model/src/x.rs", src)), vec![]);
+    // The deterministic replacements never fire.
+    let clean = r#"
+use std::collections::{BTreeMap, BTreeSet};
+use ouro_kvcache::fasthash::FastMap;
+"#;
+    assert_eq!(open(&audit_one("crates/serve/src/x.rs", clean)), vec![]);
+}
+
+#[test]
+fn default_hash_map_allow_suppresses_but_still_reports() {
+    let src = r#"
+// audit: allow(default-hash-map, "scratch map never iterated")
+use std::collections::HashMap;
+"#;
+    let r = audit_one("crates/serve/src/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+    assert_eq!(r.findings[0].suppressed.as_deref(), Some("scratch map never iterated"));
+    assert!(r.unused_allows.is_empty());
+}
+
+#[test]
+fn wall_clock_fires_outside_bench_code() {
+    let src = r#"
+fn t() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+fn s() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+"#;
+    let hits = open(&audit_one("crates/serve/src/x.rs", src));
+    assert_eq!(hits, vec![("wall-clock", 3), ("wall-clock", 6), ("wall-clock", 7)]);
+    // Bench code measures wall time on purpose: the bench crate and any
+    // `benches/` directory are exempt.
+    assert_eq!(open(&audit_one("crates/bench/src/x.rs", src)), vec![]);
+    assert_eq!(open(&audit_one("crates/serve/benches/x.rs", src)), vec![]);
+    // `Instant` without `::now` (e.g. a stored timestamp type) is fine.
+    assert_eq!(open(&audit_one("crates/serve/src/x.rs", "use std::time::Instant;\n")), vec![]);
+}
+
+#[test]
+fn wall_clock_trailing_allow_covers_its_own_line() {
+    let src = r#"
+fn t(profiling: bool) {
+    let _t0 = profiling.then(std::time::Instant::now); // audit: allow(wall-clock, "profile-gated")
+}
+"#;
+    let r = audit_one("crates/serve/src/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+}
+
+#[test]
+fn deprecated_submit_fires_on_call_shapes_only() {
+    let src = r#"
+fn drive(e: &mut Engine, q: Request) {
+    e.submit(q, 0.0, 0, 0);
+    Engine::submit_imported(e, q, 0.0, 0.001, 1, 0);
+    e.submit_prefill_only(q, 0.0, 2, 0);
+}
+"#;
+    let hits = open(&audit_one("crates/disagg/src/x.rs", src));
+    assert_eq!(hits, vec![("deprecated-submit", 3), ("deprecated-submit", 4), ("deprecated-submit", 5)]);
+    // Definitions, bare words, and the blessed `submit_with` do not match.
+    let clean = r#"
+fn submit(x: u32) -> u32 { x }
+fn drive(e: &mut Engine, q: Request) {
+    e.submit_with(q, 0.0, Admission::Local, 0, 0);
+}
+"#;
+    assert_eq!(open(&audit_one("crates/disagg/src/x.rs", clean)), vec![]);
+}
+
+#[test]
+fn deprecated_submit_allow_suppresses() {
+    let src = r#"
+fn drive(e: &mut Engine, q: Request) {
+    // audit: allow(deprecated-submit, "exercises the removed wrapper path")
+    e.submit(q, 0.0, 0, 0);
+}
+"#;
+    let r = audit_one("crates/disagg/src/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+}
+
+#[test]
+fn stage_emit_requires_the_stage_variant_receiver() {
+    let src = r#"
+fn run(tracer: &mut Tracer, t_s: f64) {
+    tracer.emit(t_s, None, EventKind::Complete);
+    tracer.emit_for(0, t_s, None, EventKind::Complete);
+}
+"#;
+    let hits = open(&audit_one("crates/serve/src/stage/x.rs", src));
+    assert_eq!(hits, vec![("stage-emit", 3), ("stage-emit", 4)]);
+    // The blessed shape routes through the ownership-checked Stage method.
+    let clean = r#"
+fn run(tracer: &mut Tracer, t_s: f64) {
+    Stage::Decode.emit(tracer, t_s, None, EventKind::Complete);
+    Stage::Arrival.emit_for(0, tracer, t_s, None, EventKind::Complete);
+}
+"#;
+    assert_eq!(open(&audit_one("crates/serve/src/stage/x.rs", clean)), vec![]);
+    // Outside crates/serve/src/stage/ the rule does not apply at all.
+    assert_eq!(open(&audit_one("crates/serve/src/scenario.rs", src)), vec![]);
+}
+
+#[test]
+fn stage_emit_allow_suppresses() {
+    let src = r#"
+fn run(tracer: &mut Tracer, t_s: f64) {
+    // audit: allow(stage-emit, "the forwarding site itself")
+    tracer.emit(t_s, None, EventKind::Complete);
+}
+"#;
+    let r = audit_one("crates/serve/src/stage/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+}
+
+#[test]
+fn float_sort_fires_on_panicking_comparators() {
+    let src = r#"
+fn order(v: &mut Vec<f64>, w: &mut Vec<(f64, u32)>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    w.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+}
+"#;
+    let hits = open(&audit_one("crates/workload/src/x.rs", src));
+    assert_eq!(hits, vec![("float-sort", 3), ("float-sort", 4)]);
+    // total_cmp and non-unwrapped partial_cmp are fine; so is the same
+    // code outside the sim crates.
+    let clean = r#"
+fn order(v: &mut Vec<f64>) -> bool {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[0].partial_cmp(&v[1]) == Some(std::cmp::Ordering::Less)
+}
+"#;
+    assert_eq!(open(&audit_one("crates/workload/src/x.rs", clean)), vec![]);
+    assert_eq!(open(&audit_one("crates/pipeline/src/x.rs", src)), vec![]);
+}
+
+#[test]
+fn float_sort_allow_suppresses() {
+    let src = r#"
+fn order(v: &mut Vec<f64>) {
+    // audit: allow(float-sort, "inputs are clamped to finite above")
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+"#;
+    let r = audit_one("crates/workload/src/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+}
+
+#[test]
+fn schema_pin_requires_a_test_reference() {
+    let def = r#"
+pub const X_SCHEMA_VERSION: u32 = 3;
+"#;
+    // Unreferenced: fires at the definition.
+    assert_eq!(open(&audit_one("crates/trace/src/x.rs", def)), vec![("schema-pin", 2)]);
+    // A tests/ file referencing the const pins it.
+    let golden = r#"
+fn key_set_is_pinned() {
+    assert_eq!(ouro_trace::X_SCHEMA_VERSION, 3);
+}
+"#;
+    let r = audit_sources(&[
+        ("crates/trace/src/x.rs".to_string(), def.to_string()),
+        ("crates/trace/tests/golden.rs".to_string(), golden.to_string()),
+    ]);
+    assert_eq!(r.violations(), 0, "{:?}", r.findings);
+    // So does a #[cfg(test)] module in the defining file itself.
+    let inline = r#"
+pub const Y_SCHEMA_VERSION: u32 = 1;
+mod tests {
+    fn pinned() {
+        assert_eq!(super::Y_SCHEMA_VERSION, 1);
+    }
+}
+"#;
+    assert_eq!(open(&audit_one("crates/trace/src/y.rs", inline)), vec![]);
+    // A reference from ordinary (non-test) code does not count.
+    let non_test_use = r#"
+fn stamp() -> u32 { crate::x::X_SCHEMA_VERSION }
+"#;
+    let r = audit_sources(&[
+        ("crates/trace/src/x.rs".to_string(), def.to_string()),
+        ("crates/trace/src/stamp.rs".to_string(), non_test_use.to_string()),
+    ]);
+    assert_eq!(r.violations(), 1);
+}
+
+#[test]
+fn schema_pin_allow_suppresses_at_the_definition() {
+    let def = r#"
+// audit: allow(schema-pin, "transitional: golden lands in the next PR")
+pub const Z_SCHEMA_VERSION: u32 = 1;
+"#;
+    let r = audit_one("crates/trace/src/z.rs", def);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.suppressed(), 1);
+}
+
+#[test]
+fn allow_syntax_reports_malformed_and_unknown_directives() {
+    let src = r#"
+// audit: allow(default-hash-map)
+// audit: allow(no-such-rule, "reason")
+// audit: allow(wall-clock, "")
+// audit: allowance is not a directive keyword
+"#;
+    let hits = open(&audit_one("crates/model/src/x.rs", src));
+    assert_eq!(
+        hits,
+        vec![("allow-syntax", 2), ("allow-syntax", 3), ("allow-syntax", 4), ("allow-syntax", 5)]
+    );
+}
+
+#[test]
+fn doc_comments_and_strings_never_parse_as_directives() {
+    let src = r#"
+/// audit: allow(default-hash-map)
+//! audit: allow(not-even-a-rule
+fn f() -> &'static str {
+    "// audit: allow(broken"
+}
+"#;
+    assert_eq!(open(&audit_one("crates/model/src/x.rs", src)), vec![]);
+}
+
+#[test]
+fn unused_allows_are_surfaced() {
+    let src = r#"
+// audit: allow(default-hash-map, "nothing here uses one")
+fn f() {}
+"#;
+    let r = audit_one("crates/serve/src/x.rs", src);
+    assert_eq!(r.violations(), 0);
+    assert_eq!(r.findings.len(), 0);
+    assert_eq!(r.unused_allows.len(), 1);
+    assert_eq!(r.unused_allows[0].rule, "default-hash-map");
+    assert_eq!(r.unused_allows[0].line, 2);
+}
+
+#[test]
+fn standalone_allow_covers_the_next_line_only() {
+    let src = r#"
+// audit: allow(default-hash-map, "first one only")
+use std::collections::HashMap;
+use std::collections::HashSet;
+"#;
+    let r = audit_one("crates/serve/src/x.rs", src);
+    assert_eq!(r.suppressed(), 1);
+    assert_eq!(open(&r), vec![("default-hash-map", 4)]);
+}

@@ -1,0 +1,87 @@
+//! The audit report's own schema golden, plus the self-test that the
+//! workspace this crate ships in is itself clean.
+
+use ouro_audit::{audit_sources, audit_workspace, AUDIT_SCHEMA_VERSION, AUDIT_V1_KEYS};
+use std::path::Path;
+
+/// A report with one suppressed and one unsuppressed finding, for
+/// exercising both shapes of the JSON row.
+fn mixed_report() -> ouro_audit::AuditReport {
+    let src = r#"
+// audit: allow(default-hash-map, "scratch map (never iterated)")
+use std::collections::HashMap;
+use std::collections::HashSet;
+"#;
+    audit_sources(&[("crates/serve/src/x.rs".to_string(), src.to_string())])
+}
+
+/// Keys of one flat JSON row, in rendered order. Rows are flat string /
+/// number / bool / null objects, so scanning top-level `"key":` pairs is a
+/// complete parser.
+fn row_keys(row: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = row.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while bytes[j] != b'"' || bytes[j - 1] == b'\\' {
+                j += 1;
+            }
+            // A key is a quoted string immediately followed by a colon.
+            if bytes.get(j + 1) == Some(&b':') {
+                keys.push(row[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn audit_v1_rows_have_the_pinned_key_set() {
+    assert_eq!(AUDIT_SCHEMA_VERSION, 1);
+    assert_eq!(AUDIT_V1_KEYS, &["schema_version", "rule", "path", "line", "message", "suppressed", "reason"]);
+    let report = mixed_report();
+    assert_eq!(report.findings.len(), 2);
+    assert_eq!(report.violations(), 1);
+    let rows = report.json_rows();
+    for row in &rows {
+        assert_eq!(row_keys(row), AUDIT_V1_KEYS, "key set drifted in {row}");
+        assert!(
+            row.starts_with(&format!("{{\"schema_version\": {AUDIT_SCHEMA_VERSION},")),
+            "schema_version must lead: {row}"
+        );
+    }
+    // Null-padding: the suppressed row carries its reason, the open row
+    // carries an explicit null.
+    let suppressed = rows.iter().find(|r| r.contains("\"suppressed\": true")).unwrap();
+    assert!(suppressed.contains("\"reason\": \"scratch map (never iterated)\""), "{suppressed}");
+    let open = rows.iter().find(|r| r.contains("\"suppressed\": false")).unwrap();
+    assert!(open.ends_with("\"reason\": null}"), "{open}");
+}
+
+#[test]
+fn json_document_wraps_rows_and_empty_report_is_empty_array() {
+    let report = mixed_report();
+    let doc = report.json();
+    assert!(doc.starts_with("[\n") && doc.ends_with("\n]\n"), "{doc}");
+    assert_eq!(doc.matches("\"schema_version\"").count(), report.findings.len());
+    let empty = audit_sources(&[]);
+    assert_eq!(empty.json(), "[]\n");
+}
+
+#[test]
+fn this_workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = audit_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 100, "scan looks truncated: {} files", report.files_scanned);
+    assert_eq!(report.violations(), 0, "unsuppressed violations:\n{}", report.fix_list());
+    assert!(report.unused_allows.is_empty(), "stale allow directives: {:?}", report.unused_allows);
+    // The suppression inventory only ever shrinks without a deliberate
+    // decision; growing it means a new exemption slipped in.
+    assert!(report.suppressed() <= 7, "suppression inventory grew: {}", report.suppressed());
+}

@@ -314,7 +314,7 @@ mod tests {
         #[test]
         fn used_tokens_never_exceed_capacity(ops in proptest::collection::vec((0u64..4, 1usize..300), 0..50)) {
             let mut b = blocks();
-            let mut cursor: std::collections::HashMap<u64, usize> = Default::default();
+            let mut cursor: crate::fasthash::FastMap<u64, usize> = Default::default();
             for (seq, tokens) in ops {
                 let idx = match cursor.get(&seq) {
                     Some(&i) if b.remaining(i, seq) > 0 => i,

@@ -1276,7 +1276,7 @@ mod tests {
         m.admit(1, 10).unwrap();
         let cores: Vec<_> = (0..4).map(|h| m.core_of(1, h).unwrap()).collect();
         // 4 K-side cores available, 4 heads: all distinct.
-        let unique: std::collections::HashSet<_> = cores.iter().collect();
+        let unique: std::collections::BTreeSet<_> = cores.iter().collect();
         assert_eq!(unique.len(), 4);
     }
 

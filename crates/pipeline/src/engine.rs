@@ -64,7 +64,7 @@ pub fn estimate_streaming(stage_totals: &[f64], first_unit_times: &[f64]) -> (f6
     let (bottleneck, total) = stage_totals
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("stage totals are finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, &t)| (i, t))
         .expect("non-empty");
     let makespan = fill + (total - first_unit_times[bottleneck]).max(0.0);

@@ -479,48 +479,6 @@ impl Engine {
         &self.records
     }
 
-    /// Submits a request for full local service — a convenience for
-    /// [`Engine::submit_with`] with [`Admission::Local`]. Returns the
-    /// engine-local record index.
-    #[deprecated(since = "0.9.0", note = "call submit_with(request, arrival_s, Admission::Local, id, wafer)")]
-    pub fn submit(&mut self, request: Request, arrival_s: f64, id: usize, wafer: usize) -> usize {
-        self.submit_with(request, arrival_s, Admission::Local, id, wafer)
-    }
-
-    /// Submits a request for prefill-only service — a convenience for
-    /// [`Engine::submit_with`] with [`Admission::PrefillOnly`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "call submit_with(request, arrival_s, Admission::PrefillOnly, id, wafer)"
-    )]
-    pub fn submit_prefill_only(
-        &mut self,
-        request: Request,
-        arrival_s: f64,
-        id: usize,
-        wafer: usize,
-    ) -> usize {
-        self.submit_with(request, arrival_s, Admission::PrefillOnly, id, wafer)
-    }
-
-    /// Submits a request with imported KV landing at `ready_s` — a
-    /// convenience for [`Engine::submit_with`] with
-    /// [`Admission::Imported`].
-    #[deprecated(
-        since = "0.9.0",
-        note = "call submit_with(request, arrival_s, Admission::Imported { ready_s }, id, wafer)"
-    )]
-    pub fn submit_imported(
-        &mut self,
-        request: Request,
-        arrival_s: f64,
-        ready_s: f64,
-        id: usize,
-        wafer: usize,
-    ) -> usize {
-        self.submit_with(request, arrival_s, Admission::Imported { ready_s }, id, wafer)
-    }
-
     /// The single admission path: submits a request arriving at
     /// `arrival_s` under the given [`Admission`] flavour, tagged with the
     /// global id and wafer index for reporting. `arrival_s` is always the
@@ -679,30 +637,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn submit_wrappers_are_equivalent_to_the_admission_enum_path() {
-        // The three named submissions are deprecated conveniences over the
-        // single `submit_with` admission path; both spellings must be
-        // bit-identical for as long as the wrappers exist. Compared via
-        // Debug because the records carry NaN sentinels (a prefill-only
-        // record never emits a first token).
-        let run = |via_enum: bool| -> String {
-            let mut e = engine(8);
-            if via_enum {
-                e.submit_with(Request::new(0, 64, 8), 0.0, Admission::Local, 0, 0);
-                e.submit_with(Request::new(1, 64, 8), 0.0, Admission::PrefillOnly, 1, 0);
-                e.submit_with(Request::new(2, 64, 8), 0.0, Admission::Imported { ready_s: 0.001 }, 2, 0);
-            } else {
-                e.submit(Request::new(0, 64, 8), 0.0, 0, 0);
-                e.submit_prefill_only(Request::new(1, 64, 8), 0.0, 1, 0);
-                e.submit_imported(Request::new(2, 64, 8), 0.0, 0.001, 2, 0);
-            }
-            while e.has_work() {
-                e.step();
-            }
-            format!("{:?}", e.records())
-        };
-        assert_eq!(run(true), run(false));
+    fn admission_flavours_shape_the_lifecycle_records() {
+        // Formerly compared the deprecated `submit`/`submit_prefill_only`/
+        // `submit_imported` wrappers against the enum path; the wrappers are
+        // gone, so pin the behaviour of the three `Admission` flavours
+        // directly: Local completes end-to-end, PrefillOnly exports KV and
+        // never emits a first token (NaN sentinel), and Imported is gated on
+        // its `ready_s`, not the nominal arrival.
+        let mut e = engine(8);
+        e.submit_with(Request::new(0, 64, 8), 0.0, Admission::Local, 0, 0);
+        e.submit_with(Request::new(1, 64, 8), 0.0, Admission::PrefillOnly, 1, 0);
+        e.submit_with(Request::new(2, 64, 8), 0.0, Admission::Imported { ready_s: 0.001 }, 2, 0);
+        while e.has_work() {
+            e.step();
+        }
+        let [local, prefill_only, imported] = e.records() else { panic!("three records") };
+        assert!(local.completed_s > local.first_token_s && local.first_token_s > 0.0);
+        assert!(prefill_only.first_token_s.is_nan(), "prefill-only never decodes a first token");
+        assert!(prefill_only.completed_s > 0.0, "prefill-only completes at KV export");
+        assert!(imported.admitted_s >= 0.001, "imported admission waits for the KV to land");
+        assert!(imported.completed_s > imported.first_token_s);
     }
 
     #[test]

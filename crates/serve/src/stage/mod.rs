@@ -111,6 +111,7 @@ impl Stage {
             kind.name(),
             event_kind(kind.name())
         );
+        // audit: allow(stage-emit, "the single blessed forwarding site behind the debug-asserted ownership table")
         tracer.emit(t_s, req, kind);
     }
 
@@ -130,6 +131,7 @@ impl Stage {
             kind.name(),
             event_kind(kind.name())
         );
+        // audit: allow(stage-emit, "the single blessed forwarding site behind the debug-asserted ownership table")
         tracer.emit_for(wafer, t_s, req, kind);
     }
 }

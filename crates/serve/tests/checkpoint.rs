@@ -158,3 +158,158 @@ fn run_full_equals_explicit_start_drive_finish() {
         assert_eq!(via_run_full, run.finish().report, "{label}: explicit stepping diverged");
     }
 }
+
+/// Every section and its exact key list, in rendered order. Adding,
+/// removing, renaming, or reordering any key is a schema change: update
+/// this table *and* bump [`ouro_serve::SNAPSHOT_SCHEMA_VERSION`].
+const SNAPSHOT_V1_SECTIONS: &[(&str, &[&str])] = &[
+    (
+        "meta",
+        &[
+            "section",
+            "schema_version",
+            "config_hash",
+            "completed",
+            "faults_fired",
+            "router_state",
+            "placement_state",
+            "think_rng",
+            "arrivals",
+            "gated",
+        ],
+    ),
+    (
+        "migration",
+        &[
+            "section", "id", "from", "to", "tokens", "deduped", "bytes", "start_s", "arrive_s", "hops",
+            "energy_j",
+        ],
+    ),
+    (
+        "engine",
+        &[
+            "section",
+            "wafer",
+            "clock_s",
+            "busy_s",
+            "suspended",
+            "pending_tokens",
+            "pending_wire_tokens",
+            "mean_hops",
+            "order_counter",
+            "stats",
+        ],
+    ),
+    (
+        "record",
+        &[
+            "section",
+            "wafer",
+            "id",
+            "rwafer",
+            "prompt",
+            "decode",
+            "arrival_s",
+            "admitted_s",
+            "queue_wait_s",
+            "first_token_s",
+            "completed_s",
+            "evictions",
+            "cached_prefix",
+            "shared",
+        ],
+    ),
+    (
+        "pending",
+        &[
+            "section",
+            "wafer",
+            "ready_s",
+            "rec",
+            "decoded",
+            "imported",
+            "wire_tokens",
+            "evicted",
+            "prefill_only",
+        ],
+    ),
+    (
+        "active",
+        &["section", "wafer", "rec", "prefill_remaining", "decoded", "admission_order", "prefill_only"],
+    ),
+    ("kv", &["section", "wafer", "ring_k", "ring_v", "allocated", "freed", "transfers"]),
+    ("kv_cores", &["section", "wafer", "side", "core", "xbs"]),
+    ("kv_page", &["section", "wafer", "entries"]),
+    ("kv_cursor", &["section", "wafer", "entries"]),
+    ("kv_seq_blocks", &["section", "wafer", "entries"]),
+    ("kv_resident", &["section", "wafer", "entries"]),
+    ("kv_shared", &["section", "wafer", "group", "k_cores", "v_cores", "nodes"]),
+    ("kv_seq_shared", &["section", "wafer", "entries"]),
+    ("injector", &["section", "events", "counters"]),
+    ("injector_wafer", &["section", "wafer", "assignment", "kv_cores", "failed", "death_s", "stall_s"]),
+];
+
+/// Splits one rendered snapshot row into its `(key, value)` pairs. The
+/// writer guarantees every value is a quote- and backslash-free string, so
+/// a plain quote scan is a complete parser.
+fn row_pairs(line: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    let mut quoted: Vec<String> = Vec::new();
+    while let Some((start, c)) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        for (end, c) in chars.by_ref() {
+            if c == '"' {
+                quoted.push(line[start + 1..end].to_string());
+                break;
+            }
+        }
+    }
+    assert!(quoted.len().is_multiple_of(2), "unpaired quoted string in snapshot row: {line}");
+    for kv in quoted.chunks(2) {
+        pairs.push((kv[0].clone(), kv[1].clone()));
+    }
+    pairs
+}
+
+#[test]
+fn snapshot_v1_key_sets_are_pinned() {
+    let sys = tiny_system();
+    let expected = |section: &str| -> &[&str] {
+        SNAPSHOT_V1_SECTIONS
+            .iter()
+            .find(|(s, _)| *s == section)
+            .unwrap_or_else(|| panic!("snapshot emitted an unpinned section {section:?}"))
+            .1
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for (label, scenario, mid_s) in golden_shapes() {
+        // Probe several instants per shape: transient sections (`pending`,
+        // `migration`, …) are only non-empty at some points of a run.
+        let mut run = scenario.start(&sys).unwrap();
+        let mut jsons = Vec::new();
+        for frac in [0.2, 0.6, 1.0, 1.4, 2.0] {
+            run.run_until(mid_s * frac);
+            jsons.push(scenario.checkpoint(&run).to_json());
+        }
+        for line in jsons.iter().flat_map(|j| j.lines()).filter(|l| l.starts_with('{')) {
+            let pairs = row_pairs(line);
+            let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+            assert!(!pairs.is_empty() && pairs[0].0 == "section", "{label}: row must lead with section");
+            let section = pairs[0].1.clone();
+            assert_eq!(keys, expected(&section), "{label}: key set drifted for section {section:?}");
+            if section == "meta" {
+                let (_, v) = pairs.iter().find(|(k, _)| k == "schema_version").unwrap();
+                assert_eq!(v, &ouro_serve::SNAPSHOT_SCHEMA_VERSION.to_string(), "{label}");
+            }
+            seen.insert(section);
+        }
+    }
+    // Every pinned section must actually occur across the golden shapes —
+    // a table entry nothing emits is a stale pin, not coverage.
+    for (section, _) in SNAPSHOT_V1_SECTIONS {
+        assert!(seen.contains(*section), "section {section:?} never emitted by the golden shapes");
+    }
+}

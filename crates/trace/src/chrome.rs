@@ -107,9 +107,11 @@ impl Trace {
             start_s: f64,
         }
         let end_of_trace = self.events.last().map(|e| e.t_s).unwrap_or(0.0);
-        let mut open: std::collections::HashMap<usize, Open> = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: open phases are closed in request order at
+        // end-of-trace, so iteration order reaches the exported span list.
+        let mut open: std::collections::BTreeMap<usize, Open> = std::collections::BTreeMap::new();
         let mut spans = Vec::new();
-        let mut close = |req: usize, open: &mut std::collections::HashMap<usize, Open>, t: f64| {
+        let mut close = |req: usize, open: &mut std::collections::BTreeMap<usize, Open>, t: f64| {
             if let Some(o) = open.remove(&req) {
                 spans.push(SpanPhase { req, wafer: o.wafer, name: o.name, start_s: o.start_s, end_s: t });
             }

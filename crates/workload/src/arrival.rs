@@ -350,7 +350,7 @@ mod tests {
                 let mean = g.iter().sum::<f64>() / g.len() as f64;
                 let var = g.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / g.len() as f64;
                 let mut sorted = g.to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 let p90 = sorted[(0.9 * sorted.len() as f64) as usize];
                 (mean, var.sqrt() / mean, p90)
             };

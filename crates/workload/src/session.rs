@@ -149,7 +149,7 @@ mod tests {
     fn shared_requests_cover_every_group_and_clamp_to_prompt() {
         let cfg = SessionConfig::chat(3, 1.0);
         let t = cfg.generate(300, 5);
-        let mut groups = std::collections::HashSet::new();
+        let mut groups = std::collections::BTreeSet::new();
         for r in &t.requests {
             let p = r.shared_prefix.expect("share ratio 1.0 tags everything");
             assert!(p.tokens <= r.prompt_len);
